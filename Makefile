@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: test race bench reproduce ablations examples verify
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+reproduce:
+	go run ./cmd/reproduce
+
+ablations:
+	go run ./cmd/reproduce -ablations
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/rawemp
+	go run ./examples/ftp
+	go run ./examples/webserver
+	go run ./examples/matmul
+	go run ./examples/kvstore
+
+# verify regenerates the committed experiment record artifacts.
+verify:
+	go vet ./...
+	go test ./... 2>&1 | tee test_output.txt
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

@@ -1,0 +1,49 @@
+// Command ftpbench runs the paper's FTP experiment (Figure 14): a RAM
+// disk to RAM disk file transfer over the chosen transport.
+//
+// Usage:
+//
+//	ftpbench -size 64M -transport substrate -mode dg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func main() {
+	sizeMB := flag.Int("size-mb", 64, "file size in MiB")
+	transport := flag.String("transport", "substrate", "substrate or tcp")
+	mode := flag.String("mode", "ds", "substrate mode: ds or dg")
+	stats := flag.Bool("stats", false, "print the cluster counter report after the run")
+	flag.Parse()
+
+	var c *cluster.Cluster
+	switch *transport {
+	case "tcp":
+		c = cluster.NewTCP(2)
+	case "substrate":
+		o := core.DefaultOptions()
+		if *mode == "dg" {
+			o = core.DatagramOptions()
+		}
+		c = cluster.NewSubstrate(2, &o)
+	default:
+		fmt.Fprintf(os.Stderr, "ftpbench: unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+	res := apps.RunFTP(c, *sizeMB<<20)
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "ftpbench: %v\n", res.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("transferred %d bytes in %v: %.0f Mbps\n", res.Bytes, res.Elapsed, res.Mbps())
+	if *stats {
+		fmt.Print(c.Report())
+	}
+}

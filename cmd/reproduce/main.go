@@ -1,0 +1,103 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation section, plus the design-choice ablations, printing each as
+// an aligned table with the paper's reported result alongside.
+//
+// Usage:
+//
+//	reproduce              # all figures
+//	reproduce -fig fig13   # one figure (fig11, fig12, fig13, fig14,
+//	                       # fig15, fig16, fig17)
+//	reproduce -ablations   # the design-choice studies
+//	reproduce -quick       # smaller sweeps (CI-speed)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	figFlag := flag.String("fig", "all", "which figure to reproduce (all, fig11..fig17)")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead")
+	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	plot := flag.Bool("plot", false, "also render each figure as an ASCII chart")
+	flag.Parse()
+
+	emit := func(f bench.Figure) {
+		f.Fprint(os.Stdout)
+		if *plot {
+			f.Plot(os.Stdout, 64, 14)
+		}
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*csvDir, f.ID+".csv")
+		out, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		f.CSV(out)
+		out.Close()
+	}
+
+	if *ablations {
+		for _, f := range bench.Ablations() {
+			emit(f)
+		}
+		return
+	}
+
+	latSizes := bench.DefaultLatencySizes()
+	credits := bench.DefaultCredits()
+	bwSizes := bench.DefaultBandwidthSizes()
+	fileSizes := bench.DefaultFileSizes()
+	respSizes := bench.DefaultResponseSizes()
+	matSizes := bench.DefaultMatrixSizes()
+	if *quick {
+		latSizes = []int{4, 1024}
+		credits = []int{1, 32}
+		bwSizes = []int{64 << 10}
+		fileSizes = []int{4 << 20}
+		respSizes = []int{1024}
+		matSizes = []int{128}
+	}
+
+	runners := []struct {
+		id  string
+		run func() bench.Figure
+	}{
+		{"fig11", func() bench.Figure { return bench.Fig11LatencyAlternatives(latSizes) }},
+		{"fig12", func() bench.Figure { return bench.Fig12CreditSweep(credits) }},
+		{"fig13", func() bench.Figure { return bench.Fig13Latency(latSizes) }},
+		{"fig13b", func() bench.Figure { return bench.Fig13Bandwidth(bwSizes) }},
+		{"fig14", func() bench.Figure { return bench.Fig14FTP(fileSizes) }},
+		{"fig15", func() bench.Figure { return bench.Fig15WebHTTP10(respSizes) }},
+		{"fig16", func() bench.Figure { return bench.Fig16WebHTTP11(respSizes) }},
+		{"fig17", func() bench.Figure { return bench.Fig17Matmul(matSizes) }},
+	}
+
+	want := strings.ToLower(*figFlag)
+	matched := false
+	for _, r := range runners {
+		if want != "all" && !strings.HasPrefix(r.id, want) {
+			continue
+		}
+		matched = true
+		emit(r.run())
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "reproduce: unknown figure %q\n", *figFlag)
+		os.Exit(2)
+	}
+}

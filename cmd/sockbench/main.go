@@ -1,0 +1,79 @@
+// Command sockbench runs the latency and bandwidth micro-benchmarks
+// (the paper's Figures 11-13) for one chosen transport configuration.
+//
+// Usage:
+//
+//	sockbench -transport substrate -mode ds -credits 32
+//	sockbench -transport tcp -sockbuf 262144
+//	sockbench -transport emp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/tcpip"
+)
+
+func main() {
+	transport := flag.String("transport", "substrate", "substrate, tcp or emp")
+	mode := flag.String("mode", "ds", "substrate mode: ds or dg")
+	credits := flag.Int("credits", 32, "substrate credit count")
+	delayedAcks := flag.Bool("delayed-acks", true, "substrate delayed acknowledgments")
+	uqAcks := flag.Bool("uq-acks", true, "substrate unexpected-queue acknowledgments")
+	sockbuf := flag.Int("sockbuf", 16<<10, "TCP socket buffer bytes")
+	flag.Parse()
+
+	fmt.Printf("# sockbench transport=%s\n", *transport)
+	fmt.Printf("%12s  %14s\n", "msg bytes", "latency (us)")
+	for _, n := range bench.DefaultLatencySizes() {
+		var us float64
+		switch *transport {
+		case "emp":
+			us = bench.EMPPingPong(n).Micros()
+		case "tcp":
+			us = bench.SockPingPong(tcpCluster(*sockbuf), n).Micros()
+		case "substrate":
+			us = bench.SockPingPong(subCluster(*mode, *credits, *delayedAcks, *uqAcks), n).Micros()
+		default:
+			fmt.Fprintf(os.Stderr, "sockbench: unknown transport %q\n", *transport)
+			os.Exit(2)
+		}
+		fmt.Printf("%12d  %14.2f\n", n, us)
+	}
+	fmt.Printf("\n%12s  %14s\n", "write bytes", "bandwidth (Mbps)")
+	for _, n := range bench.DefaultBandwidthSizes() {
+		var mbps float64
+		switch *transport {
+		case "emp":
+			mbps = bench.EMPStream(16<<20, n)
+		case "tcp":
+			mbps = bench.SockStream(tcpCluster(*sockbuf), 16<<20, n)
+		case "substrate":
+			mbps = bench.SockStream(subCluster(*mode, *credits, *delayedAcks, *uqAcks), 16<<20, n)
+		}
+		fmt.Printf("%12d  %14.0f\n", n, mbps)
+	}
+}
+
+func tcpCluster(sockbuf int) *cluster.Cluster {
+	cfg := tcpip.DefaultStackConfig()
+	cfg.SndBuf = sockbuf
+	cfg.RcvBuf = sockbuf
+	return cluster.New(cluster.Config{Nodes: 2, Transport: cluster.TransportTCP, TCP: &cfg})
+}
+
+func subCluster(mode string, credits int, da, uq bool) *cluster.Cluster {
+	o := core.DefaultOptions()
+	if mode == "dg" {
+		o = core.DatagramOptions()
+	}
+	o.Credits = credits
+	o.DelayedAcks = da
+	o.UQAcks = uq
+	return cluster.NewSubstrate(2, &o)
+}

@@ -1,0 +1,58 @@
+// Command webbench runs the paper's web server experiment (Figures 15
+// and 16): one server, three clients, 16-byte requests, S-byte
+// responses, with one (HTTP/1.0) or up to eight (HTTP/1.1) requests per
+// connection.
+//
+// Usage:
+//
+//	webbench -response 8192 -http11 -transport tcp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func main() {
+	respBytes := flag.Int("response", 1024, "response size S in bytes")
+	http11 := flag.Bool("http11", false, "HTTP/1.1: 8 requests per connection")
+	transport := flag.String("transport", "substrate", "substrate or tcp")
+	credits := flag.Int("credits", 4, "substrate credit size (the paper uses 4 here)")
+	requests := flag.Int("requests", 24, "requests per client")
+	stats := flag.Bool("stats", false, "print the cluster counter report after the run")
+	flag.Parse()
+
+	reqsPerConn := 1
+	if *http11 {
+		reqsPerConn = 8
+	}
+	var c *cluster.Cluster
+	switch *transport {
+	case "tcp":
+		c = cluster.NewTCP(4)
+	case "substrate":
+		o := core.DefaultOptions()
+		o.Credits = *credits
+		c = cluster.NewSubstrate(4, &o)
+	default:
+		fmt.Fprintf(os.Stderr, "webbench: unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+	cfg := apps.DefaultWebConfig(*respBytes, reqsPerConn)
+	cfg.RequestsPerClient = *requests
+	res := apps.RunWeb(c, cfg)
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "webbench: %v\n", res.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d requests: avg %v, p50 %v, p99 %v, max %v\n",
+		res.Requests, res.AvgResponse, res.P50Response, res.P99Response, res.MaxResponse)
+	if *stats {
+		fmt.Print(c.Report())
+	}
+}

@@ -1,0 +1,27 @@
+// Key-value store example: the paper's future-work direction — a
+// data-center commercial workload — as a memcached-style store with
+// three clients on persistent connections, compared across transports
+// and value sizes.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/apps"
+)
+
+func main() {
+	fmt.Printf("%12s  %22s  %22s  %8s\n", "value bytes", "substrate (avg/p99)", "TCP (avg/p99)", "speedup")
+	for _, size := range []int{64, 1024, 8192, 32 << 10} {
+		sub := apps.RunKVStore(repro.NewSubstrateCluster(4, nil), apps.DefaultKVConfig(size))
+		tcp := apps.RunKVStore(repro.NewTCPCluster(4), apps.DefaultKVConfig(size))
+		if sub.Err != nil || tcp.Err != nil {
+			fmt.Printf("%12d  FAILED: sub=%v tcp=%v\n", size, sub.Err, tcp.Err)
+			continue
+		}
+		fmt.Printf("%12d  %10v/%-10v  %10v/%-10v  %7.2fx\n",
+			size, sub.AvgLatency, sub.P99Latency, tcp.AvgLatency, tcp.P99Latency,
+			float64(tcp.AvgLatency)/float64(sub.AvgLatency))
+	}
+}

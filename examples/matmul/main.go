@@ -1,0 +1,25 @@
+// Matrix multiplication example: the paper's Section 7.5 workload — a
+// 4-node distributed multiply where the master distributes row blocks
+// and gathers partial results with select().
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/apps"
+)
+
+func main() {
+	fmt.Printf("%6s  %16s  %16s  %8s\n", "N", "substrate", "TCP", "speedup")
+	for _, n := range []int{64, 128, 256, 384} {
+		sub := apps.RunMatmul(repro.NewSubstrateCluster(4, nil), n)
+		tcp := apps.RunMatmul(repro.NewTCPCluster(4), n)
+		if sub.Err != nil || tcp.Err != nil {
+			fmt.Printf("%6d  FAILED: sub=%v tcp=%v\n", n, sub.Err, tcp.Err)
+			continue
+		}
+		fmt.Printf("%6d  %16v  %16v  %7.2fx\n", n, sub.Elapsed, tcp.Elapsed,
+			float64(tcp.Elapsed)/float64(sub.Elapsed))
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: build a two-node cluster running the user-level sockets
+// substrate, exchange a message, and print the measured round trip —
+// then run the identical application code over kernel TCP to see the
+// paper's headline gap.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// echoOnce runs one connect / request / response / close exchange and
+// returns the client-observed round-trip time. The same function serves
+// both transports: applications written against the generic sockets API
+// cannot tell the substrate from the kernel stack — which is the point
+// of the paper.
+func echoOnce(c *repro.Cluster) sim.Duration {
+	var rtt sim.Duration
+	c.Eng.Spawn("server", func(p *sim.Proc) {
+		l, err := c.Nodes[0].Net.Listen(p, 80, 4)
+		if err != nil {
+			panic(err)
+		}
+		conn, err := l.Accept(p)
+		if err != nil {
+			panic(err)
+		}
+		if _, _, err := sock.ReadFull(p, conn, 64); err != nil {
+			panic(err)
+		}
+		conn.Write(p, 64, "pong")
+		conn.Close(p)
+		l.Close(p)
+	})
+	c.Eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		conn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+		if err != nil {
+			panic(err)
+		}
+		start := p.Now()
+		conn.Write(p, 64, "ping")
+		if _, _, err := sock.ReadFull(p, conn, 64); err != nil {
+			panic(err)
+		}
+		rtt = p.Now().Sub(start)
+		conn.Close(p)
+	})
+	c.Run(repro.Seconds(5))
+	return rtt
+}
+
+func main() {
+	sub := echoOnce(repro.NewSubstrateCluster(2, nil))
+	tcp := echoOnce(repro.NewTCPCluster(2))
+	fmt.Printf("64-byte echo over the EMP substrate: %v\n", sub)
+	fmt.Printf("64-byte echo over kernel TCP:        %v\n", tcp)
+	fmt.Printf("speedup: %.1fx\n", float64(tcp)/float64(sub))
+}

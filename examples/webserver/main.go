@@ -1,0 +1,33 @@
+// Web server example: the paper's Section 7.4 workload — one server,
+// three clients, 16-byte requests, S-byte responses — under HTTP/1.0
+// (connection per request) and HTTP/1.1 (eight requests per
+// connection), over both transports.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/apps"
+)
+
+func main() {
+	for _, S := range []int{4, 1024, 8192} {
+		for _, keep := range []struct {
+			label string
+			reqs  int
+		}{{"HTTP/1.0", 1}, {"HTTP/1.1", 8}} {
+			subOpts := repro.DefaultOptions()
+			subOpts.Credits = 4 // the paper's choice for this workload
+			sub := apps.RunWeb(repro.NewSubstrateCluster(4, &subOpts), apps.DefaultWebConfig(S, keep.reqs))
+			tcp := apps.RunWeb(repro.NewTCPCluster(4), apps.DefaultWebConfig(S, keep.reqs))
+			if sub.Err != nil || tcp.Err != nil {
+				fmt.Printf("S=%5d %s FAILED: sub=%v tcp=%v\n", S, keep.label, sub.Err, tcp.Err)
+				continue
+			}
+			fmt.Printf("S=%5d %s  substrate %9v   TCP %9v   ratio %.1fx\n",
+				S, keep.label, sub.AvgResponse, tcp.AvgResponse,
+				float64(tcp.AvgResponse)/float64(sub.AvgResponse))
+		}
+	}
+}

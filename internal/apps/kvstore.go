@@ -1,0 +1,249 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// Key-value store: the paper's stated future work is "utilizing and
+// evaluating the proposed substrate for a range of commercial
+// applications in the Data center environment". This workload is a
+// memcached-style in-memory store: clients hold persistent connections
+// and issue GET/SET requests with small keys and configurable value
+// sizes; the server answers from an in-memory table. Request latency is
+// dominated by the socket round trip, which is exactly where the
+// substrate's user-level path pays off.
+
+// kvHeaderBytes frames every request and response.
+const kvHeaderBytes = 16
+
+// kvOp codes.
+const (
+	kvGet = iota
+	kvSet
+)
+
+// kvRequest is the request payload object riding on the framed bytes.
+type kvRequest struct {
+	Op     int
+	Key    string
+	ValLen int
+	Val    any
+}
+
+// kvResponse is the response payload object.
+type kvResponse struct {
+	OK     bool
+	ValLen int
+	Val    any
+}
+
+// KVConfig parameterizes the workload.
+type KVConfig struct {
+	// Clients is the number of client nodes (each one connection).
+	Clients int
+	// OpsPerClient is the request count per client.
+	OpsPerClient int
+	// ValueBytes is the stored value size.
+	ValueBytes int
+	// SetEveryN makes every n-th operation a SET (the rest are GETs).
+	SetEveryN int
+	// Keys is the key-space size.
+	Keys int
+	// Port is the server's listen port.
+	Port int
+}
+
+// DefaultKVConfig returns a read-heavy data-center mix.
+func DefaultKVConfig(valueBytes int) KVConfig {
+	return KVConfig{
+		Clients:      3,
+		OpsPerClient: 50,
+		ValueBytes:   valueBytes,
+		SetEveryN:    10,
+		Keys:         64,
+		Port:         11211,
+	}
+}
+
+// KVResult reports the aggregate workload outcome.
+type KVResult struct {
+	Ops        int
+	AvgLatency sim.Duration
+	P99Latency sim.Duration
+	Elapsed    sim.Duration
+	Err        error
+}
+
+// OpsPerSec reports the aggregate throughput.
+func (r KVResult) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// kvServer serves totalConns persistent connections, each handled by
+// its own process, until every client disconnects.
+func kvServer(p *sim.Proc, node *cluster.Node, cfg KVConfig, totalConns int) error {
+	l, err := node.Net.Listen(p, cfg.Port, totalConns)
+	if err != nil {
+		return err
+	}
+	defer l.Close(p)
+	store := make(map[string]*kvResponse, cfg.Keys)
+	wg := sim.NewWaitGroup(p.Engine(), "kv.handlers")
+	for i := 0; i < totalConns; i++ {
+		c, err := l.Accept(p)
+		if err != nil {
+			return err
+		}
+		setNoDelay(c)
+		wg.Add(1)
+		p.Engine().Spawn("kv-handler", func(hp *sim.Proc) {
+			defer wg.Done()
+			defer c.Close(hp)
+			for {
+				// Request: header + key (+ value for SET).
+				n, objs, err := sock.ReadFull(hp, c, kvHeaderBytes)
+				if err != nil || n < kvHeaderBytes || len(objs) == 0 {
+					return // client closed
+				}
+				req, ok := objs[0].(*kvRequest)
+				if !ok {
+					return
+				}
+				body := len(req.Key)
+				if req.Op == kvSet {
+					body += req.ValLen
+				}
+				if body > 0 {
+					if _, _, err := sock.ReadFull(hp, c, body); err != nil {
+						return
+					}
+				}
+				resp := &kvResponse{}
+				switch req.Op {
+				case kvSet:
+					store[req.Key] = &kvResponse{OK: true, ValLen: req.ValLen, Val: req.Val}
+					resp.OK = true
+				case kvGet:
+					if v, ok := store[req.Key]; ok {
+						resp = v
+					}
+				}
+				if _, err := c.Write(hp, kvHeaderBytes, resp); err != nil {
+					return
+				}
+				if resp.ValLen > 0 {
+					if _, err := c.Write(hp, resp.ValLen, nil); err != nil {
+						return
+					}
+				}
+			}
+		})
+	}
+	wg.Wait(p)
+	return nil
+}
+
+// kvClient issues the configured mix over one persistent connection.
+func kvClient(p *sim.Proc, node *cluster.Node, server sock.Addr, cfg KVConfig, id int, lat *sim.Sample) error {
+	c, err := node.Net.Dial(p, server, cfg.Port)
+	if err != nil {
+		return err
+	}
+	defer c.Close(p)
+	setNoDelay(c)
+	for i := 0; i < cfg.OpsPerClient; i++ {
+		key := fmt.Sprintf("key-%d", (id*31+i)%cfg.Keys)
+		req := &kvRequest{Op: kvGet, Key: key}
+		// Prime the key space: the first pass and every n-th op write.
+		if i < 1 || (cfg.SetEveryN > 0 && i%cfg.SetEveryN == 0) {
+			req.Op = kvSet
+			req.ValLen = cfg.ValueBytes
+			req.Val = "value-object"
+		}
+		start := p.Now()
+		body := len(req.Key)
+		if req.Op == kvSet {
+			body += req.ValLen
+		}
+		if _, err := c.Write(p, kvHeaderBytes, req); err != nil {
+			return err
+		}
+		if body > 0 {
+			if _, err := c.Write(p, body, nil); err != nil {
+				return err
+			}
+		}
+		_, objs, err := sock.ReadFull(p, c, kvHeaderBytes)
+		if err != nil || len(objs) == 0 {
+			return fmt.Errorf("kv: response header: %w", err)
+		}
+		resp, ok := objs[0].(*kvResponse)
+		if !ok {
+			return fmt.Errorf("kv: malformed response")
+		}
+		if resp.ValLen > 0 {
+			if _, _, err := sock.ReadFull(p, c, resp.ValLen); err != nil {
+				return err
+			}
+		}
+		if req.Op == kvGet && !resp.OK && i >= cfg.Keys {
+			return fmt.Errorf("kv: get miss on a primed key %q", key)
+		}
+		lat.AddDuration(p.Now().Sub(start))
+	}
+	return nil
+}
+
+// RunKVStore runs the workload on a cluster of at least cfg.Clients+1
+// nodes (node 0 serves).
+func RunKVStore(c *cluster.Cluster, cfg KVConfig) KVResult {
+	if len(c.Nodes) < cfg.Clients+1 {
+		return KVResult{Err: fmt.Errorf("kv: need %d nodes, have %d", cfg.Clients+1, len(c.Nodes))}
+	}
+	lat := sim.NewSample()
+	var srvErr error
+	cliErrs := make([]error, cfg.Clients)
+	var start, end sim.Time
+	c.Eng.Spawn("kv-server", func(p *sim.Proc) {
+		srvErr = kvServer(p, c.Nodes[0], cfg, cfg.Clients)
+	})
+	done := sim.NewWaitGroup(c.Eng, "kv.clients")
+	done.Add(cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		c.Eng.Spawn("kv-client", func(p *sim.Proc) {
+			defer done.Done()
+			p.Sleep(sim.Duration(20+10*i) * sim.Microsecond)
+			if start == 0 {
+				start = p.Now()
+			}
+			cliErrs[i] = kvClient(p, c.Nodes[i+1], c.Addr(0), cfg, i, lat)
+			end = p.Now()
+		})
+	}
+	c.Run(600 * sim.Second)
+	res := KVResult{
+		Ops:        lat.Count(),
+		AvgLatency: sim.Duration(lat.Mean() * 1e3),
+		P99Latency: sim.Duration(lat.Percentile(99) * 1e3),
+		Elapsed:    end.Sub(start),
+		Err:        srvErr,
+	}
+	for _, e := range cliErrs {
+		if res.Err == nil && e != nil {
+			res.Err = e
+		}
+	}
+	want := cfg.Clients * cfg.OpsPerClient
+	if res.Err == nil && res.Ops != want {
+		res.Err = fmt.Errorf("kv: completed %d of %d operations", res.Ops, want)
+	}
+	return res
+}

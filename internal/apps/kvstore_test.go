@@ -1,0 +1,60 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestKVStoreCompletesOverBothTransports(t *testing.T) {
+	for name, build := range allTransports() {
+		if name == "substrate-dg" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			c := build(4)
+			res := RunKVStore(c, DefaultKVConfig(1024))
+			if res.Err != nil {
+				t.Fatalf("kv over %s: %v", name, res.Err)
+			}
+			if res.Ops != 150 {
+				t.Fatalf("ops = %d, want 150", res.Ops)
+			}
+			if res.AvgLatency <= 0 || res.P99Latency < res.AvgLatency {
+				t.Fatalf("latency stats broken: avg=%v p99=%v", res.AvgLatency, res.P99Latency)
+			}
+		})
+	}
+}
+
+func TestKVStoreSubstrateLowerLatency(t *testing.T) {
+	tcp := RunKVStore(cluster.NewTCP(4), DefaultKVConfig(256))
+	sub := RunKVStore(cluster.NewSubstrate(4, nil), DefaultKVConfig(256))
+	if tcp.Err != nil || sub.Err != nil {
+		t.Fatalf("errs: tcp=%v sub=%v", tcp.Err, sub.Err)
+	}
+	if sub.AvgLatency >= tcp.AvgLatency {
+		t.Fatalf("substrate kv latency %v should beat TCP %v", sub.AvgLatency, tcp.AvgLatency)
+	}
+	if sub.OpsPerSec() <= tcp.OpsPerSec() {
+		t.Fatalf("substrate kv throughput %.0f should beat TCP %.0f", sub.OpsPerSec(), tcp.OpsPerSec())
+	}
+}
+
+func TestKVStoreValueSizeScaling(t *testing.T) {
+	small := RunKVStore(cluster.NewSubstrate(4, nil), DefaultKVConfig(64))
+	big := RunKVStore(cluster.NewSubstrate(4, nil), DefaultKVConfig(32<<10))
+	if small.Err != nil || big.Err != nil {
+		t.Fatalf("errs: %v %v", small.Err, big.Err)
+	}
+	if big.AvgLatency <= small.AvgLatency {
+		t.Fatalf("32KB values (%v) should cost more than 64B (%v)", big.AvgLatency, small.AvgLatency)
+	}
+}
+
+func TestKVStoreNeedsEnoughNodes(t *testing.T) {
+	res := RunKVStore(cluster.NewTCP(2), DefaultKVConfig(64))
+	if res.Err == nil {
+		t.Fatal("3-client workload on a 2-node cluster should error")
+	}
+}

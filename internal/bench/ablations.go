@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ethernet"
+	"repro/internal/nic"
+	"repro/internal/tcpip"
+)
+
+// AblationCommThread quantifies the rejected separate-communication-
+// thread alternative of Section 5.2: the paper measured ~20 us of
+// thread-synchronization cost per message, which is why the design was
+// dropped.
+func AblationCommThread() Figure {
+	fig := Figure{
+		ID:        "ablation-commthread",
+		Title:     "Rejected alternative: separate communication thread",
+		XLabel:    "msg bytes",
+		YLabel:    "one-way latency (us)",
+		PaperNote: "the paper measured ~20us thread synchronization cost and ~50% CPU loss; rejected",
+	}
+	withThread := func() *core.Options {
+		o := core.DefaultOptions()
+		o.CommThread = true
+		return &o
+	}
+	for _, v := range []struct {
+		name string
+		opts *core.Options
+	}{
+		{"eager (adopted)", dsDAUQ()},
+		{"comm thread", withThread()},
+	} {
+		s := Series{Name: v.name}
+		for _, n := range []int{4, 256, 1024} {
+			lat := sockPingPong(cluster.NewSubstrate(2, v.opts), n, latencyIters)
+			s.Points = append(s.Points, Point{X: float64(n), Y: lat.Micros()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// AblationRendezvous compares the Section 5.2 rendezvous alternative
+// against eager delivery for small messages: the extra synchronization
+// round trip roughly triples small-message latency, which is why
+// rendezvous is reserved for large Datagram transfers.
+func AblationRendezvous() Figure {
+	fig := Figure{
+		ID:        "ablation-rendezvous",
+		Title:     "Rendezvous vs eager for small messages (Datagram mode)",
+		XLabel:    "msg bytes",
+		YLabel:    "one-way latency (us)",
+		PaperNote: "rendezvous adds a request/ack synchronization before every message (Figure 6)",
+	}
+	forced := func() *core.Options {
+		o := core.DatagramOptions()
+		o.ForceRendezvous = true
+		return &o
+	}
+	for _, v := range []struct {
+		name string
+		opts *core.Options
+	}{
+		{"eager", dg()},
+		{"rendezvous", forced()},
+	} {
+		s := Series{Name: v.name}
+		for _, n := range []int{4, 256, 1024} {
+			lat := sockPingPong(cluster.NewSubstrate(2, v.opts), n, latencyIters)
+			s.Points = append(s.Points, Point{X: float64(n), Y: lat.Micros()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// AblationPiggyback isolates the piggybacked-acknowledgment
+// optimization of Section 6.1 under a bidirectional request/response
+// load, where returning credits on data messages eliminates explicit
+// ack traffic entirely.
+func AblationPiggyback() Figure {
+	fig := Figure{
+		ID:        "ablation-piggyback",
+		Title:     "Piggybacked credit returns vs explicit-only acks (bidirectional)",
+		XLabel:    "msg bytes",
+		YLabel:    "explicit ack messages",
+		PaperNote: "piggybacking removes explicit ack messages whenever reverse data flows",
+	}
+	// With delayed acks the receiver accumulates credit returns below
+	// the explicit-ack threshold; piggybacking lets the next outgoing
+	// data message carry them, so explicit acks all but disappear in a
+	// request/response exchange. Without piggybacking every threshold
+	// crossing costs an explicit message.
+	noPiggy := func() *core.Options {
+		o := core.DefaultOptions()
+		o.Piggyback = false
+		return &o
+	}
+	withPiggy := func() *core.Options {
+		o := core.DefaultOptions()
+		return &o
+	}
+	for _, v := range []struct {
+		name string
+		opts *core.Options
+	}{
+		{"piggyback on", withPiggy()},
+		{"piggyback off", noPiggy()},
+	} {
+		s := Series{Name: v.name}
+		for _, n := range []int{256, 4096} {
+			c := cluster.NewSubstrate(2, v.opts)
+			sockPingPong(c, n, 100) // request/response: reverse data always flows
+			acks := c.Nodes[0].Sub.ExplicitAcks.Value + c.Nodes[1].Sub.ExplicitAcks.Value
+			s.Points = append(s.Points, Point{X: float64(n), Y: float64(acks)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// AblationTCPBuffers sweeps the kernel socket buffer size, reproducing
+// the paper's observation that enlarging the default 16 KB buffers
+// lifts TCP from ~340 to ~550 Mbps, after which more space does not
+// help (the CPU becomes the bottleneck).
+func AblationTCPBuffers() Figure {
+	fig := Figure{
+		ID:        "ablation-tcpbuf",
+		Title:     "TCP bandwidth vs socket buffer size",
+		XLabel:    "sockbuf bytes",
+		YLabel:    "bandwidth (Mbps)",
+		PaperNote: "16KB -> ~340 Mbps; enlarged -> ~550 Mbps plateau",
+	}
+	s := Series{Name: "TCP"}
+	for _, buf := range []int{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10} {
+		cfg := tcpip.DefaultStackConfig()
+		cfg.SndBuf = buf
+		cfg.RcvBuf = buf
+		c := cluster.New(cluster.Config{Nodes: 2, Transport: cluster.TransportTCP, TCP: &cfg})
+		s.Points = append(s.Points, Point{X: float64(buf), Y: sockStream(c, 16<<20, 64<<10)})
+	}
+	fig.Series = []Series{s}
+	return fig
+}
+
+// AblationJumboFrames measures the EMP-lineage extensions: 9000-byte
+// jumbo frames (the EMP paper reports ~964 Mbps with them) and
+// splitting receive processing across both Tigon2 CPUs (the companion
+// IPDPS'02 study). Both attack the per-frame receive-processing cost
+// that caps standard-frame EMP in the mid-800s.
+func AblationJumboFrames() Figure {
+	fig := Figure{
+		ID:        "ablation-jumbo",
+		Title:     "Substrate bandwidth: jumbo frames and multi-CPU receive",
+		XLabel:    "write bytes",
+		YLabel:    "bandwidth (Mbps)",
+		PaperNote: "EMP (SC'01) reaches ~964 Mbps with jumbo frames; IPDPS'02 studies multi-CPU NIC receive",
+	}
+	for _, v := range []struct {
+		name string
+		mtu  int
+		cpus int
+	}{
+		{"1500B, 1 rx cpu", 0, 1},
+		{"9000B, 1 rx cpu", ethernet.JumboMTU, 1},
+		{"1500B, 2 rx cpus", 0, 2},
+		{"9000B, 2 rx cpus", ethernet.JumboMTU, 2},
+	} {
+		nicCfg := nic.DefaultConfig()
+		if v.mtu != 0 {
+			nicCfg.MTU = v.mtu
+		}
+		nicCfg.RxCPUs = v.cpus
+		s := Series{Name: v.name}
+		for _, n := range []int{64 << 10, 256 << 10} {
+			c := cluster.New(cluster.Config{
+				Nodes:     2,
+				Transport: cluster.TransportSubstrate,
+				NIC:       &nicCfg,
+			})
+			s.Points = append(s.Points, Point{X: float64(n), Y: sockStream(c, 16<<20, n)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// AblationCreditVsConnSetup sweeps the credit size under the web
+// workload, reproducing the Section 7.4 trade-off: big credit windows
+// waste connection setup and teardown time on descriptors a
+// one-request connection never uses.
+func AblationCreditVsConnSetup() Figure {
+	fig := Figure{
+		ID:        "ablation-credits-web",
+		Title:     "Web response time vs credit size (HTTP/1.0)",
+		XLabel:    "credits",
+		YLabel:    "avg response time (us)",
+		PaperNote: "the paper picks credit size 4 here: posting and garbage-collecting 32 descriptors per one-request connection wastes time",
+	}
+	s := Series{Name: "DataStreaming"}
+	for _, credits := range []int{2, 4, 8, 16, 32} {
+		o := core.DefaultOptions()
+		o.Credits = credits
+		res := apps.RunWeb(cluster.NewSubstrate(4, &o), apps.DefaultWebConfig(1024, 1))
+		if res.Err != nil {
+			continue
+		}
+		s.Points = append(s.Points, Point{X: float64(credits), Y: res.AvgResponse.Micros()})
+	}
+	fig.Series = []Series{s}
+	return fig
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// plotGlyphs marks series points in terminal plots.
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Plot renders the figure as a simple ASCII chart: x is mapped on a log
+// scale when the sweep spans more than a decade (message-size sweeps),
+// y linearly from zero. Good enough to see orderings and crossovers
+// without leaving the terminal.
+func (f Figure) Plot(w io.Writer, width, height int) {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	var xmin, xmax, ymax float64
+	xmin = math.Inf(1)
+	first := true
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if first || p.X < xmin {
+				xmin = p.X
+			}
+			if first || p.X > xmax {
+				xmax = p.X
+			}
+			if p.Y > ymax {
+				ymax = p.Y
+			}
+			first = false
+		}
+	}
+	if first || ymax == 0 {
+		fmt.Fprintln(w, "(no data to plot)")
+		return
+	}
+	logX := xmin > 0 && xmax/xmin > 10
+	xpos := func(x float64) int {
+		if xmax == xmin {
+			return 0
+		}
+		var frac float64
+		if logX {
+			frac = (math.Log(x) - math.Log(xmin)) / (math.Log(xmax) - math.Log(xmin))
+		} else {
+			frac = (x - xmin) / (xmax - xmin)
+		}
+		col := int(frac * float64(width-1))
+		if col < 0 {
+			col = 0
+		}
+		if col > width-1 {
+			col = width - 1
+		}
+		return col
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = bytes(width)
+	}
+	for si, s := range f.Series {
+		g := plotGlyphs[si%len(plotGlyphs)]
+		for _, p := range s.Points {
+			row := height - 1 - int(p.Y/ymax*float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row > height-1 {
+				row = height - 1
+			}
+			grid[row][xpos(p.X)] = g
+		}
+	}
+	fmt.Fprintf(w, "%s  [max y = %.2f %s]\n", f.Title, ymax, f.YLabel)
+	for r, line := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.0f ", ymax)
+		} else if r == height-1 {
+			label = "      0 "
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(line))
+	}
+	scale := "linear"
+	if logX {
+		scale = "log"
+	}
+	fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "         %s: %s .. %s (%s)\n", f.XLabel, formatX(xmin), formatX(xmax), scale)
+	for si, s := range f.Series {
+		fmt.Fprintf(w, "         %c = %s\n", plotGlyphs[si%len(plotGlyphs)], s.Name)
+	}
+	fmt.Fprintln(w)
+}
+
+func bytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ' '
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+// Package cluster assembles the paper's testbed in one call: N hosts
+// (quad PIII-700 class), a Gigabit Ethernet switch, and on every host
+// either the kernel TCP/IP stack or the user-level EMP substrate, plus a
+// RAM disk and an fd-tracking descriptor space. The example applications
+// and the benchmark harness run on clusters built here, selecting the
+// transport by configuration only — the application code is identical,
+// which is the paper's point.
+package cluster
+
+import (
+	"repro/internal/core"
+	"repro/internal/ethernet"
+	"repro/internal/fdtable"
+	"repro/internal/kernel"
+	"repro/internal/nic"
+	"repro/internal/ramfs"
+	"repro/internal/sim"
+	"repro/internal/sock"
+	"repro/internal/tcpip"
+)
+
+// Transport selects a node's socket layer.
+type Transport int
+
+const (
+	// TransportTCP is the kernel stack with default (16 KB) buffers.
+	TransportTCP Transport = iota
+	// TransportTCPBig is the kernel stack with enlarged buffers.
+	TransportTCPBig
+	// TransportSubstrate is the user-level sockets-over-EMP substrate.
+	TransportSubstrate
+)
+
+func (t Transport) String() string {
+	switch t {
+	case TransportTCP:
+		return "TCP"
+	case TransportTCPBig:
+		return "TCP(256KB)"
+	case TransportSubstrate:
+		return "Substrate"
+	}
+	return "?"
+}
+
+// Config describes a cluster.
+type Config struct {
+	Nodes     int
+	Transport Transport
+	// Substrate holds the substrate options when Transport is
+	// TransportSubstrate; nil means core.DefaultOptions.
+	Substrate *core.Options
+	// TCP overrides the stack config for the TCP transports.
+	TCP *tcpip.StackConfig
+	// Switch overrides the fabric parameters.
+	Switch *ethernet.SwitchConfig
+	// Hosts overrides the host cost model.
+	Hosts *kernel.Costs
+	// Cores per host (the paper's testbed machines are quads).
+	Cores int
+	// NIC overrides the programmable NIC cost table (substrate only).
+	NIC *nic.Config
+	// Seed seeds the engine's deterministic random source.
+	Seed uint64
+}
+
+// Node is one machine of the cluster.
+type Node struct {
+	Host *kernel.Host
+	Net  sock.Network
+	FS   *ramfs.FS
+	FD   *fdtable.Space
+
+	// Sub is non-nil on substrate transports.
+	Sub *core.Substrate
+	// Stack is non-nil on TCP transports.
+	Stack *tcpip.Stack
+}
+
+// Cluster is an assembled testbed.
+type Cluster struct {
+	Eng    *sim.Engine
+	Switch *ethernet.Switch
+	Nodes  []*Node
+	Cfg    Config
+}
+
+// New assembles a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.Cores < 1 {
+		cfg.Cores = 4
+	}
+	eng := sim.NewEngine()
+	if cfg.Seed != 0 {
+		eng.Seed(cfg.Seed)
+	}
+	swCfg := ethernet.DefaultSwitchConfig()
+	if cfg.Switch != nil {
+		swCfg = *cfg.Switch
+	}
+	hostCosts := kernel.DefaultCosts()
+	if cfg.Hosts != nil {
+		hostCosts = *cfg.Hosts
+	}
+	sw := ethernet.NewSwitch(eng, swCfg)
+	c := &Cluster{Eng: eng, Switch: sw, Cfg: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		host := kernel.NewHost(eng, "host", cfg.Cores, hostCosts)
+		n := &Node{Host: host, FS: ramfs.New(host)}
+		switch cfg.Transport {
+		case TransportSubstrate:
+			nicCfg := nic.DefaultConfig()
+			if cfg.NIC != nil {
+				nicCfg = *cfg.NIC
+			}
+			nc := nic.New(eng, "nic", nicCfg)
+			nc.Attach(sw)
+			opts := core.DefaultOptions()
+			if cfg.Substrate != nil {
+				opts = *cfg.Substrate
+			}
+			n.Sub = core.New(eng, host, nc, opts)
+			n.Net = n.Sub
+		default:
+			stCfg := tcpip.DefaultStackConfig()
+			if cfg.Transport == TransportTCPBig {
+				stCfg = tcpip.BigBufferConfig()
+			}
+			if cfg.TCP != nil {
+				stCfg = *cfg.TCP
+			}
+			n.Stack = tcpip.NewStack(eng, host, sw, stCfg)
+			n.Net = n.Stack
+		}
+		n.FD = fdtable.New(n.Net, n.FS)
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c
+}
+
+// NewTCP builds an n-node kernel-TCP cluster with default buffers.
+func NewTCP(n int) *Cluster {
+	return New(Config{Nodes: n, Transport: TransportTCP})
+}
+
+// NewTCPBig builds an n-node kernel-TCP cluster with enlarged buffers.
+func NewTCPBig(n int) *Cluster {
+	return New(Config{Nodes: n, Transport: TransportTCPBig})
+}
+
+// NewSubstrate builds an n-node substrate cluster with the given
+// options (nil means the paper's default DS_DA_UQ configuration).
+func NewSubstrate(n int, opts *core.Options) *Cluster {
+	return New(Config{Nodes: n, Transport: TransportSubstrate, Substrate: opts})
+}
+
+// Run executes the simulation until the event queue drains or limit is
+// reached, returning the final virtual time.
+func (c *Cluster) Run(limit sim.Duration) sim.Time {
+	return c.Eng.RunUntil(sim.Time(limit))
+}
+
+// Addr reports node i's fabric address.
+func (c *Cluster) Addr(i int) sock.Addr { return c.Nodes[i].Net.Addr() }

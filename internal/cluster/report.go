@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report summarizes the cluster's counters after a run: per-node host
+// and protocol activity plus fabric totals. The per-experiment CLIs
+// print it under -stats; tests use it to assert resource accounting.
+func (c *Cluster) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d nodes, transport %v\n", len(c.Nodes), c.Cfg.Transport)
+	fmt.Fprintf(&b, "fabric: %d frames forwarded, %d dropped\n", c.Switch.Forwards(), c.Switch.Drops())
+	for i, n := range c.Nodes {
+		fmt.Fprintf(&b, "node %d:\n", i)
+		fmt.Fprintf(&b, "  host: %d syscalls, %d interrupts, %d ctx switches, %d bytes copied\n",
+			n.Host.Syscalls.Value, n.Host.Interrupts.Value,
+			n.Host.CtxSwitches.Value, n.Host.CopiedBytes.Value)
+		if n.Sub != nil {
+			s := n.Sub.EP.Stats()
+			fmt.Fprintf(&b, "  emp: %d sends, %d recvs, %d delivered, %d uq hits, %d drops, %d rexmits, %d failed\n",
+				s.SendsPosted, s.RecvsPosted, s.MsgsDelivered, s.UnexpectedHit,
+				s.FramesDropped, s.Retransmits, s.SendsFailed)
+			fmt.Fprintf(&b, "  substrate: %d connects, %d accepts, %d msgs, %d explicit acks, %d piggybacked, %d credit stalls, %d rendezvous, %d closes\n",
+				n.Sub.ConnectsSent.Value, n.Sub.ConnsAccepted.Value,
+				n.Sub.MsgsSent.Value, n.Sub.ExplicitAcks.Value,
+				n.Sub.PiggybackAcks.Value, n.Sub.CreditStalls.Value,
+				n.Sub.RendezvousOps.Value, n.Sub.ClosesSent.Value)
+			fmt.Fprintf(&b, "  pin cache: %d hits, %d misses\n",
+				n.Sub.EP.CacheHits.Value, n.Sub.EP.CacheMisses.Value)
+		}
+		if n.Stack != nil {
+			fmt.Fprintf(&b, "  tcp: %d segs in, %d out, %d rexmits, %d fast rexmits, %d delayed acks, %d interrupts, %d ooo drops\n",
+				n.Stack.SegsIn.Value, n.Stack.SegsOut.Value,
+				n.Stack.Rexmits.Value, n.Stack.FastRetransmits.Value,
+				n.Stack.DelayedAcks.Value, n.Stack.Interrupts.Value,
+				n.Stack.DroppedSegs.Value)
+		}
+		if n.FS != nil && (n.FS.Reads.Value > 0 || n.FS.Writes.Value > 0) {
+			fmt.Fprintf(&b, "  fs: %d reads (%d bytes), %d writes (%d bytes)\n",
+				n.FS.Reads.Value, n.FS.BytesRead.Value,
+				n.FS.Writes.Value, n.FS.BytesWritten.Value)
+		}
+	}
+	if blocked := c.Eng.BlockedProcs(); len(blocked) > 0 {
+		fmt.Fprintf(&b, "blocked processes (%d):\n", len(blocked))
+		for _, s := range blocked {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+func TestReportCoversBothTransports(t *testing.T) {
+	sub := NewSubstrate(2, nil)
+	echoQuiet(sub)
+	rep := sub.Report()
+	for _, want := range []string{"transport Substrate", "emp:", "substrate:", "pin cache:", "frames forwarded"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("substrate report missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "tcp:") {
+		t.Fatal("substrate report mentions tcp counters")
+	}
+
+	tcp := NewTCP(2)
+	echoQuiet(tcp)
+	rep = tcp.Report()
+	for _, want := range []string{"transport TCP", "tcp:", "segs in"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("tcp report missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "emp:") {
+		t.Fatal("tcp report mentions emp counters")
+	}
+}
+
+func TestReportReflectsTraffic(t *testing.T) {
+	c := NewTCP(2)
+	echoQuiet(c)
+	rep := c.Report()
+	// Traffic flowed, so segment counters must be nonzero and fabric
+	// forwarding recorded.
+	if strings.Contains(rep, "0 segs in, 0 out") {
+		t.Fatalf("report shows no traffic:\n%s", rep)
+	}
+	if strings.Contains(rep, "fabric: 0 frames forwarded") {
+		t.Fatalf("no fabric activity recorded:\n%s", rep)
+	}
+}
+
+// echoQuiet runs a small exchange to populate counters.
+func echoQuiet(c *Cluster) {
+	c.Eng.Spawn("server", func(p *sim.Proc) {
+		l, err := c.Nodes[0].Net.Listen(p, 7, 4)
+		if err != nil {
+			return
+		}
+		conn, err := l.Accept(p)
+		if err != nil {
+			return
+		}
+		sock.ReadFull(p, conn, 64)
+		conn.Write(p, 64, nil)
+		conn.Close(p)
+	})
+	c.Eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		conn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), 7)
+		if err != nil {
+			return
+		}
+		conn.Write(p, 64, nil)
+		sock.ReadFull(p, conn, 64)
+		conn.Close(p)
+	})
+	c.Run(10 * sim.Second)
+}

@@ -1,0 +1,570 @@
+package core
+
+import (
+	"repro/internal/emp"
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+	"repro/internal/sock"
+	"repro/internal/stream"
+)
+
+// dgMsg is one queued Datagram-mode message.
+type dgMsg struct {
+	n   int
+	obj any
+}
+
+// Conn is one substrate connection endpoint. Field names take this
+// side's perspective: dataInTag/ackInTag are the tags we post receives
+// on; dataOutTag/ackOutTag are the tags we send with (the peer's "in"
+// tags).
+type Conn struct {
+	sub  *Substrate
+	peer ethernet.Addr
+	opts Options
+
+	localPort, remotePort int
+	isClient              bool
+
+	dataInTag, ackInTag   emp.Tag
+	dataOutTag, ackOutTag emp.Tag
+
+	// Receive side (Data Streaming): N pre-posted temp-buffer
+	// descriptors; arriving payload is staged and copied to the user at
+	// read() — the extra copy data streaming costs.
+	dataHandles []*emp.RecvHandle
+	dataBufKey  emp.BufKey
+	rcv         *stream.Buffer
+	dgq         []dgMsg
+	// Sequence-ordered delivery: descriptors can complete out of
+	// posting order (an unexpected-queue claim completes the descriptor
+	// being posted, not the oldest), so arriving headers park in
+	// holdback until their sequence number is next.
+	txSeq    uint64
+	rxNext   uint64
+	holdback map[uint64]*header
+	// pendingCredits counts consumed messages not yet acknowledged to
+	// the sender; returned by piggyback or an explicit ack at the
+	// threshold.
+	pendingCredits int
+	eof            bool
+
+	// Send side.
+	credits    int
+	sendKey    emp.BufKey
+	userKey    emp.BufKey
+	ackHandles []*emp.RecvHandle // empty when UQAcks
+
+	connReplied bool
+	rendAcks    []*header
+	closeSent   bool
+	peerClosed  bool
+	cleaned     bool
+	err         error
+}
+
+var _ sock.Conn = (*Conn)(nil)
+
+// connOptions derives the per-connection options both sides agree on
+// from the connection request.
+func connOptions(base Options, req *connRequest) Options {
+	o := base
+	o.Mode = req.Mode
+	o.Credits = req.Credits
+	o.BufSize = req.BufSize
+	o.DelayedAcks = req.DelayedAcks
+	o.UQAcks = req.UQAcks
+	o.Piggyback = req.Piggyback
+	return o.normalize()
+}
+
+// newConn builds one side of a connection and posts its descriptors:
+// N data descriptors plus the acknowledgment descriptors of the 2N
+// scheme (unless acks ride the unexpected queue). Datagram mode posts
+// nothing up front — receives are posted by read() for zero-copy
+// delivery.
+func newConn(s *Substrate, peer ethernet.Addr, req *connRequest, isClient bool) *Conn {
+	c := &Conn{
+		sub:      s,
+		peer:     peer,
+		opts:     connOptions(s.Opts, req),
+		isClient: isClient,
+		credits:  req.Credits,
+	}
+	if isClient {
+		c.localPort, c.remotePort = req.ClientPort, req.ServerPort
+		c.dataInTag, c.ackInTag = req.ClientDataTag, req.ClientAckTag
+		c.dataOutTag, c.ackOutTag = req.ServerDataTag, req.ServerAckTag
+	} else {
+		c.localPort, c.remotePort = req.ServerPort, req.ClientPort
+		c.dataInTag, c.ackInTag = req.ServerDataTag, req.ServerAckTag
+		c.dataOutTag, c.ackOutTag = req.ClientDataTag, req.ClientAckTag
+	}
+	c.dataBufKey = s.allocKey()
+	c.sendKey = s.allocKey()
+	c.userKey = s.allocKey()
+	c.holdback = make(map[uint64]*header)
+	s.active[c] = struct{}{}
+	s.openChans[chanKey{peer, c.dataInTag}] = true
+	s.openChans[chanKey{peer, c.ackInTag}] = true
+	return c
+}
+
+// postInitialDescriptors posts the connection's standing descriptors;
+// must run in process context right after newConn.
+func (c *Conn) postInitialDescriptors(p *sim.Proc) {
+	if c.opts.Mode != DataStreaming {
+		// Datagram mode posts receives at read() time (zero-copy) and
+		// consumes all control traffic via the unexpected queue.
+		return
+	}
+	c.rcv = stream.NewBuffer(0)
+	for i := 0; i < c.opts.Credits; i++ {
+		c.postDataDesc(p)
+	}
+	for i := 0; i < c.opts.ackDescriptors(); i++ {
+		c.postAckDesc(p)
+	}
+}
+
+func (c *Conn) postDataDesc(p *sim.Proc) {
+	h := c.sub.EP.PostRecv(p, c.peer, c.dataInTag, headerBytes+c.opts.BufSize, c.dataBufKey)
+	h.SetNotify(c.sub.activity)
+	c.dataHandles = append(c.dataHandles, h)
+}
+
+func (c *Conn) postAckDesc(p *sim.Proc) {
+	h := c.sub.EP.PostRecv(p, c.peer, c.ackInTag, headerBytes, emp.KeyNone)
+	h.SetNotify(c.sub.activity)
+	c.ackHandles = append(c.ackHandles, h)
+}
+
+// LocalAddr implements sock.Conn.
+func (c *Conn) LocalAddr() sock.Addr { return c.sub.addr }
+
+// RemoteAddr implements sock.Conn.
+func (c *Conn) RemoteAddr() sock.Addr { return c.peer }
+
+// LocalPort reports this side's port (the server's listen port or the
+// client's ephemeral port carried in the connection request — the
+// "address of the requesting client" information the paper's explicit
+// connect message preserves).
+func (c *Conn) LocalPort() int { return c.localPort }
+
+// RemotePort reports the peer's port.
+func (c *Conn) RemotePort() int { return c.remotePort }
+
+// Readable implements sock.Conn: user-level check of buffered data and
+// completion flags.
+func (c *Conn) Readable() bool {
+	if c.eof || c.err != nil {
+		return true
+	}
+	if c.opts.Mode == DataStreaming {
+		if c.rcv != nil && c.rcv.Len() > 0 {
+			return true
+		}
+		if _, ok := c.holdback[c.rxNext]; ok {
+			return true
+		}
+		return c.anyDataCompleted()
+	}
+	// Datagram: queued messages or an early arrival in the unexpected
+	// queue.
+	return len(c.dgq) > 0 || c.sub.EP.PeekUnexpected(c.peer, c.dataInTag)
+}
+
+// Ready implements sock.Waitable.
+func (c *Conn) Ready() bool { return c.Readable() }
+
+// --- Acknowledgment plumbing ---------------------------------------------
+
+// handleControl processes one message from the ack channel.
+func (c *Conn) handleControl(hdr *header) {
+	switch hdr.Kind {
+	case kindCreditAck:
+		c.credits += hdr.Piggy
+	case kindConnReply:
+		c.connReplied = true
+	case kindRendAck:
+		// Handled inline by the rendezvous sender via rendAckReady.
+		c.rendAcks = append(c.rendAcks, hdr)
+	}
+	c.sub.activity.Broadcast()
+}
+
+// pollAcks drains the acknowledgment channel without blocking: claimed
+// from the unexpected queue (UQAcks) or from completed pre-posted ack
+// descriptors (which are recycled). Acknowledgments are commutative
+// (credit sums and flags), so completion order does not matter.
+func (c *Conn) pollAcks(p *sim.Proc) {
+	if c.opts.UQAcks || c.opts.Mode == Datagram {
+		// Cheap user-space peek first; the claim (with its bookkeeping
+		// cost) runs only when something is actually waiting.
+		for c.sub.EP.PeekUnexpected(c.peer, c.ackInTag) {
+			m, ok := c.sub.EP.PollUnexpected(p, c.peer, c.ackInTag, headerBytes)
+			if !ok {
+				return
+			}
+			if hdr, ok := m.Data.(*header); ok {
+				c.handleControl(hdr)
+			}
+		}
+		return
+	}
+	for i := 0; i < len(c.ackHandles); {
+		m, st, done := c.sub.EP.TryRecv(c.ackHandles[i])
+		if !done {
+			i++
+			continue
+		}
+		c.ackHandles = append(c.ackHandles[:i], c.ackHandles[i+1:]...)
+		if st == emp.StatusOK {
+			if hdr, ok := m.Data.(*header); ok {
+				c.handleControl(hdr)
+			}
+			c.postAckDesc(p) // recycle
+		}
+	}
+}
+
+// anyAckCompleted reports whether some posted ack descriptor finished.
+func (c *Conn) anyAckCompleted() bool {
+	for _, h := range c.ackHandles {
+		if _, _, done := c.sub.EP.TryRecv(h); done {
+			return true
+		}
+	}
+	return false
+}
+
+// waitControlEvent blocks until something may have arrived on the ack
+// channel — or extra() reports readiness — or the deadline passes. It
+// relies on descriptor completions and unexpected-queue arrivals
+// notifying the substrate's activity condition.
+func (c *Conn) waitControlEvent(p *sim.Proc, deadline sim.Time, extra func() bool) bool {
+	pred := func() bool {
+		if c.err != nil || c.peerClosed {
+			return true
+		}
+		if extra != nil && extra() {
+			return true
+		}
+		if c.opts.UQAcks || c.opts.Mode == Datagram {
+			return c.sub.EP.PeekUnexpected(c.peer, c.ackInTag)
+		}
+		return c.anyAckCompleted()
+	}
+	remain := deadline.Sub(p.Now())
+	if remain <= 0 {
+		return false
+	}
+	if deadline == sim.Forever {
+		c.sub.activity.WaitFor(p, pred)
+		return true
+	}
+	return c.sub.activity.WaitForTimeout(p, remain, pred)
+}
+
+// waitAckEvent is waitControlEvent with no extra readiness source.
+func (c *Conn) waitAckEvent(p *sim.Proc, deadline sim.Time) bool {
+	return c.waitControlEvent(p, deadline, nil)
+}
+
+// returnCredits accounts consumed messages and sends the explicit
+// credit acknowledgment at the delayed-ack threshold (Section 6.3).
+func (c *Conn) returnCredits(p *sim.Proc) {
+	if c.pendingCredits >= c.opts.ackThreshold() && !c.peerClosed {
+		c.sub.ExplicitAcks.Inc()
+		n := c.pendingCredits
+		c.pendingCredits = 0
+		c.sub.EP.PostSend(p, c.peer, c.ackOutTag, headerBytes,
+			&header{Kind: kindCreditAck, Piggy: n}, emp.KeyNone)
+	}
+}
+
+// takeCredit blocks until a send credit is available.
+func (c *Conn) takeCredit(p *sim.Proc) error {
+	if c.credits == 0 {
+		c.sub.CreditStalls.Inc()
+	}
+	for c.credits == 0 {
+		if c.err != nil {
+			return c.err
+		}
+		if c.peerClosed {
+			return sock.ErrClosed
+		}
+		// With unexpected-queue acks there are no standing ack
+		// descriptors; a blocked writer posts one on demand (it is
+		// satisfied host-side from the unexpected queue if the ack
+		// already arrived).
+		if c.opts.UQAcks || c.opts.Mode == Datagram {
+			h := c.sub.EP.PostRecv(p, c.peer, c.ackInTag, headerBytes, emp.KeyNone)
+			h.SetNotify(c.sub.activity)
+			m, st := c.sub.EP.WaitRecv(p, h)
+			if st == emp.StatusOK {
+				if hdr, ok := m.Data.(*header); ok {
+					c.handleControl(hdr)
+				}
+			}
+			continue
+		}
+		c.pollAcks(p)
+		if c.credits > 0 {
+			break
+		}
+		if len(c.ackHandles) == 0 {
+			return sock.ErrClosed
+		}
+		c.sub.activity.WaitFor(p, func() bool {
+			return c.anyAckCompleted() || c.credits > 0 || c.err != nil || c.peerClosed
+		})
+	}
+	c.credits--
+	return nil
+}
+
+// --- Data Streaming path --------------------------------------------------
+
+// applyDS delivers one in-sequence data-channel message in Data
+// Streaming mode: stage payload, recycle the descriptor, account
+// credits.
+func (c *Conn) applyDS(p *sim.Proc, hdr *header) {
+	if c.opts.CommThread {
+		// Rejected alternative (Section 5.2): the polling communication
+		// thread hands the message to the application thread, costing
+		// the measured synchronization latency.
+		p.Sleep(c.opts.CommThreadSync)
+	}
+	if hdr.Piggy > 0 {
+		c.sub.PiggybackAcks.Add(int64(hdr.Piggy))
+		c.credits += hdr.Piggy
+	}
+	switch hdr.Kind {
+	case kindData:
+		p.Sleep(c.opts.StreamRecvCost)
+		c.rcv.Append(hdr.Len, hdr.Obj)
+		c.postDataDesc(p) // recycle the temp-buffer descriptor
+		c.pendingCredits++
+		c.returnCredits(p)
+	case kindClose:
+		c.peerClosed = true
+		c.eof = true
+		c.sub.activity.Broadcast()
+	}
+}
+
+// anyDataCompleted reports whether some posted data descriptor finished.
+func (c *Conn) anyDataCompleted() bool {
+	for _, h := range c.dataHandles {
+		if _, _, done := c.sub.EP.TryRecv(h); done {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDS harvests all completed data descriptors (in whatever order
+// they finished), parks their headers by sequence number, and applies
+// the in-order prefix.
+func (c *Conn) collectDS(p *sim.Proc) {
+	for i := 0; i < len(c.dataHandles); {
+		m, st, done := c.sub.EP.TryRecv(c.dataHandles[i])
+		if !done {
+			i++
+			continue
+		}
+		c.dataHandles = append(c.dataHandles[:i], c.dataHandles[i+1:]...)
+		switch st {
+		case emp.StatusOK:
+			if hdr, ok := m.Data.(*header); ok {
+				c.holdback[hdr.Seq] = hdr
+			}
+		case emp.StatusCancelled:
+			// Unposted during cleanup: nothing to deliver.
+		default:
+			if c.err == nil {
+				c.err = sock.ErrReset
+			}
+		}
+	}
+	for {
+		hdr, ok := c.holdback[c.rxNext]
+		if !ok {
+			return
+		}
+		delete(c.holdback, c.rxNext)
+		c.rxNext++
+		c.applyDS(p, hdr)
+	}
+}
+
+// pumpDS drains completed data descriptors; if block, it first waits for
+// at least one descriptor to finish.
+func (c *Conn) pumpDS(p *sim.Proc, block bool) {
+	if block {
+		c.sub.activity.WaitFor(p, func() bool {
+			return c.anyDataCompleted() || c.err != nil || len(c.dataHandles) == 0
+		})
+	}
+	c.collectDS(p)
+}
+
+// Read implements sock.Conn.
+func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
+	p.Sleep(c.opts.LibCall)
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	if c.cleaned {
+		return 0, nil, sock.ErrClosed
+	}
+	if c.opts.Mode == Datagram {
+		return c.readDG(p, max)
+	}
+	c.pollAcks(p)
+	for c.rcv.Len() == 0 && !c.eof && c.err == nil {
+		if len(c.dataHandles) == 0 {
+			return 0, nil, sock.ErrClosed
+		}
+		c.pumpDS(p, true)
+	}
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	c.pumpDS(p, false) // opportunistic drain
+	if c.rcv.Len() == 0 {
+		return 0, nil, nil // EOF
+	}
+	n := c.rcv.Len()
+	if n > max {
+		n = max
+	}
+	// The data-streaming copy: temp buffer to user buffer.
+	c.sub.Host.Copy(p, n)
+	n, objs := c.rcv.Read(n)
+	return n, objs, nil
+}
+
+// Write implements sock.Conn: eager with credit-based flow control in
+// Data Streaming mode; direct or rendezvous in Datagram mode.
+func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
+	p.Sleep(c.opts.LibCall)
+	if c.err != nil {
+		return 0, c.err
+	}
+	if c.closeSent || c.cleaned {
+		return 0, sock.ErrClosed
+	}
+	if c.peerClosed {
+		return 0, sock.ErrClosed
+	}
+	if c.opts.Mode == Datagram {
+		return c.writeDG(p, n, obj)
+	}
+	c.pollAcks(p)
+	written := 0
+	for written < n || (n == 0 && written == 0) {
+		chunk := n - written
+		if chunk > c.opts.BufSize {
+			chunk = c.opts.BufSize
+		}
+		if err := c.takeCredit(p); err != nil {
+			return written, err
+		}
+		piggy := 0
+		if c.opts.Piggyback && c.pendingCredits > 0 {
+			piggy = c.pendingCredits
+			c.pendingCredits = 0
+			c.sub.PiggybackAcks.Add(int64(piggy))
+		}
+		var o any
+		if written+chunk >= n {
+			o = obj
+		}
+		c.sub.MsgsSent.Inc()
+		p.Sleep(c.opts.StreamSendCost)
+		seq := c.txSeq
+		c.txSeq++
+		st := c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes+chunk,
+			&header{Kind: kindData, Piggy: piggy, Len: chunk, Obj: o, Seq: seq}, c.sendKey)
+		if st != emp.StatusOK {
+			c.err = sock.ErrReset
+			return written, c.err
+		}
+		written += chunk
+		if n == 0 {
+			break
+		}
+	}
+	return written, nil
+}
+
+// Close implements sock.Conn: the Section 5.3 protocol — send the
+// "closed" message to the connected node, then clean up all associated
+// descriptors and leave the active-socket table. The close is one-way:
+// the peer sees end-of-stream when it reads the message; data it still
+// has in flight toward us is abandoned (dropped at the NIC and retried
+// until the sender NIC gives up), as with a reset in TCP.
+func (c *Conn) Close(p *sim.Proc) error {
+	p.Sleep(c.opts.LibCall)
+	if c.cleaned || c.closeSent {
+		return nil
+	}
+	c.sub.ClosesSent.Inc()
+	// Drain anything already delivered so an in-flight peer close is
+	// observed (avoids sending a close to a peer that already cleaned
+	// up).
+	if c.opts.Mode == DataStreaming {
+		c.collectDS(p)
+	} else {
+		c.drainDGControl(p)
+	}
+	if !c.peerClosed {
+		sendClose := true
+		if c.opts.Mode == DataStreaming {
+			if err := c.takeCredit(p); err != nil {
+				sendClose = false
+			}
+		}
+		if sendClose {
+			c.closeSent = true
+			seq := c.txSeq
+			c.txSeq++
+			c.sub.Eng.Tracef("substrate", "close %d -> %d", c.sub.addr, c.peer)
+			c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes,
+				&header{Kind: kindClose, Seq: seq}, emp.KeyNone)
+		}
+	}
+	c.cleanup(p)
+	return nil
+}
+
+// cleanup unposts every outstanding descriptor and releases the
+// connection's tags (EMP resource management, Section 5.3).
+func (c *Conn) cleanup(p *sim.Proc) {
+	if c.cleaned {
+		return
+	}
+	c.cleaned = true
+	for _, h := range c.dataHandles {
+		c.sub.EP.Unpost(p, h)
+	}
+	c.dataHandles = nil
+	for _, h := range c.ackHandles {
+		c.sub.EP.Unpost(p, h)
+	}
+	c.ackHandles = nil
+	delete(c.sub.active, c)
+	delete(c.sub.openChans, chanKey{c.peer, c.dataInTag})
+	delete(c.sub.openChans, chanKey{c.peer, c.ackInTag})
+	c.sub.purgeStaleUQ()
+	if c.isClient {
+		c.sub.freeTag(c.dataInTag)
+		c.sub.freeTag(c.ackInTag)
+		c.sub.freeTag(c.dataOutTag)
+		c.sub.freeTag(c.ackOutTag)
+	}
+	c.sub.activity.Broadcast()
+}

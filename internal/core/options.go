@@ -1,0 +1,194 @@
+// Package core implements the paper's contribution: a low-overhead,
+// user-level sockets substrate ("EMP substrate") that maps the sockets
+// API onto the EMP protocol with no kernel involvement on the data path.
+//
+// The substrate resolves the TCP/EMP semantic mismatches the paper
+// analyzes:
+//
+//   - Connection management by explicit data message exchange: listen()
+//     pre-posts backlog descriptors on a per-port connection tag,
+//     connect() sends a request message carrying the client's identity
+//     and the tag assignments for the new connection (Section 5.1).
+//   - Unexpected message arrivals by eager-with-flow-control for Data
+//     Streaming sockets (pre-posted temp buffers, copy on read) and by
+//     receive-time posting plus rendezvous for Datagram sockets
+//     (Sections 5.2, 6.2).
+//   - Resource management by an active-socket table and a close
+//     handshake that unposts every descriptor (Section 5.3).
+//   - Credit-based flow control with 2N posted descriptors, piggybacked
+//     and delayed acknowledgments, and optionally acknowledgments via
+//     the EMP unexpected queue to keep them out of the NIC's tag-match
+//     walk (Sections 6.1, 6.3, 6.4).
+//
+// The function name-space overloading problem (Section 5.4) is resolved
+// by the fd-tracking layer in package fdtable.
+package core
+
+import "repro/internal/sim"
+
+// Mode selects the socket semantics of a substrate connection.
+type Mode int
+
+const (
+	// DataStreaming preserves TCP's streaming semantics: arriving
+	// messages land in substrate temp buffers and read() may consume
+	// any number of bytes, at the price of one extra memory copy.
+	DataStreaming Mode = iota
+	// Datagram disables data streaming (Section 6.2): one write is one
+	// message consumed by one read, enabling zero-copy receives when
+	// the read is posted before the message arrives, and rendezvous
+	// transfers for large messages. Deadlock avoidance is the
+	// application's responsibility.
+	Datagram
+)
+
+func (m Mode) String() string {
+	if m == Datagram {
+		return "DG"
+	}
+	return "DS"
+}
+
+// Options configures a substrate instance. The paper's evaluation
+// configurations map as:
+//
+//	DS        = Mode: DataStreaming, DelayedAcks: false, UQAcks: false
+//	DS_DA     = ... DelayedAcks: true
+//	DS_DA_UQ  = ... DelayedAcks: true,  UQAcks: true
+//	DG        = Mode: Datagram
+type Options struct {
+	Mode Mode
+	// Credits is N, the paper's credit count: the sender may have up to
+	// N unacknowledged messages outstanding; the receiver pre-posts N
+	// data descriptors (Data Streaming mode).
+	Credits int
+	// BufSize is each temp buffer's capacity (the paper uses 64 KB);
+	// it also bounds the per-message payload in Data Streaming mode.
+	BufSize int
+	// DelayedAcks sends a credit acknowledgment only after half the
+	// credits are consumed instead of after every message (Section 6.3).
+	DelayedAcks bool
+	// UQAcks routes credit acknowledgments through the EMP unexpected
+	// queue so no acknowledgment descriptors pollute the NIC's
+	// tag-match walk (Section 6.4).
+	UQAcks bool
+	// Piggyback attaches pending credit returns to outgoing data
+	// message headers when one is available (Section 6.1).
+	Piggyback bool
+	// RendezvousThreshold is the Datagram-mode message size above which
+	// the substrate switches to the rendezvous protocol (request /
+	// acknowledgment / direct zero-copy data).
+	RendezvousThreshold int
+	// ForceRendezvous makes every Datagram write use the rendezvous
+	// protocol, for the Section 5.2 alternative analysis.
+	ForceRendezvous bool
+	// SyncConnect makes connect() wait for the server's accept reply.
+	// The default (false) matches the paper's behavior: the client may
+	// start sending data right after the connection request message,
+	// hiding the connection time (Section 7.4).
+	SyncConnect bool
+	// CommThread models the rejected separate-communication-thread
+	// alternative (Section 5.2): descriptor reposting moves off the
+	// application's critical path but every delivery pays the measured
+	// ~20 us thread synchronization cost.
+	CommThread bool
+	// CommThreadSync is that synchronization cost.
+	CommThreadSync sim.Duration
+	// LibCall is the user-level library overhead charged per substrate
+	// call (socket table lookup, credit accounting, header marshaling).
+	LibCall sim.Duration
+	// StreamSendCost and StreamRecvCost are the additional per-message
+	// bookkeeping of the Data Streaming machinery (temp-buffer
+	// management, credit/ack accounting) on each side, calibrated so
+	// the substrate's measured overhead over raw EMP matches the
+	// paper's ~9 us gap (37 us DS_DA_UQ vs 28 us EMP at 4 bytes).
+	StreamSendCost sim.Duration
+	StreamRecvCost sim.Duration
+	// CloseTimeout bounds how long close() waits for the peer's
+	// close acknowledgment before reclaiming descriptors anyway.
+	CloseTimeout sim.Duration
+}
+
+// DefaultOptions returns the paper's standard Data Streaming
+// configuration with all enhancements on (DS_DA_UQ, credit size 32,
+// 64 KB buffers).
+func DefaultOptions() Options {
+	return Options{
+		Mode:                DataStreaming,
+		Credits:             32,
+		BufSize:             64 << 10,
+		DelayedAcks:         true,
+		UQAcks:              true,
+		Piggyback:           true,
+		RendezvousThreshold: 64 << 10,
+		CommThreadSync:      20 * sim.Microsecond,
+		LibCall:             1200 * sim.Nanosecond,
+		StreamSendCost:      3 * sim.Microsecond,
+		StreamRecvCost:      3 * sim.Microsecond,
+		CloseTimeout:        50 * sim.Millisecond,
+	}
+}
+
+// DatagramOptions returns the paper's Datagram configuration.
+func DatagramOptions() Options {
+	o := DefaultOptions()
+	o.Mode = Datagram
+	return o
+}
+
+// BasicDSOptions returns the unenhanced Data Streaming configuration
+// (the "DS" curve of Figure 11: per-message explicit acks, ack
+// descriptors in the tag-match list).
+func BasicDSOptions() Options {
+	o := DefaultOptions()
+	o.DelayedAcks = false
+	o.UQAcks = false
+	return o
+}
+
+// normalize clamps option values to sane ranges.
+func (o Options) normalize() Options {
+	if o.Credits < 1 {
+		o.Credits = 1
+	}
+	if o.BufSize < 256 {
+		o.BufSize = 256
+	}
+	if o.RendezvousThreshold <= 0 {
+		o.RendezvousThreshold = 64 << 10
+	}
+	if o.CloseTimeout <= 0 {
+		o.CloseTimeout = 50 * sim.Millisecond
+	}
+	return o
+}
+
+// ackDescriptors reports how many acknowledgment descriptors each side
+// pre-posts: with delayed acks at most two acknowledgments are
+// outstanding (one per half-window), otherwise one per credit — the
+// paper's 50% vs 6.25% descriptor-mix arithmetic.
+func (o Options) ackDescriptors() int {
+	if o.UQAcks {
+		return 0
+	}
+	if !o.DelayedAcks {
+		return o.Credits
+	}
+	if o.Credits == 1 {
+		return 1
+	}
+	return 2
+}
+
+// ackThreshold reports after how many consumed messages the receiver
+// returns credits explicitly.
+func (o Options) ackThreshold() int {
+	if !o.DelayedAcks {
+		return 1
+	}
+	t := o.Credits / 2
+	if t < 1 {
+		t = 1
+	}
+	return t
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/emp"
+	"repro/internal/ethernet"
+	"repro/internal/kernel"
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// listenTagBase is the tag-space region reserved for per-port connection
+// request messages (the paper distinguishes connection messages from
+// data messages via EMP tag matching). Ports must stay below 0x4000.
+const listenTagBase emp.Tag = 0x4000
+
+// maxListenPort bounds listener port numbers so they fit the tag space.
+const maxListenPort = 0x3FFF
+
+func listenTag(port int) emp.Tag { return listenTagBase | emp.Tag(port) }
+
+// Substrate is one host's user-level sockets instance over EMP; it
+// implements sock.Network. All data-path operations run entirely in user
+// space — no system calls except the (cached) pin-and-translate of
+// buffer registration.
+type Substrate struct {
+	Eng  *sim.Engine
+	Host *kernel.Host
+	EP   *emp.Endpoint
+	Opts Options
+
+	addr      ethernet.Addr
+	listeners map[int]*Listener
+	// active is the paper's static table of active sockets (Section
+	// 5.3): sockets engaged in communication, excluding listeners.
+	active   map[*Conn]struct{}
+	activity *sim.Cond
+
+	tagNext  emp.Tag
+	tagInUse map[emp.Tag]bool
+	keyNext  emp.BufKey
+	portNext int
+	// openChans tracks the (peer, tag) channels of live connections so
+	// stale unexpected-queue entries (control messages that raced a
+	// close) can be purged.
+	openChans map[chanKey]bool
+
+	// Stats.
+	ConnectsSent   sim.Counter
+	ConnsAccepted  sim.Counter
+	MsgsSent       sim.Counter
+	ExplicitAcks   sim.Counter
+	PiggybackAcks  sim.Counter
+	CreditStalls   sim.Counter
+	RendezvousOps  sim.Counter
+	ClosesSent     sim.Counter
+	DGramTruncated sim.Counter
+}
+
+// New creates a substrate on the given host and NIC. The NIC must be
+// attached to a switch. The EMP endpoint is configured with an
+// unexpected queue sized for the substrate's control traffic plus the
+// early-data race of asynchronous connects.
+func New(e *sim.Engine, host *kernel.Host, n *nic.NIC, opts Options) *Substrate {
+	opts = opts.normalize()
+	epCfg := emp.DefaultEndpointConfig()
+	epCfg.UnexpectedSlots = 4*opts.Credits + 64
+	s := &Substrate{
+		Eng:       e,
+		Host:      host,
+		EP:        emp.NewEndpoint(e, host, n, epCfg),
+		Opts:      opts,
+		addr:      n.Addr(),
+		listeners: make(map[int]*Listener),
+		active:    make(map[*Conn]struct{}),
+		activity:  sim.NewCond(e, "substrate.activity"),
+		tagNext:   0x0100,
+		tagInUse:  make(map[emp.Tag]bool),
+		keyNext:   1000,
+		portNext:  32768,
+		openChans: make(map[chanKey]bool),
+	}
+	// Control messages (credit acks, close acks, connect replies) and
+	// Datagram-mode early arrivals surface through the unexpected
+	// queue; blocked substrate calls and select() must wake on them.
+	s.EP.SetUnexpectedNotify(s.activity)
+	return s
+}
+
+// Addr implements sock.Network.
+func (s *Substrate) Addr() sock.Addr { return s.addr }
+
+var _ sock.Network = (*Substrate)(nil)
+
+// ActiveSockets reports the active-socket table size (Section 5.3).
+func (s *Substrate) ActiveSockets() int { return len(s.active) }
+
+// allocTag reserves a dynamic tag unique among this substrate's live
+// allocations (tag matching at the peer is per-source, so uniqueness per
+// allocator suffices).
+func (s *Substrate) allocTag() emp.Tag {
+	for {
+		t := s.tagNext
+		s.tagNext++
+		if s.tagNext >= listenTagBase {
+			s.tagNext = 0x0100
+		}
+		if !s.tagInUse[t] {
+			s.tagInUse[t] = true
+			return t
+		}
+	}
+}
+
+func (s *Substrate) freeTag(t emp.Tag) { delete(s.tagInUse, t) }
+
+// chanKey identifies one live receive channel.
+type chanKey struct {
+	src ethernet.Addr
+	tag emp.Tag
+}
+
+// purgeStaleUQ discards unexpected-queue messages addressed to channels
+// that no longer exist (e.g. a close message that arrived after this
+// side had already cleaned up), freeing their NIC slots. Called on
+// connection churn.
+func (s *Substrate) purgeStaleUQ() {
+	s.EP.PurgeUnexpected(func(src ethernet.Addr, tag emp.Tag) bool {
+		if tag >= listenTagBase {
+			_, ok := s.listeners[int(tag&^listenTagBase)]
+			return ok
+		}
+		return s.openChans[chanKey{src, tag}]
+	})
+}
+
+// allocKey reserves a translation-cache key for a registered buffer
+// area.
+func (s *Substrate) allocKey() emp.BufKey {
+	s.keyNext++
+	return s.keyNext
+}
+
+// Listen implements sock.Network: pre-post backlog descriptors on the
+// port's connection tag (the paper's data-message-exchange connection
+// management).
+func (s *Substrate) Listen(p *sim.Proc, port, backlog int) (sock.Listener, error) {
+	p.Sleep(s.Opts.LibCall)
+	if port == 0 {
+		port = s.ephemeralPort()
+	}
+	if port < 0 || port > maxListenPort {
+		return nil, fmt.Errorf("core: port %d outside the substrate's tag space: %w", port, sock.ErrInUse)
+	}
+	if _, ok := s.listeners[port]; ok {
+		return nil, sock.ErrInUse
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	l := &Listener{sub: s, port: port, backlog: backlog}
+	for i := 0; i < backlog; i++ {
+		l.post(p)
+	}
+	s.listeners[port] = l
+	return l, nil
+}
+
+func (s *Substrate) ephemeralPort() int {
+	s.portNext++
+	if s.portNext > maxListenPort {
+		s.portNext = 16384
+	}
+	return s.portNext
+}
+
+// Dial implements sock.Network: allocate the connection's tags, post our
+// receive descriptors, and send the connection request message. By
+// default (SyncConnect false) Dial returns immediately after the request
+// is sent — the paper's optimization that reduces connection time to a
+// single message and lets data flow at once, with EMP reliability (or
+// the unexpected queue) covering the race with the server's accept.
+func (s *Substrate) Dial(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, error) {
+	p.Sleep(s.Opts.LibCall)
+	s.ConnectsSent.Inc()
+	req := &connRequest{
+		ClientAddr:    s.addr,
+		ClientPort:    s.ephemeralPort(),
+		ServerPort:    port,
+		ServerDataTag: s.allocTag(),
+		ServerAckTag:  s.allocTag(),
+		ClientDataTag: s.allocTag(),
+		ClientAckTag:  s.allocTag(),
+		Mode:          s.Opts.Mode,
+		Credits:       s.Opts.Credits,
+		BufSize:       s.Opts.BufSize,
+		DelayedAcks:   s.Opts.DelayedAcks,
+		UQAcks:        s.Opts.UQAcks,
+		Piggyback:     s.Opts.Piggyback,
+		SyncConnect:   s.Opts.SyncConnect,
+	}
+	c := newConn(s, addr, req, true)
+	c.postInitialDescriptors(p)
+	s.Eng.Tracef("substrate", "connect %d -> %d:%d (tags d=%d a=%d)", s.addr, addr, port, req.ServerDataTag, req.ServerAckTag)
+	st := s.EP.Send(p, addr, listenTag(port), connReqBytes,
+		&header{Kind: kindConnReq, Req: req}, emp.KeyNone)
+	if st != emp.StatusOK {
+		c.cleanup(p)
+		return nil, sock.ErrRefused
+	}
+	if s.Opts.SyncConnect {
+		deadline := p.Now().Add(s.Opts.CloseTimeout)
+		for !c.connReplied && c.err == nil {
+			if !c.waitAckEvent(p, deadline) {
+				c.cleanup(p)
+				return nil, sock.ErrTimeout
+			}
+			c.pollAcks(p)
+		}
+		if c.err != nil {
+			c.cleanup(p)
+			return nil, c.err
+		}
+	}
+	return c, nil
+}
+
+// Select implements sock.Network. It is a user-level poll over the
+// substrate's completion state — no kernel involvement.
+func (s *Substrate) Select(p *sim.Proc, items []sock.Waitable, timeout sim.Duration) []int {
+	p.Sleep(s.Opts.LibCall)
+	deadline := sim.Forever
+	if timeout >= 0 {
+		deadline = p.Now().Add(timeout)
+	}
+	pred := func() bool {
+		for _, it := range items {
+			if it.Ready() {
+				return true
+			}
+		}
+		return false
+	}
+	for {
+		var ready []int
+		for i, it := range items {
+			if it.Ready() {
+				ready = append(ready, i)
+			}
+		}
+		if len(ready) > 0 {
+			return ready
+		}
+		remain := deadline.Sub(p.Now())
+		if remain <= 0 {
+			return nil
+		}
+		if deadline == sim.Forever {
+			s.activity.WaitFor(p, pred)
+		} else if !s.activity.WaitForTimeout(p, remain, pred) {
+			return nil
+		}
+	}
+}
+
+// Shutdown stops the underlying endpoint's firmware (end of simulation).
+func (s *Substrate) Shutdown() { s.EP.Shutdown() }
+
+// Listener is a substrate passive socket: backlog pre-posted connection
+// request descriptors, FIFO accepted.
+type Listener struct {
+	sub     *Substrate
+	port    int
+	backlog int
+	handles []*emp.RecvHandle
+	closed  bool
+}
+
+var _ sock.Listener = (*Listener)(nil)
+
+// post adds one backlog descriptor.
+func (l *Listener) post(p *sim.Proc) {
+	h := l.sub.EP.PostRecv(p, emp.AnySource, listenTag(l.port), connReqBytes, emp.KeyNone)
+	h.SetNotify(l.sub.activity)
+	l.handles = append(l.handles, h)
+}
+
+// Addr implements sock.Listener.
+func (l *Listener) Addr() sock.Addr { return l.sub.addr }
+
+// Port implements sock.Listener.
+func (l *Listener) Port() int { return l.port }
+
+// Acceptable implements sock.Listener.
+func (l *Listener) Acceptable() bool {
+	if l.closed || len(l.handles) == 0 {
+		return false
+	}
+	_, _, done := l.sub.EP.TryRecv(l.handles[0])
+	return done
+}
+
+// Ready implements sock.Waitable.
+func (l *Listener) Ready() bool { return l.Acceptable() }
+
+// Accept implements sock.Listener: block on the head-of-backlog
+// descriptor (the paper's Section 5.1 design), build the connection from
+// the request's tag assignments, and replenish the backlog.
+func (l *Listener) Accept(p *sim.Proc) (sock.Conn, error) {
+	p.Sleep(l.sub.Opts.LibCall)
+	if l.closed {
+		return nil, sock.ErrClosed
+	}
+	h := l.handles[0]
+	msg, st := l.sub.EP.WaitRecv(p, h)
+	if l.closed || st == emp.StatusCancelled {
+		return nil, sock.ErrClosed
+	}
+	l.handles = l.handles[1:]
+	l.post(p) // replenish the backlog
+	if st != emp.StatusOK {
+		return nil, sock.ErrReset
+	}
+	hdr, ok := msg.Data.(*header)
+	if !ok || hdr.Kind != kindConnReq || hdr.Req == nil {
+		return nil, sock.ErrReset
+	}
+	l.sub.ConnsAccepted.Inc()
+	l.sub.Eng.Tracef("substrate", "accept %d <- %d:%d", l.sub.addr, hdr.Req.ClientAddr, hdr.Req.ClientPort)
+	c := newConn(l.sub, hdr.Req.ClientAddr, hdr.Req, false)
+	c.postInitialDescriptors(p)
+	if hdr.Req.SyncConnect {
+		l.sub.EP.Send(p, c.peer, c.ackOutTag, headerBytes,
+			&header{Kind: kindConnReply}, emp.KeyNone)
+	}
+	return c, nil
+}
+
+// Close implements sock.Listener: unpost every backlog descriptor (EMP
+// has no garbage collection — Section 5.3).
+func (l *Listener) Close(p *sim.Proc) error {
+	p.Sleep(l.sub.Opts.LibCall)
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	delete(l.sub.listeners, l.port)
+	for _, h := range l.handles {
+		l.sub.EP.Unpost(p, h)
+	}
+	l.handles = nil
+	l.sub.activity.Broadcast()
+	return nil
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"repro/internal/emp"
+	"repro/internal/ethernet"
+)
+
+// msgKind classifies substrate messages carried inside EMP messages.
+type msgKind uint8
+
+const (
+	kindData msgKind = iota
+	kindCreditAck
+	kindClose
+	kindConnReq
+	kindConnReply
+	kindRendReq
+	kindRendAck
+)
+
+func (k msgKind) String() string {
+	switch k {
+	case kindData:
+		return "data"
+	case kindCreditAck:
+		return "credit-ack"
+	case kindClose:
+		return "close"
+	case kindConnReq:
+		return "conn-req"
+	case kindConnReply:
+		return "conn-reply"
+	case kindRendReq:
+		return "rend-req"
+	case kindRendAck:
+		return "rend-ack"
+	}
+	return "?"
+}
+
+// headerBytes is the substrate header prepended to every message: kind,
+// piggybacked credit count, payload length.
+const headerBytes = 16
+
+// connReqBytes is the connection request message size (the paper's
+// explicit data-message-exchange connection setup: client identity plus
+// tag assignments).
+const connReqBytes = 64
+
+// header is the substrate message payload: the EMP message's opaque Data
+// points at one of these.
+type header struct {
+	Kind  msgKind
+	Piggy int // credits returned with this message
+	Len   int // payload bytes (excluding the header itself)
+	Obj   any // application payload object riding on this message
+	// Seq orders data-channel messages per connection. EMP completes
+	// descriptors in tag-match order, but an unexpected-queue claim can
+	// complete the descriptor being posted right now rather than the
+	// oldest one, so the substrate restores order itself.
+	Seq uint64
+
+	// Connection requests.
+	Req *connRequest
+
+	// Rendezvous requests/acks.
+	RendTag emp.Tag
+	RendLen int
+}
+
+// connRequest is the payload of the connection request message. The
+// client allocates the tags for both directions of the new connection —
+// tag matching at each receiver is per (source, tag), so client-chosen
+// tags cannot collide across clients — and carries the connection
+// options so both sides agree on credit counts and buffer sizes.
+type connRequest struct {
+	ClientAddr ethernet.Addr
+	ClientPort int
+	ServerPort int
+
+	// Tags the SERVER posts receives on (client -> server direction).
+	ServerDataTag emp.Tag
+	ServerAckTag  emp.Tag
+	// Tags the CLIENT posts receives on (server -> client direction).
+	ClientDataTag emp.Tag
+	ClientAckTag  emp.Tag
+
+	Mode        Mode
+	Credits     int
+	BufSize     int
+	DelayedAcks bool
+	UQAcks      bool
+	Piggyback   bool
+	SyncConnect bool
+}

@@ -1,0 +1,385 @@
+package emp
+
+import (
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/kernel"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// BufKey identifies a registered host memory area for the pin/translation
+// cache. The first post that touches a key pays the pin-and-translate
+// system call; subsequent posts on the same key hit the translation cache
+// and bypass the operating system entirely — the paper's "subsequent
+// operations on the same memory areas do not require another trip through
+// the operating system".
+type BufKey int64
+
+// KeyNone marks a post with no host data buffer (header-only message);
+// it never pays pinning cost.
+const KeyNone BufKey = 0
+
+// Config tunes the endpoint beyond the NIC's hardware cost table.
+type Config struct {
+	// Rel is the sender-side reliability configuration.
+	Rel ReliabilityConfig
+	// AckTxCost is receive-CPU work to generate one ack/nack frame.
+	AckTxCost sim.Duration
+	// AckRxCost is receive-CPU work to consume one ack/nack frame.
+	AckRxCost sim.Duration
+	// HostPostCPU is the host-side cost of building one descriptor.
+	HostPostCPU sim.Duration
+	// TCacheCap bounds the translation cache (registered areas).
+	TCacheCap int
+	// UnexpectedSlots is the size of the NIC unexpected-message queue;
+	// zero disables it (unmatched messages are dropped and later
+	// retransmitted by the sender).
+	UnexpectedSlots int
+}
+
+// DefaultEndpointConfig returns the standard calibration.
+func DefaultEndpointConfig() Config {
+	return Config{
+		Rel:             DefaultReliability(),
+		AckTxCost:       2 * sim.Microsecond,
+		AckRxCost:       1 * sim.Microsecond,
+		HostPostCPU:     300 * sim.Nanosecond,
+		TCacheCap:       1024,
+		UnexpectedSlots: 0,
+	}
+}
+
+// Endpoint is the host-side EMP library instance bound to one NIC.
+type Endpoint struct {
+	Eng  *sim.Engine
+	Host *kernel.Host
+	NIC  *nic.NIC
+	Cfg  Config
+
+	fw        *firmware
+	addr      ethernet.Addr
+	nextMsgID uint64
+
+	tcache     map[BufKey]struct{}
+	tcacheFIFO []BufKey
+
+	// Stats.
+	CacheHits   sim.Counter
+	CacheMisses sim.Counter
+	SendsPosted sim.Counter
+	RecvsPosted sim.Counter
+}
+
+// NewEndpoint creates an endpoint, installs the EMP firmware on the NIC,
+// and spawns the firmware's send and receive processors. The NIC must
+// already be attached to a switch.
+func NewEndpoint(e *sim.Engine, host *kernel.Host, n *nic.NIC, cfg Config) *Endpoint {
+	ep := &Endpoint{
+		Eng:    e,
+		Host:   host,
+		NIC:    n,
+		Cfg:    cfg,
+		addr:   n.Addr(),
+		tcache: make(map[BufKey]struct{}),
+	}
+	ep.fw = newFirmware(ep)
+	return ep
+}
+
+// Addr reports the endpoint's station address.
+func (ep *Endpoint) Addr() ethernet.Addr { return ep.addr }
+
+// Shutdown stops the firmware processors.
+func (ep *Endpoint) Shutdown() { ep.fw.shutdown() }
+
+// translate charges p for the address translation of a post: free on a
+// translation-cache hit, a pin system call on a miss.
+func (ep *Endpoint) translate(p *sim.Proc, key BufKey) {
+	if key == KeyNone {
+		return
+	}
+	if _, ok := ep.tcache[key]; ok {
+		ep.CacheHits.Inc()
+		return
+	}
+	ep.CacheMisses.Inc()
+	ep.Host.Pin(p)
+	if len(ep.tcacheFIFO) >= ep.Cfg.TCacheCap && ep.Cfg.TCacheCap > 0 {
+		old := ep.tcacheFIFO[0]
+		ep.tcacheFIFO = ep.tcacheFIFO[1:]
+		delete(ep.tcache, old)
+	}
+	ep.tcache[key] = struct{}{}
+	ep.tcacheFIFO = append(ep.tcacheFIFO, key)
+}
+
+// SendHandle tracks one posted send. The send completes locally when the
+// last fragment has been handed to the MAC; reliability continues in the
+// background (acknowledgments are NIC-to-NIC and invisible to the host).
+type SendHandle struct {
+	status Status
+	cond   *sim.Cond
+	msgID  uint64
+	dst    ethernet.Addr
+	tag    Tag
+	length int
+}
+
+// Status reports the handle's current state.
+func (h *SendHandle) Status() Status { return h.status }
+
+func (h *SendHandle) complete(s Status) {
+	if h.status != StatusPending {
+		return
+	}
+	h.status = s
+	h.cond.Broadcast()
+}
+
+// PostSend posts a transmit descriptor for an n-byte message to dst with
+// the given tag. data is the opaque payload object delivered to the
+// matching receive (nil is fine when only timing matters). key selects
+// the translation-cache entry for the source buffer.
+func (ep *Endpoint) PostSend(p *sim.Proc, dst ethernet.Addr, tag Tag, length int, data any, key BufKey) *SendHandle {
+	if length < 0 {
+		panic("emp: negative send length")
+	}
+	ep.SendsPosted.Inc()
+	ep.nextMsgID++
+	h := &SendHandle{
+		status: StatusPending,
+		cond:   sim.NewCond(ep.Eng, "emp.send"),
+		msgID:  ep.nextMsgID,
+		dst:    dst,
+		tag:    tag,
+		length: length,
+	}
+	p.Sleep(ep.Cfg.HostPostCPU)
+	ep.translate(p, key)
+	ep.Host.MMIO(p)
+	post := &txPost{h: h, data: data}
+	ep.Eng.After(ep.NIC.Cfg.MailboxLatency, func() {
+		ep.fw.txWork.TryPut(txOp{post: post})
+	})
+	return h
+}
+
+// WaitSend blocks until the send completes locally and returns its
+// status.
+func (ep *Endpoint) WaitSend(p *sim.Proc, h *SendHandle) Status {
+	h.cond.WaitFor(p, func() bool { return h.status != StatusPending })
+	return h.status
+}
+
+// Send posts a send and waits for local completion.
+func (ep *Endpoint) Send(p *sim.Proc, dst ethernet.Addr, tag Tag, length int, data any, key BufKey) Status {
+	return ep.WaitSend(p, ep.PostSend(p, dst, tag, length, data, key))
+}
+
+// RecvHandle tracks one posted receive descriptor.
+type RecvHandle struct {
+	status Status
+	cond   *sim.Cond
+	msg    Message
+	notify *sim.Cond
+
+	src    ethernet.Addr
+	tag    Tag
+	maxLen int
+	desc   *recvDesc
+}
+
+// SetNotify registers an additional condition broadcast on completion;
+// the sockets substrate points this at its select() activity condition.
+func (h *RecvHandle) SetNotify(c *sim.Cond) { h.notify = c }
+
+// Status reports the handle's current state.
+func (h *RecvHandle) Status() Status { return h.status }
+
+// Message returns the delivered message; valid only once Status is
+// StatusOK.
+func (h *RecvHandle) Message() Message { return h.msg }
+
+func (h *RecvHandle) complete(s Status, m Message) {
+	if h.status != StatusPending {
+		return
+	}
+	h.status = s
+	h.msg = m
+	h.cond.Broadcast()
+	if h.notify != nil {
+		h.notify.Broadcast()
+	}
+}
+
+// PostRecv posts a receive descriptor matching (src, tag); src may be
+// AnySource. maxLen is the posted buffer's capacity — a larger arriving
+// message completes the handle with StatusTruncated. The descriptor
+// first consults the host-visible unexpected queue: a message already
+// waiting there is claimed immediately, paying the extra memory copy the
+// paper describes.
+func (ep *Endpoint) PostRecv(p *sim.Proc, src ethernet.Addr, tag Tag, maxLen int, key BufKey) *RecvHandle {
+	ep.RecvsPosted.Inc()
+	h := &RecvHandle{
+		status: StatusPending,
+		cond:   sim.NewCond(ep.Eng, "emp.recv"),
+		src:    src,
+		tag:    tag,
+		maxLen: maxLen,
+	}
+	p.Sleep(ep.Cfg.HostPostCPU)
+	// The library checks the unexpected queue in user space before
+	// troubling the NIC.
+	if m, ok := ep.fw.claimUnexpected(src, tag, maxLen); ok {
+		ep.Host.Copy(p, m.Len) // temp buffer -> user buffer
+		h.complete(StatusOK, m)
+		return h
+	}
+	ep.translate(p, key)
+	ep.Host.MMIO(p)
+	ep.Eng.After(ep.NIC.Cfg.MailboxLatency, func() {
+		ep.fw.rxWork.TryPut(rxOp{post: h})
+	})
+	return h
+}
+
+// WaitRecv blocks until the receive completes and returns the message
+// and status. The configured host poll gap is charged on completion
+// (user-level completion detection is by polling).
+func (ep *Endpoint) WaitRecv(p *sim.Proc, h *RecvHandle) (Message, Status) {
+	h.cond.WaitFor(p, func() bool { return h.status != StatusPending })
+	if h.status == StatusOK {
+		p.Sleep(ep.NIC.Cfg.HostPollGap)
+	}
+	return h.msg, h.status
+}
+
+// TryRecv reports the handle's message without blocking.
+func (ep *Endpoint) TryRecv(h *RecvHandle) (Message, Status, bool) {
+	if h.status == StatusPending {
+		return Message{}, StatusPending, false
+	}
+	return h.msg, h.status, true
+}
+
+// PollUnexpected checks the host-visible unexpected queue for a matching
+// completed message without posting a descriptor. On a hit the
+// temp-buffer-to-user copy is charged to p. The substrate's
+// unexpected-queue acknowledgment option uses this to consume credit
+// acknowledgments without keeping descriptors in the NIC's tag-match
+// list.
+func (ep *Endpoint) PollUnexpected(p *sim.Proc, src ethernet.Addr, tag Tag, maxLen int) (Message, bool) {
+	p.Sleep(ep.Cfg.HostPostCPU)
+	m, ok := ep.fw.claimUnexpected(src, tag, maxLen)
+	if ok {
+		ep.Host.Copy(p, m.Len)
+	}
+	return m, ok
+}
+
+// SetUnexpectedNotify registers a condition broadcast whenever a message
+// lands in the host-visible unexpected queue; pollers (the substrate's
+// control channels) block on it instead of spinning.
+func (ep *Endpoint) SetUnexpectedNotify(c *sim.Cond) { ep.fw.uqNotify = c }
+
+// PurgeUnexpected discards host-visible unexpected-queue messages for
+// which keep reports false, freeing their NIC slots. The sockets
+// substrate uses it to drop stale control messages addressed to closed
+// connections, so churning connections cannot exhaust the queue.
+func (ep *Endpoint) PurgeUnexpected(keep func(src ethernet.Addr, tag Tag) bool) int {
+	purged := 0
+	kept := ep.fw.uqEntries[:0]
+	for _, e := range ep.fw.uqEntries {
+		if keep(e.msg.Src, e.msg.Tag) {
+			kept = append(kept, e)
+		} else {
+			purged++
+		}
+	}
+	ep.fw.uqEntries = kept
+	if purged > 0 {
+		n := purged
+		ep.Eng.After(ep.NIC.Cfg.MailboxLatency, func() {
+			ep.fw.rxWork.TryPut(rxOp{uqFree: n})
+		})
+	}
+	return purged
+}
+
+// PeekUnexpected reports whether a matching completed message is waiting
+// in the host-visible unexpected queue, without claiming it or charging
+// any time (a user-space flag check).
+func (ep *Endpoint) PeekUnexpected(src ethernet.Addr, tag Tag) bool {
+	for _, e := range ep.fw.uqEntries {
+		if tag == e.msg.Tag && (src == AnySource || src == e.msg.Src) {
+			return true
+		}
+	}
+	return false
+}
+
+// Unpost withdraws a still-unmatched receive descriptor. It reports
+// whether the descriptor was reclaimed (false means it was already
+// consumed by an arrival). EMP has no garbage collection — every
+// descriptor must be used or explicitly unposted, and the sockets
+// substrate's close() path depends on this.
+func (ep *Endpoint) Unpost(p *sim.Proc, h *RecvHandle) bool {
+	if h.status != StatusPending {
+		return false
+	}
+	p.Sleep(ep.Cfg.HostPostCPU)
+	ep.Host.MMIO(p)
+	op := &unpostOp{h: h, done: sim.NewCond(ep.Eng, "emp.unpost")}
+	ep.Eng.After(ep.NIC.Cfg.MailboxLatency, func() {
+		ep.fw.rxWork.TryPut(rxOp{unpost: op})
+	})
+	op.done.WaitFor(p, func() bool { return op.processed })
+	return h.status == StatusCancelled
+}
+
+// Stats is a snapshot of the endpoint's protocol counters.
+type Stats struct {
+	SendsPosted, RecvsPosted     int64
+	CacheHits, CacheMisses       int64
+	MsgsDelivered, UnexpectedHit int64
+	FramesDropped, Retransmits   int64
+	AcksSent, NacksSent          int64
+	SendsFailed                  int64
+	Truncated                    int64
+}
+
+// Stats returns the current counter snapshot.
+func (ep *Endpoint) Stats() Stats {
+	return Stats{
+		SendsPosted:   ep.SendsPosted.Value,
+		RecvsPosted:   ep.RecvsPosted.Value,
+		CacheHits:     ep.CacheHits.Value,
+		CacheMisses:   ep.CacheMisses.Value,
+		MsgsDelivered: ep.fw.msgsDelivered.Value,
+		UnexpectedHit: ep.fw.unexpectedHit.Value,
+		FramesDropped: ep.fw.framesDropped.Value,
+		Retransmits:   ep.fw.retransmits.Value,
+		AcksSent:      ep.fw.acksSent.Value,
+		NacksSent:     ep.fw.nacksSent.Value,
+		SendsFailed:   ep.fw.sendsFailed.Value,
+		Truncated:     ep.fw.truncated.Value,
+	}
+}
+
+// String summarizes the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("sends=%d recvs=%d delivered=%d uqhits=%d drops=%d rexmit=%d acks=%d nacks=%d failed=%d",
+		s.SendsPosted, s.RecvsPosted, s.MsgsDelivered, s.UnexpectedHit,
+		s.FramesDropped, s.Retransmits, s.AcksSent, s.NacksSent, s.SendsFailed)
+}
+
+// PrepostedDescriptors reports how many receive descriptors are currently
+// posted at the NIC (tag-match walk length); used by tests and the
+// credit-size experiments.
+func (ep *Endpoint) PrepostedDescriptors() int { return len(ep.fw.preposted) }
+
+// UnexpectedQueued reports completed messages waiting in the unexpected
+// queue.
+func (ep *Endpoint) UnexpectedQueued() int { return len(ep.fw.uqEntries) }

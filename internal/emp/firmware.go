@@ -1,0 +1,633 @@
+package emp
+
+import (
+	"repro/internal/ethernet"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// txOp is one unit of work for the send processor.
+type txOp struct {
+	post *txPost
+}
+
+type txPost struct {
+	h    *SendHandle
+	data any
+}
+
+// rxOp is one unit of work for the receive processor.
+type rxOp struct {
+	frame  *ethernet.Frame
+	post   *RecvHandle
+	unpost *unpostOp
+	uqFree int
+}
+
+type unpostOp struct {
+	h         *RecvHandle
+	processed bool
+	done      *sim.Cond
+}
+
+// recvDesc is one pre-posted receive descriptor in the NIC's ordered
+// list. Tag matching walks this list linearly; its length is what the
+// paper's delayed-acknowledgment and unexpected-queue optimizations
+// shorten.
+type recvDesc struct {
+	h *RecvHandle
+}
+
+// txRecord is the transmission record the paper's T3 step creates: the
+// state needed to retransmit until the receiver NIC has acknowledged
+// every fragment.
+type txRecord struct {
+	msgID  uint64
+	dst    ethernet.Addr
+	tag    Tag
+	length int
+	data   any
+	nfrag  int
+	sent   int
+	acked  int
+
+	retries int
+	rto     sim.Duration
+	timer   sim.Event
+	cond    *sim.Cond
+	failed  bool
+}
+
+type reasmKey struct {
+	src   ethernet.Addr
+	msgID uint64
+}
+
+// reassembly tracks an in-progress arrival: either bound to a matched
+// descriptor, parked in the unexpected queue, or sinking a message that
+// overflowed its descriptor's buffer.
+type reassembly struct {
+	key      reasmKey
+	tag      Tag
+	msgLen   int
+	nfrag    int
+	expected int
+	sinceAck int
+	lastNack int
+	data     any
+	h        *RecvHandle
+	uq       bool
+	sink     bool
+}
+
+type uqEntry struct {
+	msg Message
+}
+
+const completedRingCap = 4096
+
+// firmware holds the NIC-resident EMP state and runs the send/receive
+// processors as simulated processes on the two Tigon2 CPUs.
+type firmware struct {
+	ep  *Endpoint
+	n   *nic.NIC
+	eng *sim.Engine
+
+	txWork *sim.FIFO[txOp]
+	rxWork *sim.FIFO[rxOp]
+
+	preposted []*recvDesc
+	// destInflight tracks unacknowledged fragments per destination
+	// across all transmission records: the sender-side window that
+	// keeps a fast sender from swamping the receiver NIC's frame
+	// processing (which runs slightly slower than wire rate).
+	destInflight map[ethernet.Addr]int
+	txWindow     *sim.Cond
+	uqSlots      int
+	uqEntries    []*uqEntry
+	reasm        map[reasmKey]*reassembly
+	records      map[uint64]*txRecord
+
+	completed     map[reasmKey]bool
+	completedRing []reasmKey
+	uqNotify      *sim.Cond
+
+	sendProc *sim.Proc
+	recvProc *sim.Proc
+
+	// Stats.
+	msgsDelivered sim.Counter
+	unexpectedHit sim.Counter
+	framesDropped sim.Counter
+	retransmits   sim.Counter
+	acksSent      sim.Counter
+	nacksSent     sim.Counter
+	sendsFailed   sim.Counter
+	truncated     sim.Counter
+}
+
+// maxFrag is the per-fragment payload this NIC's MTU allows.
+func (fw *firmware) maxFrag() int {
+	mtu := fw.n.Cfg.MTU
+	if mtu <= 0 {
+		mtu = MaxFragPayload + FrameHeaderBytes
+	}
+	return mtu - FrameHeaderBytes
+}
+
+func newFirmware(ep *Endpoint) *firmware {
+	fw := &firmware{
+		ep:           ep,
+		n:            ep.NIC,
+		eng:          ep.Eng,
+		txWork:       sim.NewFIFO[txOp](ep.Eng, ep.NIC.Name+".txwork", 0),
+		rxWork:       sim.NewFIFO[rxOp](ep.Eng, ep.NIC.Name+".rxwork", 0),
+		uqSlots:      ep.Cfg.UnexpectedSlots,
+		destInflight: make(map[ethernet.Addr]int),
+		reasm:        make(map[reasmKey]*reassembly),
+		records:      make(map[uint64]*txRecord),
+		completed:    make(map[reasmKey]bool),
+	}
+	fw.txWindow = sim.NewCond(ep.Eng, ep.NIC.Name+".txwindow")
+	fw.n.SetSink(func(f *ethernet.Frame) { fw.rxWork.TryPut(rxOp{frame: f}) })
+	fw.sendProc = ep.Eng.Spawn(ep.NIC.Name+".sendcpu", fw.sendLoop)
+	fw.recvProc = ep.Eng.Spawn(ep.NIC.Name+".recvcpu", fw.recvLoop)
+	return fw
+}
+
+func (fw *firmware) shutdown() {
+	fw.txWork.Close()
+	fw.rxWork.Close()
+}
+
+// --- Send processor -----------------------------------------------------
+
+func (fw *firmware) sendLoop(p *sim.Proc) {
+	for {
+		op, ok := fw.txWork.Get(p)
+		if !ok {
+			return
+		}
+		if op.post != nil {
+			fw.handleSendPost(p, op.post)
+		}
+	}
+}
+
+// scheduleResend runs a retransmission in its own firmware process.
+// It must not queue behind handleSendPost: the send loop can be blocked
+// on the destination window waiting for exactly the acknowledgments this
+// retransmission would elicit (head-of-line deadlock otherwise). A
+// record is never resent concurrently with its own initial transmission
+// — the timer is armed only after the last fragment is handed off.
+func (fw *firmware) scheduleResend(id uint64) {
+	fw.eng.Spawn(fw.n.Name+".rexmit", func(p *sim.Proc) {
+		if rec := fw.records[id]; rec != nil && !rec.failed {
+			fw.resend(p, rec)
+		}
+	})
+}
+
+func (fw *firmware) handleSendPost(p *sim.Proc, post *txPost) {
+	p.Sleep(fw.n.Cfg.TxPostHandle)
+	h := post.h
+	rec := &txRecord{
+		msgID:  h.msgID,
+		dst:    h.dst,
+		tag:    h.tag,
+		length: h.length,
+		data:   post.data,
+		nfrag:  fragCountFor(h.length, fw.maxFrag()),
+		rto:    fw.ep.Cfg.Rel.RTO,
+		cond:   sim.NewCond(fw.eng, "emp.txwindow"),
+	}
+	fw.records[rec.msgID] = rec
+
+	window := fw.ep.Cfg.Rel.SendWindow
+	for rec.sent < rec.nfrag && !rec.failed {
+		if fw.destInflight[rec.dst] >= window {
+			ok := fw.txWindow.WaitForTimeout(p, rec.rto, func() bool {
+				return fw.destInflight[rec.dst] < window || rec.failed
+			})
+			if !ok && !rec.failed && rec.sent > rec.acked {
+				// Window stalled a full RTO with our own fragments
+				// unacknowledged: go-back-N resend. (A stall caused
+				// purely by other records' in-flight fragments is not
+				// this record's failure and burns no retry.)
+				fw.resend(p, rec)
+			}
+			continue
+		}
+		fw.sendFrag(p, rec, rec.sent)
+		rec.sent++
+		fw.destInflight[rec.dst]++
+	}
+	if rec.failed {
+		h.complete(StatusFailed)
+		return
+	}
+	// Local completion: all fragments handed to the MAC. Reliability
+	// continues via the record until the receiver NIC acks everything.
+	fw.eng.After(fw.n.Cfg.HostNotify, func() { h.complete(StatusOK) })
+	if rec.acked >= rec.nfrag {
+		fw.retire(rec)
+	} else {
+		fw.armTimer(rec)
+	}
+}
+
+func (fw *firmware) sendFrag(p *sim.Proc, rec *txRecord, seq int) {
+	fw.n.WaitTxRoom(p)
+	p.Sleep(fw.n.Cfg.TxPerFrame)
+	fl := fragLen(rec.length, seq, fw.maxFrag())
+	fw.n.DMA(p, fl) // host memory -> NIC, zero-copy from the user buffer
+	wf := &WireFrame{
+		Kind:    DataFrame,
+		Src:     fw.ep.addr,
+		Tag:     rec.tag,
+		MsgID:   rec.msgID,
+		Seq:     seq,
+		NFrag:   rec.nfrag,
+		MsgLen:  rec.length,
+		FragLen: fl,
+		Data:    rec.data,
+	}
+	fw.eng.Tracef(fw.n.Name, "tx data dst=%d tag=%d msg=%d frag=%d/%d len=%d", rec.dst, rec.tag, rec.msgID, seq+1, rec.nfrag, fl)
+	fw.n.Transmit(&ethernet.Frame{
+		Src:        fw.ep.addr,
+		Dst:        rec.dst,
+		PayloadLen: wireBytes(fl),
+		Payload:    wf,
+	})
+}
+
+// resend retransmits every sent-but-unacknowledged fragment (go-back-N)
+// and backs off the retransmission timeout.
+func (fw *firmware) resend(p *sim.Proc, rec *txRecord) {
+	if rec.acked >= rec.sent {
+		return // nothing outstanding
+	}
+	rec.retries++
+	if rec.retries > fw.ep.Cfg.Rel.MaxRetries {
+		rec.failed = true
+		fw.sendsFailed.Inc()
+		fw.releaseInflight(rec.dst, rec.sent-rec.acked)
+		fw.retire(rec)
+		rec.cond.Broadcast()
+		fw.txWindow.Broadcast()
+		return
+	}
+	fw.eng.Tracef(fw.n.Name, "REXMIT dst=%d msg=%d frags %d..%d retry=%d", rec.dst, rec.msgID, rec.acked, rec.sent, rec.retries)
+	for seq := rec.acked; seq < rec.sent; seq++ {
+		fw.retransmits.Inc()
+		fw.sendFrag(p, rec, seq)
+	}
+	rec.rto *= sim.Duration(fw.ep.Cfg.Rel.RTOBackoff)
+	if rec.rto > fw.ep.Cfg.Rel.MaxRTO {
+		rec.rto = fw.ep.Cfg.Rel.MaxRTO
+	}
+	if rec.sent >= rec.nfrag {
+		fw.armTimer(rec)
+	}
+}
+
+func (fw *firmware) armTimer(rec *txRecord) {
+	rec.timer.Cancel()
+	id := rec.msgID
+	rec.timer = fw.eng.After(rec.rto, func() { fw.scheduleResend(id) })
+}
+
+func (fw *firmware) retire(rec *txRecord) {
+	rec.timer.Cancel()
+	delete(fw.records, rec.msgID)
+}
+
+// --- Receive processor --------------------------------------------------
+
+func (fw *firmware) recvLoop(p *sim.Proc) {
+	for {
+		op, ok := fw.rxWork.Get(p)
+		if !ok {
+			return
+		}
+		switch {
+		case op.frame != nil:
+			fw.handleFrame(p, op.frame)
+		case op.post != nil:
+			fw.handleRecvPost(p, op.post)
+		case op.unpost != nil:
+			fw.handleUnpost(p, op.unpost)
+		case op.uqFree > 0:
+			fw.uqSlots += op.uqFree
+		}
+	}
+}
+
+func (fw *firmware) handleFrame(p *sim.Proc, f *ethernet.Frame) {
+	wf, ok := f.Payload.(*WireFrame)
+	if !ok {
+		fw.framesDropped.Inc()
+		return
+	}
+	switch wf.Kind {
+	case AckFrame:
+		fw.handleAck(p, wf)
+	case NackFrame:
+		fw.handleNack(p, wf)
+	case DataFrame:
+		fw.handleData(p, wf)
+	}
+}
+
+func (fw *firmware) handleAck(p *sim.Proc, wf *WireFrame) {
+	p.Sleep(fw.ep.Cfg.AckRxCost)
+	rec := fw.records[wf.MsgID]
+	if rec == nil {
+		return
+	}
+	if wf.AckSeq > rec.acked {
+		newly := wf.AckSeq - rec.acked
+		rec.acked = wf.AckSeq
+		rec.retries = 0 // progress: the retry budget bounds stagnation
+		rec.rto = fw.ep.Cfg.Rel.RTO
+		fw.releaseInflight(rec.dst, newly)
+		rec.cond.Broadcast()
+	}
+	if rec.acked >= rec.nfrag {
+		if rec.sent >= rec.nfrag {
+			fw.retire(rec)
+		}
+	} else if rec.sent >= rec.nfrag {
+		fw.armTimer(rec) // progress: reset the timer
+	}
+}
+
+// releaseInflight returns window slots for newly acknowledged fragments.
+func (fw *firmware) releaseInflight(dst ethernet.Addr, n int) {
+	fw.destInflight[dst] -= n
+	if fw.destInflight[dst] <= 0 {
+		delete(fw.destInflight, dst)
+	}
+	fw.txWindow.Broadcast()
+}
+
+func (fw *firmware) handleNack(p *sim.Proc, wf *WireFrame) {
+	p.Sleep(fw.ep.Cfg.AckRxCost)
+	rec := fw.records[wf.MsgID]
+	if rec == nil {
+		return
+	}
+	if wf.AckSeq > rec.acked {
+		newly := wf.AckSeq - rec.acked
+		rec.acked = wf.AckSeq
+		fw.releaseInflight(rec.dst, newly)
+	}
+	fw.scheduleResend(rec.msgID)
+}
+
+func (fw *firmware) handleData(p *sim.Proc, wf *WireFrame) {
+	p.Sleep(fw.n.Cfg.EffectiveRxPerFrame())
+
+	key := reasmKey{wf.Src, wf.MsgID}
+	if fw.completed[key] {
+		// Late duplicate of a fully received message (its final ack was
+		// lost): re-ack the whole message to silence the sender.
+		fw.sendAck(p, wf.Src, wf.MsgID, wf.NFrag)
+		return
+	}
+	r := fw.reasm[key]
+	if r == nil {
+		r = fw.startReassembly(p, wf, key)
+		if r == nil {
+			fw.framesDropped.Inc()
+			return
+		}
+	}
+	switch {
+	case wf.Seq < r.expected:
+		// Duplicate fragment: re-ack cumulative state to resync sender.
+		fw.sendAck(p, wf.Src, wf.MsgID, r.expected)
+		return
+	case wf.Seq > r.expected:
+		// Gap: a fragment was lost; request retransmission once per gap.
+		if r.lastNack != r.expected {
+			r.lastNack = r.expected
+			fw.sendNack(p, wf.Src, wf.MsgID, r.expected)
+		}
+		return
+	}
+	fw.eng.Tracef(fw.n.Name, "rx data src=%d tag=%d msg=%d frag=%d/%d", wf.Src, wf.Tag, wf.MsgID, wf.Seq+1, wf.NFrag)
+	// In-order fragment.
+	r.expected++
+	r.lastNack = -1
+	if !r.sink {
+		fw.n.DMA(p, wf.FragLen) // NIC -> host buffer
+	}
+	r.data = wf.Data
+	r.sinceAck++
+	done := r.expected >= r.nfrag
+	if done {
+		// Notify the host before generating the ack: the ack is
+		// NIC-to-NIC housekeeping and stays off the data critical path.
+		fw.finish(r)
+	}
+	if done || r.sinceAck >= AckWindow {
+		fw.sendAck(p, wf.Src, wf.MsgID, r.expected)
+		r.sinceAck = 0
+	}
+}
+
+// startReassembly classifies the first-seen fragment of a message: tag
+// match against the pre-posted descriptor list (charging the walk), the
+// unexpected queue, or a drop.
+func (fw *firmware) startReassembly(p *sim.Proc, wf *WireFrame, key reasmKey) *reassembly {
+	idx := -1
+	for i, d := range fw.preposted {
+		if d.h.tag == wf.Tag && (d.h.src == AnySource || d.h.src == wf.Src) {
+			idx = i
+			break
+		}
+	}
+	walked := len(fw.preposted)
+	if idx >= 0 {
+		walked = idx + 1
+	}
+	fw.n.TagMatch(p, walked)
+
+	r := &reassembly{
+		key:      key,
+		tag:      wf.Tag,
+		msgLen:   wf.MsgLen,
+		nfrag:    wf.NFrag,
+		lastNack: -1,
+	}
+	switch {
+	case idx >= 0:
+		fw.eng.Tracef(fw.n.Name, "tag match src=%d tag=%d walked=%d", wf.Src, wf.Tag, walked)
+		d := fw.preposted[idx]
+		fw.preposted = append(fw.preposted[:idx], fw.preposted[idx+1:]...)
+		r.h = d.h
+		if wf.MsgLen > d.h.maxLen {
+			// Arriving message overflows the posted buffer: consume and
+			// discard, completing the descriptor with a truncation error.
+			r.sink = true
+		}
+	case fw.uqSlots > 0:
+		fw.eng.Tracef(fw.n.Name, "unexpected src=%d tag=%d -> uq (slots left %d)", wf.Src, wf.Tag, fw.uqSlots-1)
+		fw.uqSlots--
+		r.uq = true
+	default:
+		fw.eng.Tracef(fw.n.Name, "DROP src=%d tag=%d msg=%d (no descriptor, uq full)", wf.Src, wf.Tag, wf.MsgID)
+		return nil
+	}
+	fw.reasm[key] = r
+	return r
+}
+
+// finish completes a fully reassembled message.
+func (fw *firmware) finish(r *reassembly) {
+	delete(fw.reasm, r.key)
+	fw.markCompleted(r.key)
+	msg := Message{Src: r.key.src, Tag: r.tag, Len: r.msgLen, Data: r.data}
+	notify := fw.n.Cfg.HostNotify
+	switch {
+	case r.sink:
+		fw.truncated.Inc()
+		h := r.h
+		fw.eng.After(notify, func() { h.complete(StatusTruncated, Message{}) })
+	case r.h != nil:
+		fw.msgsDelivered.Inc()
+		h := r.h
+		fw.eng.After(notify, func() { h.complete(StatusOK, msg) })
+	default:
+		// Unexpected-queue completion: a matching descriptor may have
+		// been posted while the message was arriving.
+		if h := fw.matchDescriptor(msg); h != nil {
+			fw.uqSlots++
+			fw.unexpectedHit.Inc()
+			fw.msgsDelivered.Inc()
+			// The claim pays the temp-buffer -> user-buffer copy; it is
+			// modeled as completion delay (the host thread is blocked in
+			// WaitRecv, not doing other work).
+			delay := notify + fw.ep.Host.CopyTime(msg.Len)
+			fw.eng.After(delay, func() { h.complete(StatusOK, msg) })
+			return
+		}
+		fw.uqEntries = append(fw.uqEntries, &uqEntry{msg: msg})
+		if fw.uqNotify != nil {
+			fw.uqNotify.Broadcast()
+		}
+	}
+}
+
+// matchDescriptor finds and removes the first posted descriptor matching
+// msg with sufficient buffer space.
+func (fw *firmware) matchDescriptor(msg Message) *RecvHandle {
+	for i, d := range fw.preposted {
+		if d.h.tag == msg.Tag && (d.h.src == AnySource || d.h.src == msg.Src) && d.h.maxLen >= msg.Len {
+			fw.preposted = append(fw.preposted[:i], fw.preposted[i+1:]...)
+			return d.h
+		}
+	}
+	return nil
+}
+
+func (fw *firmware) markCompleted(key reasmKey) {
+	if len(fw.completedRing) >= completedRingCap {
+		old := fw.completedRing[0]
+		fw.completedRing = fw.completedRing[1:]
+		delete(fw.completed, old)
+	}
+	fw.completed[key] = true
+	fw.completedRing = append(fw.completedRing, key)
+}
+
+func (fw *firmware) handleRecvPost(p *sim.Proc, h *RecvHandle) {
+	p.Sleep(fw.n.Cfg.RxPostHandle)
+
+	if h.status != StatusPending {
+		return // completed host-side (unexpected-queue claim) in the meantime
+	}
+	// Safety net: a message may have landed in the unexpected queue
+	// between the host-side check and this post reaching the NIC.
+	for i, e := range fw.uqEntries {
+		m := e.msg
+		if h.tag == m.Tag && (h.src == AnySource || h.src == m.Src) && h.maxLen >= m.Len {
+			fw.uqEntries = append(fw.uqEntries[:i], fw.uqEntries[i+1:]...)
+			fw.uqSlots++
+			fw.unexpectedHit.Inc()
+			fw.msgsDelivered.Inc()
+			delay := fw.n.Cfg.HostNotify + fw.ep.Host.CopyTime(m.Len)
+			fw.eng.After(delay, func() { h.complete(StatusOK, m) })
+			return
+		}
+	}
+	d := &recvDesc{h: h}
+	h.desc = d
+	fw.preposted = append(fw.preposted, d)
+}
+
+func (fw *firmware) handleUnpost(p *sim.Proc, op *unpostOp) {
+	p.Sleep(fw.n.Cfg.RxPostHandle)
+	for i, d := range fw.preposted {
+		if d.h == op.h {
+			fw.preposted = append(fw.preposted[:i], fw.preposted[i+1:]...)
+			op.h.complete(StatusCancelled, Message{})
+			break
+		}
+	}
+	op.processed = true
+	op.done.Broadcast()
+}
+
+// claimUnexpected is called synchronously from host context (PostRecv):
+// the EMP library checks the host-visible unexpected queue before posting
+// a descriptor. The caller charges copy time.
+func (fw *firmware) claimUnexpected(src ethernet.Addr, tag Tag, maxLen int) (Message, bool) {
+	for i, e := range fw.uqEntries {
+		m := e.msg
+		if tag == m.Tag && (src == AnySource || src == m.Src) && maxLen >= m.Len {
+			fw.uqEntries = append(fw.uqEntries[:i], fw.uqEntries[i+1:]...)
+			fw.unexpectedHit.Inc()
+			fw.msgsDelivered.Inc()
+			// Tell the NIC to free the slot.
+			fw.eng.After(fw.n.Cfg.MailboxLatency, func() {
+				fw.rxWork.TryPut(rxOp{uqFree: 1})
+			})
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+func (fw *firmware) sendAck(p *sim.Proc, dst ethernet.Addr, msgID uint64, ackSeq int) {
+	p.Sleep(fw.ep.Cfg.AckTxCost)
+	fw.acksSent.Inc()
+	fw.n.Transmit(&ethernet.Frame{
+		Src:        fw.ep.addr,
+		Dst:        dst,
+		PayloadLen: AckFrameBytes,
+		Payload: &WireFrame{
+			Kind:   AckFrame,
+			Src:    fw.ep.addr,
+			MsgID:  msgID,
+			AckSeq: ackSeq,
+		},
+	})
+}
+
+func (fw *firmware) sendNack(p *sim.Proc, dst ethernet.Addr, msgID uint64, from int) {
+	p.Sleep(fw.ep.Cfg.AckTxCost)
+	fw.nacksSent.Inc()
+	fw.n.Transmit(&ethernet.Frame{
+		Src:        fw.ep.addr,
+		Dst:        dst,
+		PayloadLen: AckFrameBytes,
+		Payload: &WireFrame{
+			Kind:   NackFrame,
+			Src:    fw.ep.addr,
+			MsgID:  msgID,
+			AckSeq: from,
+		},
+	})
+}

@@ -1,0 +1,89 @@
+// Package ethernet models a switched Gigabit Ethernet fabric: full-duplex
+// 1 Gbps links and a store-and-forward switch with per-output-port
+// queueing, as in the paper's testbed (Alteon NICs on a Packet Engines
+// switch). Serialization accounts for the full on-wire cost of a frame —
+// preamble, header, FCS and inter-frame gap — so bandwidth ceilings come
+// out of wire arithmetic rather than tuned constants.
+package ethernet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Wire-format constants for Ethernet (bytes).
+const (
+	PreambleBytes = 8  // preamble + start-of-frame delimiter
+	HeaderBytes   = 14 // dst MAC + src MAC + ethertype
+	FCSBytes      = 4  // frame check sequence
+	IFGBytes      = 12 // inter-frame gap (96 bit times)
+
+	// MTU is the standard maximum Ethernet payload.
+	MTU = 1500
+
+	// JumboMTU is the 9000-byte jumbo-frame payload Alteon hardware
+	// supports (the EMP papers report ~964 Mbps with jumbo frames).
+	JumboMTU = 9000
+
+	// MinPayload is the minimum Ethernet payload (frames are padded).
+	MinPayload = 46
+
+	// PerFrameOverhead is the non-payload on-wire cost of one frame.
+	PerFrameOverhead = PreambleBytes + HeaderBytes + FCSBytes + IFGBytes
+
+	// GigabitBps is the line rate of every link in the fabric.
+	GigabitBps = 1_000_000_000
+)
+
+// Addr identifies a station (a NIC) on the fabric. Addresses are assigned
+// densely by the switch as stations attach.
+type Addr int
+
+// Broadcast is the all-stations address.
+const Broadcast Addr = -1
+
+// Frame is one Ethernet frame in flight. Payload is an opaque
+// protocol-specific object (an EMP frame, a TCP segment, ...); PayloadLen
+// is its size in bytes and determines wire time. The fabric never copies
+// or inspects payloads — zero-copy at the model level, matching the
+// zero-copy claim being studied.
+type Frame struct {
+	Src        Addr
+	Dst        Addr
+	PayloadLen int
+	Payload    any
+}
+
+// WireBytes is the total on-wire size of the frame including preamble,
+// header, FCS, inter-frame gap, and minimum-size padding.
+func (f *Frame) WireBytes() int {
+	p := f.PayloadLen
+	if p < MinPayload {
+		p = MinPayload
+	}
+	if p > JumboMTU {
+		panic(fmt.Sprintf("ethernet: payload %d exceeds the jumbo MTU", p))
+	}
+	return p + PerFrameOverhead
+}
+
+// WireTime is the serialization delay of the frame at line rate.
+func (f *Frame) WireTime() sim.Duration {
+	return sim.BytesToDuration(f.WireBytes(), GigabitBps)
+}
+
+// MaxFrameWireTime is the serialization delay of a full-MTU frame; useful
+// for back-of-envelope assertions in tests.
+func MaxFrameWireTime() sim.Duration {
+	f := Frame{PayloadLen: MTU}
+	return f.WireTime()
+}
+
+// Station is anything that can accept delivered frames: a NIC model
+// attaches to a switch port and receives frames via Deliver.
+type Station interface {
+	// Deliver hands a fully received frame to the station. It is called
+	// from event context and must not block.
+	Deliver(f *Frame)
+}

@@ -1,0 +1,188 @@
+package ethernet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SwitchConfig holds the timing parameters of the switch and its links.
+type SwitchConfig struct {
+	// ForwardLatency is the store-and-forward processing delay between
+	// full reception on an input port and the start of transmission on
+	// the output port (lookup + crossbar).
+	ForwardLatency sim.Duration
+	// PropDelay is the one-way cable propagation delay per link.
+	PropDelay sim.Duration
+	// LossRate is the probability that a forwarded frame is dropped,
+	// for exercising protocol retransmission paths. Zero in the
+	// performance experiments (switched full-duplex GigE does not drop
+	// under these loads).
+	LossRate float64
+	// DupRate is the probability that a forwarded frame is delivered
+	// twice, for exercising duplicate-suppression paths.
+	DupRate float64
+}
+
+// DefaultSwitchConfig reflects a Packet Engines-class Gigabit switch:
+// a few microseconds of store-and-forward latency and a short cable.
+func DefaultSwitchConfig() SwitchConfig {
+	return SwitchConfig{
+		ForwardLatency: 3 * sim.Microsecond,
+		PropDelay:      500 * sim.Nanosecond,
+		LossRate:       0,
+	}
+}
+
+// Switch is a store-and-forward Ethernet switch. Each attached station
+// gets a full-duplex port: the station→switch direction is serialized by
+// the station's own transmitter (see Port.Transmit); the switch→station
+// direction is serialized by a per-output-port resource, which produces
+// output queueing when multiple senders converge on one receiver.
+type Switch struct {
+	eng      *sim.Engine
+	cfg      SwitchConfig
+	ports    []*Port
+	drops    int64
+	dups     int64
+	forwards int64
+}
+
+// NewSwitch returns a switch with no ports attached.
+func NewSwitch(e *sim.Engine, cfg SwitchConfig) *Switch {
+	return &Switch{eng: e, cfg: cfg}
+}
+
+// Port is one full-duplex switch port with its attached station.
+type Port struct {
+	sw      *Switch
+	addr    Addr
+	station Station
+	// tx serializes the station's transmitter (station → switch).
+	tx *sim.Resource
+	// out serializes the switch's transmitter on this port
+	// (switch → station).
+	out *sim.Resource
+	// queued counts frames waiting on or in flight through the output
+	// resource, for congestion observability.
+	txFrames, rxFrames int64
+	txBytes, rxBytes   int64
+}
+
+// Attach connects a station to the next free port and returns the port.
+// The station learns its address via the returned port's Addr method.
+func (s *Switch) Attach(st Station) *Port {
+	addr := Addr(len(s.ports))
+	p := &Port{
+		sw:      s,
+		addr:    addr,
+		station: st,
+		tx:      sim.NewResource(s.eng, fmt.Sprintf("port%d.tx", addr)),
+		out:     sim.NewResource(s.eng, fmt.Sprintf("port%d.out", addr)),
+	}
+	s.ports = append(s.ports, p)
+	return p
+}
+
+// Addr reports the station address assigned to this port.
+func (p *Port) Addr() Addr { return p.addr }
+
+// Ports reports the number of attached stations.
+func (s *Switch) Ports() int { return len(s.ports) }
+
+// Drops reports frames dropped by loss injection.
+func (s *Switch) Drops() int64 { return s.drops }
+
+// Dups reports frames duplicated by duplication injection.
+func (s *Switch) Dups() int64 { return s.dups }
+
+// Forwards reports frames successfully forwarded.
+func (s *Switch) Forwards() int64 { return s.forwards }
+
+// Transmit sends a frame from this port's station into the fabric. The
+// frame is serialized on the station's transmitter, propagates to the
+// switch, is fully received (store-and-forward), and is then forwarded.
+// Transmit returns immediately with the instant at which the station's
+// transmitter becomes free (when the NIC can start the next frame).
+//
+// Transmit is safe to call from event context; it never blocks.
+func (p *Port) Transmit(f *Frame) (txDone sim.Time) {
+	if f.Src != p.addr {
+		panic(fmt.Sprintf("ethernet: frame src %d transmitted on port %d", f.Src, p.addr))
+	}
+	wire := f.WireTime()
+	txDone = p.tx.Reserve(wire)
+	p.txFrames++
+	p.txBytes += int64(f.PayloadLen)
+	arrive := txDone.Add(p.sw.cfg.PropDelay)
+	p.sw.eng.At(arrive, func() { p.sw.forward(f) })
+	return txDone
+}
+
+// TxBacklog reports how far in the future this port's station transmitter
+// is booked — the NIC uses it to model MAC queue depth.
+func (p *Port) TxBacklog() sim.Duration {
+	free := p.tx.FreeAt()
+	now := p.sw.eng.Now()
+	if free <= now {
+		return 0
+	}
+	return free.Sub(now)
+}
+
+// forward runs when a frame has been fully received by the switch.
+func (s *Switch) forward(f *Frame) {
+	if s.cfg.LossRate > 0 && s.eng.Rand().Bool(s.cfg.LossRate) {
+		s.drops++
+		s.eng.Tracef("switch", "DROP %d->%d len=%d", f.Src, f.Dst, f.PayloadLen)
+		return
+	}
+	if f.Dst == Broadcast {
+		for _, p := range s.ports {
+			if p.addr != f.Src {
+				s.deliverVia(p, f)
+			}
+		}
+		return
+	}
+	if int(f.Dst) < 0 || int(f.Dst) >= len(s.ports) {
+		// Unknown destination: a real switch would flood; for the model
+		// this is a wiring bug.
+		panic(fmt.Sprintf("ethernet: frame to unknown station %d", f.Dst))
+	}
+	s.deliverVia(s.ports[f.Dst], f)
+	if s.cfg.DupRate > 0 && s.eng.Rand().Bool(s.cfg.DupRate) {
+		s.dups++
+		s.deliverVia(s.ports[f.Dst], f)
+	}
+}
+
+func (s *Switch) deliverVia(p *Port, f *Frame) {
+	s.forwards++
+	// Forwarding latency, then serialization on the (possibly busy)
+	// output port, then propagation to the station.
+	start := s.eng.Now().Add(s.cfg.ForwardLatency)
+	done := p.out.ReserveAt(start, f.WireTime())
+	arrive := done.Add(s.cfg.PropDelay)
+	p.rxFrames++
+	p.rxBytes += int64(f.PayloadLen)
+	s.eng.At(arrive, func() { p.station.Deliver(f) })
+}
+
+// Stats summarizes a port's traffic for tests and reports.
+type PortStats struct {
+	TxFrames, RxFrames int64
+	TxBytes, RxBytes   int64
+	OutUtilization     float64
+}
+
+// Stats reports the port's counters.
+func (p *Port) Stats() PortStats {
+	return PortStats{
+		TxFrames:       p.txFrames,
+		RxFrames:       p.rxFrames,
+		TxBytes:        p.txBytes,
+		RxBytes:        p.rxBytes,
+		OutUtilization: p.out.Utilization(),
+	}
+}

@@ -1,0 +1,182 @@
+package integration
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+func dupSwitch(rate float64) *ethernet.SwitchConfig {
+	cfg := ethernet.DefaultSwitchConfig()
+	cfg.DupRate = rate
+	return &cfg
+}
+
+// TestSubstrateSurvivesDuplication: duplicated frames must be suppressed
+// by EMP's completed-message and duplicate-fragment handling — exactly
+// once delivery at the substrate level.
+func TestSubstrateSurvivesDuplication(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Nodes:     2,
+		Transport: cluster.TransportSubstrate,
+		Switch:    dupSwitch(0.1),
+		Seed:      5,
+	})
+	var objs []any
+	gotN := 0
+	c.Eng.Spawn("server", func(p *sim.Proc) {
+		l, _ := c.Nodes[0].Net.Listen(p, 80, 4)
+		conn, _ := l.Accept(p)
+		for gotN < 20*1024 {
+			n, o, err := conn.Read(p, 64<<10)
+			if err != nil || n == 0 {
+				break
+			}
+			gotN += n
+			objs = append(objs, o...)
+		}
+	})
+	c.Eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		conn, _ := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+		for i := 0; i < 20; i++ {
+			conn.Write(p, 1024, i)
+		}
+	})
+	c.Run(30 * sim.Second)
+	if c.Switch.Dups() == 0 {
+		t.Fatal("duplication injection did not fire")
+	}
+	if gotN != 20*1024 {
+		t.Fatalf("received %d bytes, want exactly %d (no duplicate delivery)", gotN, 20*1024)
+	}
+	if len(objs) != 20 {
+		t.Fatalf("received %d objects, want exactly 20", len(objs))
+	}
+	for i, o := range objs {
+		if o.(int) != i {
+			t.Fatalf("object order broken at %d: %v", i, o)
+		}
+	}
+}
+
+// TestTCPSurvivesDuplication: duplicate segments fall outside the
+// in-order window and are dropped with a duplicate ack; the byte stream
+// must be delivered exactly once.
+func TestTCPSurvivesDuplication(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Nodes:     2,
+		Transport: cluster.TransportTCP,
+		Switch:    dupSwitch(0.05),
+		Seed:      9,
+	})
+	const total = 1 << 20
+	got := 0
+	c.Eng.Spawn("server", func(p *sim.Proc) {
+		l, _ := c.Nodes[0].Net.Listen(p, 80, 4)
+		conn, _ := l.Accept(p)
+		for got < total {
+			n, _, err := conn.Read(p, 64<<10)
+			if err != nil || n == 0 {
+				break
+			}
+			got += n
+		}
+	})
+	c.Eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		conn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+		if err != nil {
+			return
+		}
+		for sent := 0; sent < total; sent += 64 << 10 {
+			conn.Write(p, 64<<10, nil)
+		}
+	})
+	c.Run(60 * sim.Second)
+	if got != total {
+		t.Fatalf("received %d bytes, want exactly %d", got, total)
+	}
+	if c.Switch.Dups() == 0 {
+		t.Fatal("duplication injection did not fire")
+	}
+}
+
+// TestCombinedLossAndDuplication stresses both fault paths at once
+// through a full application.
+func TestCombinedLossAndDuplication(t *testing.T) {
+	swCfg := ethernet.DefaultSwitchConfig()
+	swCfg.LossRate = 0.01
+	swCfg.DupRate = 0.02
+	c := cluster.New(cluster.Config{
+		Nodes:     2,
+		Transport: cluster.TransportSubstrate,
+		Switch:    &swCfg,
+		Seed:      77,
+	})
+	res := apps.RunFTP(c, 4<<20)
+	if res.Err != nil {
+		t.Fatalf("ftp under loss+duplication: %v", res.Err)
+	}
+	if size, _ := c.Nodes[1].FS.Stat("copy.bin"); size != 4<<20 {
+		t.Fatalf("file corrupted: %d bytes", size)
+	}
+}
+
+// TestKVStoreOverLossyTCP drives the data-center workload through the
+// kernel stack's full recovery machinery.
+func TestKVStoreOverLossyTCP(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Nodes:     4,
+		Transport: cluster.TransportTCP,
+		Switch:    lossySwitch(0.005),
+		Seed:      3,
+	})
+	cfg := apps.DefaultKVConfig(1024)
+	cfg.OpsPerClient = 20
+	res := apps.RunKVStore(c, cfg)
+	if res.Err != nil {
+		t.Fatalf("kv over lossy tcp: %v", res.Err)
+	}
+	if res.Ops != 60 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+}
+
+// TestSelectUnderChurnDoesNotMissWakeups hammers select with many
+// short-lived readable events.
+func TestSelectUnderChurnDoesNotMissWakeups(t *testing.T) {
+	c := cluster.NewSubstrate(2, nil)
+	served := 0
+	const rounds = 40
+	c.Eng.Spawn("server", func(p *sim.Proc) {
+		l, _ := c.Nodes[0].Net.Listen(p, 80, 4)
+		conn, _ := l.Accept(p)
+		items := []sock.Waitable{conn}
+		for served < rounds {
+			ready := c.Nodes[0].Net.Select(p, items, 100*sim.Millisecond)
+			if len(ready) == 0 {
+				return // timed out: a wakeup was missed
+			}
+			if n, _, _ := conn.Read(p, 4096); n > 0 {
+				served++
+			}
+		}
+	})
+	c.Eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		conn, _ := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+		for i := 0; i < rounds; i++ {
+			conn.Write(p, 100, nil)
+			p.Sleep(200 * sim.Microsecond)
+		}
+	})
+	c.Run(60 * sim.Second)
+	if served != rounds {
+		t.Fatalf("select served %d/%d rounds", served, rounds)
+	}
+}

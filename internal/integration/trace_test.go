@@ -1,0 +1,92 @@
+package integration
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// traceRun executes one substrate echo with tracing into a buffer.
+func traceRun() string {
+	var buf bytes.Buffer
+	c := cluster.NewSubstrate(2, nil)
+	c.Eng.SetTrace(&buf)
+	c.Eng.Spawn("server", func(p *sim.Proc) {
+		l, _ := c.Nodes[0].Net.Listen(p, 80, 4)
+		conn, err := l.Accept(p)
+		if err != nil {
+			return
+		}
+		sock.ReadFull(p, conn, 64)
+		conn.Write(p, 64, nil)
+		conn.Close(p)
+	})
+	c.Eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		conn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+		if err != nil {
+			return
+		}
+		conn.Write(p, 64, nil)
+		sock.ReadFull(p, conn, 64)
+		conn.Close(p)
+	})
+	c.Run(10 * sim.Second)
+	return buf.String()
+}
+
+// TestGoldenTraceSequence asserts the causal order of the protocol's
+// key events for one echo — a deterministic regression net over the
+// whole connection life cycle.
+func TestGoldenTraceSequence(t *testing.T) {
+	trace := traceRun()
+	// Events that must appear, in this order.
+	sequence := []string{
+		"connect 1 -> 0:80",  // client sends the connection request
+		"tx data dst=0 tag=", // request (or racing data) on the wire
+		"accept 0 <- 1",      // server accepts
+		"close",              // one side closes
+	}
+	pos := 0
+	for _, want := range sequence {
+		idx := strings.Index(trace[pos:], want)
+		if idx < 0 {
+			t.Fatalf("trace missing %q after position %d:\n%s", want, pos, trace)
+		}
+		pos += idx
+	}
+	// No retransmissions or drops in a clean echo.
+	for _, banned := range []string{"REXMIT", "DROP"} {
+		if strings.Contains(trace, banned) {
+			t.Fatalf("clean echo produced %q events:\n%s", banned, trace)
+		}
+	}
+}
+
+// TestTraceDeterministic: two identical runs produce byte-identical
+// traces — the strongest statement of the simulator's determinism.
+func TestTraceDeterministic(t *testing.T) {
+	a, b := traceRun(), traceRun()
+	if a != b {
+		t.Fatalf("traces diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("no trace produced")
+	}
+}
+
+// TestTraceDisabledCostsNothing: without a sink no events are recorded.
+func TestTraceDisabledCostsNothing(t *testing.T) {
+	c := cluster.NewSubstrate(2, nil)
+	c.Eng.Spawn("client", func(p *sim.Proc) {
+		c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+	})
+	c.Run(sim.Second)
+	if c.Eng.TraceCount() != 0 {
+		t.Fatalf("trace count %d with no sink", c.Eng.TraceCount())
+	}
+}

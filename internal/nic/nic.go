@@ -1,0 +1,219 @@
+// Package nic models an Alteon Tigon2-class programmable Gigabit Ethernet
+// NIC: a general-purpose embedded processor pair (send and receive
+// firmware run on separate CPUs), a DMA engine on a PCI-era bus, a MAC,
+// and host mailboxes. The EMP firmware (package emp) runs as simulated
+// processes on this hardware; the per-operation cost table below is what
+// calibrates the reproduction's absolute numbers.
+package nic
+
+import (
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+)
+
+// Config is the NIC's per-operation cost table. Defaults are calibrated
+// so that raw EMP 4-byte one-way latency lands near the paper's 28 us and
+// streaming peaks in the mid-800 Mbps range (see EXPERIMENTS.md).
+type Config struct {
+	// MailboxLatency is the delay between a host MMIO doorbell write
+	// and the firmware observing the new descriptor.
+	MailboxLatency sim.Duration
+	// TxPostHandle is send-CPU work to pick up one new transmit
+	// descriptor (read mailbox, fetch descriptor via DMA, set up the
+	// transmission record).
+	TxPostHandle sim.Duration
+	// TxPerFrame is send-CPU work per outgoing frame (build header,
+	// program DMA, hand to MAC, update the transmission record).
+	TxPerFrame sim.Duration
+	// RxPostHandle is receive-CPU work to pick up one new receive
+	// descriptor post.
+	RxPostHandle sim.Duration
+	// RxPerFrame is receive-CPU work per incoming frame (classify,
+	// reliability bookkeeping, program DMA).
+	RxPerFrame sim.Duration
+	// TagMatchBase is the fixed cost of starting a tag-matching walk.
+	TagMatchBase sim.Duration
+	// TagMatchPerDesc is the cost of examining one posted descriptor
+	// during the walk. The paper measures this at about 550 ns.
+	TagMatchPerDesc sim.Duration
+	// DMASetup is the fixed cost of programming one DMA transfer.
+	DMASetup sim.Duration
+	// DMABandwidth is the host-NIC DMA rate in bytes/sec (64-bit/66 MHz
+	// PCI peaks at 528 MB/s).
+	DMABandwidth int64
+	// HostNotify is the cost of the NIC writing a completion word into
+	// host memory.
+	HostNotify sim.Duration
+	// HostPollGap is the mean delay before a spinning host thread
+	// observes a completion word (cache transfer + poll loop spacing).
+	HostPollGap sim.Duration
+	// MACQueueFrames bounds how many frames the firmware keeps queued
+	// ahead of the wire before it stalls (MAC FIFO depth).
+	MACQueueFrames int
+	// MTU is the Ethernet payload size this NIC frames for; Alteon
+	// hardware supports 9000-byte jumbo frames (ethernet.JumboMTU).
+	MTU int
+	// RxCPUs models how many of the Tigon2's processors work on
+	// receive-frame processing. The CLUSTER'02 system dedicates one;
+	// the companion IPDPS'02 study ("Can User Level Protocols Take
+	// Advantage of Multi-CPU NICs?") parallelizes it — modeled here as
+	// pipelined per-frame processing cost divided across the CPUs.
+	RxCPUs int
+}
+
+// DefaultConfig returns the Tigon2 calibration.
+func DefaultConfig() Config {
+	return Config{
+		MailboxLatency:  1 * sim.Microsecond,
+		TxPostHandle:    2 * sim.Microsecond,
+		TxPerFrame:      5 * sim.Microsecond,
+		RxPostHandle:    1500 * sim.Nanosecond,
+		RxPerFrame:      9500 * sim.Nanosecond,
+		TagMatchBase:    500 * sim.Nanosecond,
+		TagMatchPerDesc: 550 * sim.Nanosecond,
+		DMASetup:        1 * sim.Microsecond,
+		DMABandwidth:    528 << 20,
+		HostNotify:      500 * sim.Nanosecond,
+		HostPollGap:     500 * sim.Nanosecond,
+		MACQueueFrames:  8,
+		MTU:             ethernet.MTU,
+		RxCPUs:          1,
+	}
+}
+
+// JumboConfig returns the default table reframed for 9000-byte jumbo
+// frames.
+func JumboConfig() Config {
+	c := DefaultConfig()
+	c.MTU = ethernet.JumboMTU
+	return c
+}
+
+// EffectiveRxPerFrame is the receive-CPU charge per data frame given the
+// configured processor count.
+func (c Config) EffectiveRxPerFrame() sim.Duration {
+	k := c.RxCPUs
+	if k < 1 {
+		k = 1
+	}
+	return c.RxPerFrame / sim.Duration(k)
+}
+
+// NIC is one programmable NIC instance. The firmware package spawns its
+// processing loops as sim processes and charges costs through the
+// facilities here. Incoming wire frames land in RxQ; outgoing frames go
+// out through Transmit.
+type NIC struct {
+	Eng  *sim.Engine
+	Cfg  Config
+	Name string
+
+	// RxQ receives frames delivered from the fabric, in arrival order.
+	RxQ *sim.FIFO[*ethernet.Frame]
+
+	port *ethernet.Port
+	dma  *sim.Resource
+	sink func(*ethernet.Frame)
+
+	// Counters.
+	TxFrames  sim.Counter
+	RxFrames  sim.Counter
+	DMABytes  sim.Counter
+	TagWalked sim.Counter
+}
+
+// New returns a NIC not yet attached to a switch.
+func New(e *sim.Engine, name string, cfg Config) *NIC {
+	return &NIC{
+		Eng:  e,
+		Cfg:  cfg,
+		Name: name,
+		RxQ:  sim.NewFIFO[*ethernet.Frame](e, name+".rxq", 0),
+		dma:  sim.NewResource(e, name+".dma"),
+	}
+}
+
+// Attach connects the NIC to a switch and returns its station address.
+func (n *NIC) Attach(sw *ethernet.Switch) ethernet.Addr {
+	n.port = sw.Attach(n)
+	return n.port.Addr()
+}
+
+// Addr reports the NIC's station address. It panics before Attach.
+func (n *NIC) Addr() ethernet.Addr { return n.port.Addr() }
+
+// Deliver implements ethernet.Station: frames from the wire enter the
+// receive queue (or the sink hook, if one is installed) for the receive
+// firmware to consume.
+func (n *NIC) Deliver(f *ethernet.Frame) {
+	n.RxFrames.Inc()
+	if n.sink != nil {
+		n.sink(f)
+		return
+	}
+	if !n.RxQ.TryPut(f) {
+		// Unbounded queue: TryPut only fails if the NIC was shut down.
+		n.Eng.Tracef(n.Name, "rx frame dropped after shutdown")
+	}
+}
+
+// SetSink routes delivered frames to fn instead of RxQ. Firmware that
+// multiplexes frames with other work installs a sink feeding its own
+// queue. fn runs in event context and must not block.
+func (n *NIC) SetSink(fn func(*ethernet.Frame)) { n.sink = fn }
+
+// Transmit hands one frame to the MAC. It returns immediately; the MAC
+// serializes at line rate. Call from firmware process context after
+// WaitTxRoom to respect the MAC FIFO bound.
+func (n *NIC) Transmit(f *ethernet.Frame) {
+	n.TxFrames.Inc()
+	n.port.Transmit(f)
+}
+
+// WaitTxRoom blocks the firmware process while the MAC transmit backlog
+// exceeds the configured FIFO depth, modeling firmware stalling on a
+// full MAC queue.
+func (n *NIC) WaitTxRoom(p *sim.Proc) {
+	mtu := n.Cfg.MTU
+	if mtu <= 0 {
+		mtu = ethernet.MTU
+	}
+	frameTime := (&ethernet.Frame{PayloadLen: mtu}).WireTime()
+	maxBacklog := sim.Duration(n.Cfg.MACQueueFrames) * frameTime
+	for {
+		b := n.port.TxBacklog()
+		if b <= maxBacklog {
+			return
+		}
+		p.Sleep(b - maxBacklog)
+	}
+}
+
+// DMA charges the firmware process with one DMA transfer of n bytes in
+// either direction. Transfers from the send and receive CPUs contend for
+// the single DMA engine.
+func (n *NIC) DMA(p *sim.Proc, bytes int) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	n.DMABytes.Add(int64(bytes))
+	d := n.Cfg.DMASetup + sim.BytesToDuration(bytes, n.Cfg.DMABandwidth*8)
+	n.dma.Use(p, d)
+}
+
+// TagMatch charges the receive CPU for a linear walk over walked posted
+// descriptors (the paper's 550 ns/descriptor effect) and returns the
+// charged duration.
+func (n *NIC) TagMatch(p *sim.Proc, walked int) sim.Duration {
+	if walked < 0 {
+		walked = 0
+	}
+	n.TagWalked.Add(int64(walked))
+	d := n.Cfg.TagMatchBase + sim.Duration(walked)*n.Cfg.TagMatchPerDesc
+	p.Sleep(d)
+	return d
+}
+
+// Shutdown closes the receive queue, releasing firmware loops blocked on
+// it.
+func (n *NIC) Shutdown() { n.RxQ.Close() }

@@ -1,0 +1,63 @@
+package sim
+
+import "testing"
+
+// Benchmarks for the simulator itself: how fast virtual events execute
+// in wall time. These bound how large an experiment the harness can
+// afford.
+
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(10, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(0, tick)
+	e.Run()
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(10)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkFIFOHandoff(b *testing.B) {
+	e := NewEngine()
+	q := NewFIFO[int](e, "q", 4)
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(p, i)
+		}
+		q.Close()
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for {
+			if _, ok := q.Get(p); !ok {
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkTimerCancel(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		ev := e.At(Time(i+1), func() {})
+		ev.Cancel()
+	}
+	b.ResetTimer()
+	e.Run()
+}

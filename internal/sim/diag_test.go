@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBlockedProcsReportsWaiters(t *testing.T) {
+	e := NewEngine()
+	wq := NewWaitQueue(e, "the-thing")
+	e.Spawn("stuck-worker", func(p *Proc) {
+		wq.Wait(p)
+	})
+	e.Spawn("finisher", func(p *Proc) {})
+	e.Run()
+	blocked := e.BlockedProcs()
+	if len(blocked) != 1 {
+		t.Fatalf("blocked = %v, want one entry", blocked)
+	}
+	if !strings.Contains(blocked[0], "stuck-worker") || !strings.Contains(blocked[0], "the-thing") {
+		t.Fatalf("diagnostic %q should name the proc and its wait label", blocked[0])
+	}
+}
+
+func TestBlockedProcsEmptyWhenAllFinish(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Spawn("w", func(p *Proc) { p.Sleep(10) })
+	}
+	e.Run()
+	if got := e.BlockedProcs(); len(got) != 0 {
+		t.Fatalf("blocked = %v after clean completion", got)
+	}
+}
+
+func TestProcRegistryCompaction(t *testing.T) {
+	e := NewEngine()
+	// Spawn many short-lived procs sequentially; the registry must not
+	// retain them all.
+	var spawn func(i int)
+	spawn = func(i int) {
+		if i >= 500 {
+			return
+		}
+		e.Spawn("short", func(p *Proc) {
+			p.Sleep(1)
+			spawn(i + 1)
+		})
+	}
+	spawn(0)
+	e.Run()
+	if n := len(e.procs); n > 128 {
+		t.Fatalf("proc registry holds %d entries after 500 short-lived procs", n)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("live procs = %d", e.LiveProcs())
+	}
+}
+
+func TestBlockedOnLabelsThroughPrimitives(t *testing.T) {
+	e := NewEngine()
+	f := NewFIFO[int](e, "jobs", 0)
+	s := NewSemaphore(e, "permits", 0)
+	e.Spawn("fifo-waiter", func(p *Proc) { f.Get(p) })
+	e.Spawn("sem-waiter", func(p *Proc) { s.Acquire(p) })
+	e.Run()
+	report := strings.Join(e.BlockedProcs(), "\n")
+	if !strings.Contains(report, "jobs.get") {
+		t.Fatalf("report should show the FIFO label:\n%s", report)
+	}
+	if !strings.Contains(report, "permits") {
+		t.Fatalf("report should show the semaphore label:\n%s", report)
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+import "testing"
+
+func TestWaitGroupBlocksUntilZero(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e, "wg")
+	wg.Add(3)
+	var doneAt Time
+	e.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.At(Time(i*100), func() { wg.Done() })
+	}
+	e.Run()
+	if doneAt != 300 {
+		t.Fatalf("waiter released at %v, want 300", doneAt)
+	}
+}
+
+func TestWaitGroupZeroPassesImmediately(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e, "wg")
+	passed := false
+	e.Spawn("w", func(p *Proc) {
+		wg.Wait(p)
+		passed = true
+	})
+	e.Run()
+	if !passed {
+		t.Fatal("Wait on an empty group should not block")
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e, "wg")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative count did not panic")
+		}
+	}()
+	wg.Done()
+}
+
+func TestBarrierReleasesInGenerations(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(e, "phase", 3)
+	var releases []Time
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("w", func(p *Proc) {
+			p.Sleep(Duration((i + 1) * 100))
+			b.Arrive(p)
+			releases = append(releases, p.Now())
+		})
+	}
+	e.Run()
+	if len(releases) != 3 {
+		t.Fatalf("released %d, want 3", len(releases))
+	}
+	for _, r := range releases {
+		if r != 300 {
+			t.Fatalf("releases %v: all must leave when the last arrives at 300", releases)
+		}
+	}
+}
+
+func TestBarrierMultipleGenerations(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(e, "phase", 2)
+	gens := make([][]int, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn("w", func(p *Proc) {
+			for round := 0; round < 3; round++ {
+				p.Sleep(Duration((i + 1) * 10))
+				gens[i] = append(gens[i], b.Arrive(p))
+			}
+		})
+	}
+	e.Run()
+	for i := 0; i < 2; i++ {
+		if len(gens[i]) != 3 {
+			t.Fatalf("proc %d completed %d rounds", i, len(gens[i]))
+		}
+		for round, g := range gens[i] {
+			if g != round {
+				t.Fatalf("proc %d saw generations %v", i, gens[i])
+			}
+		}
+	}
+}

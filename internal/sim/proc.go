@@ -1,0 +1,146 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that runs under the engine's
+// run-to-yield discipline. Exactly one Proc executes at a time; a Proc
+// gives up control only by calling a blocking primitive (Sleep, Wait on a
+// queue, Get/Put on a FIFO, ...). Model code inside a Proc therefore never
+// races with other model code.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	parked chan struct{}
+	done   bool
+	killed bool
+
+	// blockedOn is a human-readable description of what the process is
+	// waiting for; used by deadlock diagnostics.
+	blockedOn string
+}
+
+// procKilled is panicked inside a killed process to unwind its stack.
+type procKilled struct{ name string }
+
+// Spawn creates a process running body and schedules its first step at the
+// current instant. The body runs with the engine's clock alternating
+// between it and other events.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	e.liveProc++
+	e.procs = append(e.procs, p)
+	if len(e.procs) > 64 && len(e.procs) > 4*e.liveProc {
+		// Compact the registry when most entries are finished.
+		live := e.procs[:0]
+		for _, q := range e.procs {
+			if !q.done {
+				live = append(live, q)
+			}
+		}
+		e.procs = live
+	}
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					// Re-panic on the engine side with context.
+					p.done = true
+					p.eng.liveProc--
+					p.parked <- struct{}{}
+					panic(r)
+				}
+			}
+			if !p.done {
+				p.done = true
+				p.eng.liveProc--
+				p.parked <- struct{}{}
+			}
+		}()
+		body(p)
+		p.done = true
+		p.eng.liveProc--
+		p.parked <- struct{}{}
+	}()
+	e.After(0, func() { e.step(p) })
+	return p
+}
+
+// step transfers control to p and blocks until p yields or finishes.
+// It must be called only from the engine's event loop context.
+func (e *Engine) step(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := e.cur
+	e.cur = p
+	p.resume <- struct{}{}
+	<-p.parked
+	e.cur = prev
+}
+
+// yield parks the calling process until the engine steps it again.
+// Must be called from p's own goroutine.
+func (p *Proc) yield() {
+	p.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{p.name})
+	}
+}
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep suspends the process for d of virtual time. Zero or negative d
+// still yields, giving already-scheduled same-instant events a chance to
+// run first.
+func (p *Proc) Sleep(d Duration) {
+	p.checkCurrent("Sleep")
+	p.blockedOn = "sleep"
+	p.eng.After(d, func() { p.eng.step(p) })
+	p.yield()
+	p.blockedOn = ""
+}
+
+// Kill unwinds the process the next time it would resume. Resources held
+// by the process are released by its deferred functions as usual.
+// Killing a finished process is a no-op.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	// If the process is parked on a wait queue it will be resumed either
+	// by its waker or by this event, whichever fires first; the killed
+	// flag makes resumption unwind immediately.
+	p.eng.After(0, func() {
+		if !p.done {
+			p.eng.step(p)
+		}
+	})
+}
+
+// Done reports whether the process has finished.
+func (p *Proc) Done() bool { return p.done }
+
+// checkCurrent panics if the calling goroutine is not the engine's
+// currently running process — i.e. a blocking primitive was invoked from
+// event-callback context, which would deadlock the engine.
+func (p *Proc) checkCurrent(op string) {
+	if p.eng.cur != p {
+		panic(fmt.Sprintf("sim: %s called on proc %q which is not the running process", op, p.name))
+	}
+}

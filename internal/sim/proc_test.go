@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestProcSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var wake Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(500)
+		wake = p.Now()
+	})
+	e.Run()
+	if wake != 500 {
+		t.Fatalf("woke at %v, want 500", wake)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("live procs = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				order = append(order, name)
+				p.Sleep(10)
+			}
+		})
+	}
+	e.Run()
+	want := "abcabcabc"
+	got := ""
+	for _, s := range order {
+		got += s
+	}
+	if got != want {
+		t.Fatalf("interleaving = %q, want %q", got, want)
+	}
+}
+
+func TestProcKillUnwindsDefers(t *testing.T) {
+	e := NewEngine()
+	cleaned := false
+	wq := NewWaitQueue(e, "never")
+	p := e.Spawn("victim", func(p *Proc) {
+		defer func() { cleaned = true }()
+		wq.Wait(p) // blocks forever
+	})
+	e.At(100, func() { p.Kill() })
+	e.Run()
+	if !cleaned {
+		t.Fatal("deferred cleanup did not run on Kill")
+	}
+	if !p.Done() {
+		t.Fatal("killed proc not done")
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("live procs = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestProcKillFinishedIsNoop(t *testing.T) {
+	e := NewEngine()
+	p := e.Spawn("quick", func(p *Proc) {})
+	e.Run()
+	p.Kill() // must not panic or hang
+	e.Run()
+}
+
+func TestProcBlockingFromEventContextPanics(t *testing.T) {
+	e := NewEngine()
+	var p *Proc
+	p = e.Spawn("x", func(p *Proc) { p.Sleep(1000) })
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Sleep from event context did not panic")
+			}
+		}()
+		p.Sleep(5) // wrong context: p is not running
+	})
+	e.Run()
+}
+
+func TestWaitQueueFIFOOrder(t *testing.T) {
+	e := NewEngine()
+	wq := NewWaitQueue(e, "q")
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn("w", func(p *Proc) {
+			p.Sleep(Duration(i)) // stagger arrival
+			wq.Wait(p)
+			order = append(order, i)
+		})
+	}
+	e.At(100, func() {
+		if wq.Len() != 5 {
+			t.Errorf("queue length = %d, want 5", wq.Len())
+		}
+		wq.WakeAll()
+	})
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("wake order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestWaitQueueWakeOne(t *testing.T) {
+	e := NewEngine()
+	wq := NewWaitQueue(e, "q")
+	woken := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) {
+			wq.Wait(p)
+			woken++
+		})
+	}
+	e.At(10, func() {
+		if !wq.WakeOne() {
+			t.Error("WakeOne found no waiter")
+		}
+	})
+	e.Run()
+	if woken != 1 {
+		t.Fatalf("woken = %d, want 1", woken)
+	}
+	if e.LiveProcs() != 2 {
+		t.Fatalf("live procs = %d, want 2 still blocked", e.LiveProcs())
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	e := NewEngine()
+	wq := NewWaitQueue(e, "q")
+	var timedOut, wokenInTime bool
+	e.Spawn("t", func(p *Proc) {
+		timedOut = !wq.WaitTimeout(p, 100)
+	})
+	e.Spawn("w", func(p *Proc) {
+		wokenInTime = wq.WaitTimeout(p, 10000)
+	})
+	e.At(200, func() { wq.WakeOne() })
+	e.Run()
+	if !timedOut {
+		t.Error("first waiter should have timed out at 100")
+	}
+	if !wokenInTime {
+		t.Error("second waiter should have been woken at 200")
+	}
+}
+
+func TestWaitTimeoutWokenCancelsTimer(t *testing.T) {
+	e := NewEngine()
+	wq := NewWaitQueue(e, "q")
+	wakes := 0
+	e.Spawn("w", func(p *Proc) {
+		if wq.WaitTimeout(p, 1000) {
+			wakes++
+		}
+		p.Sleep(5000) // survive past the original timeout instant
+		wakes++
+	})
+	e.At(10, func() { wq.WakeOne() })
+	e.Run()
+	if wakes != 2 {
+		t.Fatalf("wakes = %d, want 2 (woken once, no spurious timeout)", wakes)
+	}
+}
+
+func TestKilledWaiterDoesNotConsumeWake(t *testing.T) {
+	e := NewEngine()
+	wq := NewWaitQueue(e, "q")
+	survivorWoken := false
+	victim := e.Spawn("victim", func(p *Proc) { wq.Wait(p) })
+	e.Spawn("survivor", func(p *Proc) {
+		p.Sleep(1)
+		wq.Wait(p)
+		survivorWoken = true
+	})
+	e.At(50, func() { victim.Kill() })
+	e.At(100, func() { wq.WakeOne() })
+	e.Run()
+	if !survivorWoken {
+		t.Fatal("wake was consumed by a killed waiter")
+	}
+}

@@ -1,0 +1,58 @@
+package sim
+
+// Rand is a small, fast, deterministic PRNG (xorshift64*). The simulation
+// must not depend on math/rand's global state or on wall-clock seeding, so
+// every stochastic model component draws from an engine-owned Rand.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with s (zero is remapped).
+func NewRand(s uint64) *Rand {
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return &Rand{state: s}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Duration returns a uniform duration in [lo, hi].
+func (r *Rand) Duration(lo, hi Duration) Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Duration(r.Uint64()%uint64(hi-lo+1))
+}

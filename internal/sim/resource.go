@@ -1,0 +1,88 @@
+package sim
+
+// Resource models a serially-reusable facility (a DMA engine, a switch
+// output port, a memory bus) in event-driven style: callers reserve a span
+// of service time and learn when their use completes. No process is
+// required; the resource simply tracks when it next becomes free.
+//
+// For process-style exclusive use, see Lock/Unlock, which block the
+// calling process.
+type Resource struct {
+	eng      *Engine
+	freeAt   Time
+	busyTime Duration // accumulated service time, for utilization stats
+	uses     int
+	lock     *Semaphore
+	label    string
+}
+
+// NewResource returns an idle resource.
+func NewResource(e *Engine, label string) *Resource {
+	return &Resource{eng: e, lock: NewSemaphore(e, label+".lock", 1), label: label}
+}
+
+// Reserve books d of service time starting no earlier than now and no
+// earlier than the previous reservation's completion. It returns the
+// completion instant. Use this for pipelined facilities where the caller
+// continues immediately (e.g. handing a frame to a busy output port).
+func (r *Resource) Reserve(d Duration) (done Time) {
+	start := r.eng.Now()
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	done = start.Add(d)
+	r.freeAt = done
+	r.busyTime += d
+	r.uses++
+	return done
+}
+
+// ReserveAt is Reserve but with an explicit earliest start time, for
+// callers scheduling ahead of the current instant.
+func (r *Resource) ReserveAt(earliest Time, d Duration) (done Time) {
+	start := earliest
+	if r.eng.Now() > start {
+		start = r.eng.Now()
+	}
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	done = start.Add(d)
+	r.freeAt = done
+	r.busyTime += d
+	r.uses++
+	return done
+}
+
+// FreeAt reports when the resource next becomes free.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// Uses reports how many reservations have been made.
+func (r *Resource) Uses() int { return r.uses }
+
+// BusyTime reports the accumulated service time.
+func (r *Resource) BusyTime() Duration { return r.busyTime }
+
+// Utilization reports busy time as a fraction of elapsed time.
+func (r *Resource) Utilization() float64 {
+	if r.eng.Now() == 0 {
+		return 0
+	}
+	return float64(r.busyTime) / float64(r.eng.Now())
+}
+
+// Lock grants p exclusive process-style use of the resource.
+func (r *Resource) Lock(p *Proc) { r.lock.Acquire(p) }
+
+// Unlock releases exclusive use.
+func (r *Resource) Unlock() { r.lock.Release() }
+
+// Use charges p with d of service on the resource under the lock:
+// it acquires exclusivity, advances virtual time by d, and releases.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Lock(p)
+	r.busyTime += d
+	r.uses++
+	p.Sleep(d)
+	r.Unlock()
+}

@@ -1,0 +1,685 @@
+package tcpip
+
+import (
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+	"repro/internal/sock"
+	"repro/internal/stream"
+)
+
+// Connection states.
+const (
+	stateClosed = iota
+	stateSynSent
+	stateSynRcvd
+	stateEstablished
+	stateFinWait1
+	stateFinWait2
+	stateCloseWait
+	stateLastAck
+)
+
+// Conn is one TCP connection endpoint.
+type Conn struct {
+	st    *Stack
+	lport int
+	raddr ethernet.Addr
+	rport int
+	state int
+	err   error
+
+	// Send side. sndbuf.Base() is SND.UNA; sndNxt is the next byte to
+	// transmit. All offsets are absolute.
+	sndbuf    *stream.Buffer
+	sndNxt    int64
+	cwnd      int
+	ssthresh  int
+	rwnd      int
+	dupAcks   int
+	rtoTimer  sim.Event
+	finSeq    int64 // offset of our FIN; -1 until close
+	finSent   bool
+	finAcked  bool
+	closeUser bool
+
+	// Receive side. rcvbuf.End() is RCV.NXT (in-order only; out-of-order
+	// segments are dropped and recovered by retransmission). advEdge is
+	// the highest RCV.NXT+window ever advertised: data below it was
+	// promised buffer space and must be accepted even if later
+	// advertisements shrank the window.
+	rcvbuf      *stream.Buffer
+	rcvBufCap   int
+	advEdge     int64
+	peerFinSeq  int64 // -1 until the peer's FIN arrives
+	eof         bool
+	pendingAcks int
+	delAck      sim.Event
+
+	rcvReady    *sim.Cond
+	sndReady    *sim.Cond
+	established *sim.Cond
+
+	// Round-trip estimation (Jacobson/Karels, with Karn's rule: samples
+	// from retransmitted data are discarded). srtt == 0 means no sample
+	// yet.
+	srtt     sim.Duration
+	rttvar   sim.Duration
+	rttSeq   int64    // ack level that completes the in-flight sample
+	rttStart sim.Time // when the timed segment was emitted
+	rttValid bool
+
+	// lastEmit enforces per-connection in-order wire emission: data
+	// segments are charged in two contexts (process-context sendmsg and
+	// kernel-context ack-clocked output) whose completion times can
+	// invert; the receiver is in-order-only, so an inversion would look
+	// like loss.
+	lastEmit sim.Time
+
+	// noDelay disables the Nagle algorithm on this connection
+	// (TCP_NODELAY), which latency-sensitive servers set to avoid the
+	// Nagle/delayed-ack interaction on partial final segments.
+	noDelay bool
+}
+
+// SetNoDelay toggles TCP_NODELAY on the connection.
+func (c *Conn) SetNoDelay(v bool) { c.noDelay = v }
+
+func newConn(st *Stack, lport int, raddr ethernet.Addr, rport int) *Conn {
+	st.nextISS += 1 << 16
+	iss := st.nextISS
+	c := &Conn{
+		st:          st,
+		lport:       lport,
+		raddr:       raddr,
+		rport:       rport,
+		sndbuf:      stream.NewBuffer(iss + 1), // +1: SYN consumes iss
+		sndNxt:      iss + 1,
+		cwnd:        st.Cfg.InitialCwnd * MSS,
+		ssthresh:    64 << 10,
+		rwnd:        MSS, // until the peer advertises
+		finSeq:      -1,
+		peerFinSeq:  -1,
+		rcvBufCap:   st.Cfg.RcvBuf,
+		rcvReady:    sim.NewCond(st.Eng, "tcp.rcv"),
+		sndReady:    sim.NewCond(st.Eng, "tcp.snd"),
+		established: sim.NewCond(st.Eng, "tcp.est"),
+	}
+	return c
+}
+
+func (c *Conn) key() connKey {
+	return connKey{lport: c.lport, raddr: c.raddr, rport: c.rport}
+}
+
+// LocalAddr implements sock.Conn.
+func (c *Conn) LocalAddr() sock.Addr { return c.st.addr }
+
+// RemoteAddr implements sock.Conn.
+func (c *Conn) RemoteAddr() sock.Addr { return c.raddr }
+
+// Readable implements sock.Waitable: data buffered, EOF, or error.
+func (c *Conn) Readable() bool {
+	return c.rcvbuf != nil && (c.rcvbuf.Len() > 0 || c.eof || c.err != nil)
+}
+
+// Ready implements sock.Waitable.
+func (c *Conn) Ready() bool { return c.Readable() }
+
+// advWindow is the receive window to advertise.
+func (c *Conn) advWindow() int {
+	w := c.rcvBufCap - c.rcvbufLen()
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// advertise returns the window for an outgoing segment and records the
+// promise edge: data up to RCV.NXT+window must be accepted later.
+func (c *Conn) advertise() int {
+	w := c.advWindow()
+	if c.rcvbuf != nil {
+		if edge := c.rcvbuf.End() + int64(w); edge > c.advEdge {
+			c.advEdge = edge
+		}
+	}
+	return w
+}
+
+func (c *Conn) rcvbufLen() int {
+	if c.rcvbuf == nil {
+		return 0
+	}
+	return c.rcvbuf.Len()
+}
+
+// inflight is the unacknowledged byte count.
+func (c *Conn) inflight() int { return int(c.sndNxt - c.sndbuf.Base()) }
+
+// sendSYN transmits the initial SYN, charged to the caller.
+func (c *Conn) sendSYN(p *sim.Proc, synAck bool) {
+	flags := flagSYN
+	ack := int64(0)
+	if synAck {
+		flags |= flagACK
+		ack = c.rcvbuf.End()
+	}
+	seg := &Segment{
+		Src: c.st.addr, Dst: c.raddr,
+		SrcPort: c.lport, DstPort: c.rport,
+		Flags: flags, Seq: c.sndbuf.Base() - 1, Ack: ack, Wnd: c.st.Cfg.RcvBuf,
+	}
+	if p != nil {
+		p.Sleep(c.st.Cfg.TxSegCost + c.st.Cfg.DriverTx)
+		c.st.transmitAt(p.Now(), seg)
+	} else {
+		done := c.st.Host.ChargeIRQ(c.st.Cfg.TxSegCost + c.st.Cfg.DriverTx)
+		c.st.transmitAt(done, seg)
+	}
+}
+
+// input processes one received segment. Runs in event context at softirq
+// completion time.
+func (c *Conn) input(seg *Segment) {
+	if seg.Flags&flagRST != 0 {
+		c.fail(sock.ErrReset)
+		return
+	}
+	switch c.state {
+	case stateSynSent:
+		if seg.Flags&(flagSYN|flagACK) == flagSYN|flagACK && seg.Ack == c.sndbuf.Base() {
+			c.rcvbuf = stream.NewBuffer(seg.Seq + 1)
+			c.advEdge = c.rcvbuf.End() + int64(c.rcvBufCap)
+			c.rwnd = seg.Wnd
+			c.state = stateEstablished
+			c.ackNow()
+			c.established.Broadcast()
+			c.st.activity.Broadcast()
+		}
+		return
+	case stateSynRcvd:
+		if seg.Flags&flagSYN != 0 && seg.Flags&flagACK == 0 {
+			// Retransmitted SYN: our SYN-ACK was lost; resend it.
+			c.sendSYN(nil, true)
+			return
+		}
+		if seg.Flags&flagACK != 0 && seg.Ack == c.sndbuf.Base() {
+			c.state = stateEstablished
+			c.established.Broadcast()
+			if l, ok := c.st.listeners[c.lport]; ok {
+				l.connEstablished(c)
+			}
+			// Fall through: the ACK may carry data.
+		} else {
+			return
+		}
+	case stateClosed:
+		return
+	}
+
+	progress := false
+
+	// --- ACK processing ---
+	if seg.Flags&flagACK != 0 {
+		una := c.sndbuf.Base()
+		ackBytes := seg.Ack - una
+		finAckedNow := false
+		if c.finSent && seg.Ack > c.finSeq {
+			ackBytes-- // the FIN's virtual byte
+			finAckedNow = true
+		}
+		if ackBytes > 0 {
+			c.sndbuf.TrimTo(una + ackBytes)
+			c.dupAcks = 0
+			progress = true
+			if c.rttValid && seg.Ack >= c.rttSeq {
+				c.rttValid = false
+				c.rttSample(c.st.Eng.Now().Sub(c.rttStart))
+			}
+			// Congestion window growth.
+			if c.cwnd < c.ssthresh {
+				c.cwnd += int(ackBytes) // slow start
+			} else {
+				c.cwnd += MSS * MSS / c.cwnd // congestion avoidance
+			}
+			c.sndReady.Broadcast()
+		} else if seg.Len == 0 && c.inflight() > 0 && seg.Ack == una && seg.Wnd == c.rwnd {
+			c.dupAcks++
+			if c.dupAcks == 3 {
+				c.fastRetransmit()
+			}
+		}
+		if finAckedNow && !c.finAcked {
+			c.finAcked = true
+			progress = true
+			switch c.state {
+			case stateFinWait1:
+				c.state = stateFinWait2
+			case stateLastAck:
+				c.teardown()
+			}
+		}
+		if c.inflight() == 0 && !(c.finSent && !c.finAcked) {
+			c.rtoTimer.Cancel()
+		} else if progress {
+			c.armRTO()
+		}
+	}
+	c.rwnd = seg.Wnd
+
+	// --- Data ---
+	if seg.Len > 0 && c.rcvbuf != nil {
+		switch {
+		case seg.Seq == c.rcvbuf.End() && seg.Seq+int64(seg.Len) <= c.advEdge:
+			c.rcvbuf.Append(seg.Len, nil)
+			for _, o := range seg.Objs {
+				c.attachObj(o)
+			}
+			c.scheduleAck(seg.Flags&flagPSH != 0)
+			c.rcvReady.Broadcast()
+			c.st.activity.Broadcast()
+		default:
+			// Out of order, duplicate, or no buffer space: drop and
+			// send an immediate duplicate ack.
+			if seg.Seq > c.rcvbuf.End() {
+				c.st.DroppedSegs.Inc()
+			}
+			c.ackNow()
+		}
+	}
+
+	// --- FIN ---
+	if seg.Flags&flagFIN != 0 {
+		finSeq := seg.Seq + int64(seg.Len)
+		if c.rcvbuf != nil && finSeq == c.rcvbuf.End() && c.peerFinSeq < 0 {
+			c.peerFinSeq = finSeq
+			c.eof = true
+			switch c.state {
+			case stateEstablished:
+				c.state = stateCloseWait
+			case stateFinWait1:
+				// Simultaneous close; wait for our FIN's ack.
+			case stateFinWait2:
+				c.teardown()
+			}
+			c.ackNow()
+			c.rcvReady.Broadcast()
+			c.st.activity.Broadcast()
+		} else if c.peerFinSeq >= 0 && finSeq == c.peerFinSeq {
+			c.ackNow() // retransmitted FIN: our ack was lost
+		}
+	}
+
+	// The window may have opened: push more data from kernel context.
+	c.output(nil)
+}
+
+// attachObj re-attaches a payload object at the current receive tail.
+// Objects ride on the segment carrying their final byte, which was just
+// appended, so the object's range ends exactly at the new End.
+func (c *Conn) attachObj(o any) {
+	// Reconstruct by appending a zero-length marker at the tail.
+	c.rcvbuf.Append(0, o)
+}
+
+// scheduleAck implements delayed acknowledgments.
+func (c *Conn) scheduleAck(push bool) {
+	c.pendingAcks++
+	if c.pendingAcks >= c.st.Cfg.DelAckSegs {
+		c.ackNow()
+		return
+	}
+	if !c.delAck.Pending() {
+		c.delAck = c.st.Eng.After(c.st.Cfg.DelAckTimeout, func() {
+			if c.pendingAcks > 0 {
+				c.st.DelayedAcks.Inc()
+				c.ackNow()
+			}
+		})
+	}
+}
+
+// ackNow emits an immediate ack from kernel context.
+func (c *Conn) ackNow() {
+	c.pendingAcks = 0
+	c.delAck.Cancel()
+	done := c.st.Host.ChargeIRQ(c.st.Cfg.TxSegCost + c.st.Cfg.DriverTx)
+	ack := int64(0)
+	if c.rcvbuf != nil {
+		ack = c.rcvbuf.End()
+		if c.peerFinSeq >= 0 && ack == c.peerFinSeq {
+			ack++ // acknowledge the FIN's virtual byte
+		}
+	}
+	c.st.transmitAt(done, &Segment{
+		Src: c.st.addr, Dst: c.raddr,
+		SrcPort: c.lport, DstPort: c.rport,
+		Flags: flagACK, Seq: c.sndNxt, Ack: ack, Wnd: c.advertise(),
+	})
+}
+
+// output transmits whatever the send window allows. If p is non-nil the
+// per-segment cost is charged to the calling process (tcp_sendmsg path);
+// otherwise it is charged to the kernel's interrupt context (ack-clocked
+// output).
+func (c *Conn) output(p *sim.Proc) {
+	if c.state != stateEstablished && c.state != stateCloseWait &&
+		c.state != stateFinWait1 && c.state != stateLastAck {
+		return
+	}
+	for {
+		window := c.cwnd
+		if c.rwnd < window {
+			window = c.rwnd
+		}
+		avail := int(c.sndbuf.End() - c.sndNxt)
+		room := window - c.inflight()
+		segLen := MSS
+		if avail < segLen {
+			segLen = avail
+		}
+		if room < segLen {
+			segLen = room
+		}
+		if segLen <= 0 || avail <= 0 {
+			break
+		}
+		if c.st.Cfg.Nagle && !c.noDelay && segLen < MSS && c.inflight() > 0 {
+			break // Nagle: don't send a partial segment while data is unacked
+		}
+		// Reserve the sequence range before emit's cost charge can yield
+		// the processor: a concurrent kernel-context output must not
+		// reuse or skip this range.
+		seq := c.sndNxt
+		c.sndNxt += int64(segLen)
+		if !c.rttValid {
+			c.rttValid = true
+			c.rttSeq = seq + int64(segLen)
+			c.rttStart = c.st.Eng.Now()
+		}
+		c.armRTO()
+		c.emit(p, seq, segLen, avail == segLen)
+	}
+	// Emit our FIN once everything (including retransmissions) is out.
+	if c.finSeq >= 0 && !c.finSent && c.sndNxt == c.sndbuf.End() {
+		c.finSent = true
+		done := c.reserveEmit(p)
+		c.st.transmitAt(done, &Segment{
+			Src: c.st.addr, Dst: c.raddr,
+			SrcPort: c.lport, DstPort: c.rport,
+			Flags: flagFIN | flagACK, Seq: c.sndNxt, Ack: c.peerAck(), Wnd: c.advertise(),
+		})
+		c.armRTO()
+	}
+}
+
+func (c *Conn) peerAck() int64 {
+	if c.rcvbuf == nil {
+		return 0
+	}
+	ack := c.rcvbuf.End()
+	if c.peerFinSeq >= 0 && ack == c.peerFinSeq {
+		ack++
+	}
+	return ack
+}
+
+func (c *Conn) chargeOutput(p *sim.Proc) sim.Time {
+	cost := c.st.Cfg.TxSegCost + c.st.Cfg.DriverTx
+	if p != nil {
+		p.Sleep(cost)
+		return p.Now()
+	}
+	return c.st.Host.ChargeIRQ(cost)
+}
+
+// reserveEmit charges the per-segment output cost and returns the wire
+// emission time, claiming the per-connection emission slot BEFORE any
+// process-context sleep: segments are charged in two contexts (sendmsg
+// and softirq) whose completion times can interleave, and the receiver
+// is in-order-only, so emission must stay monotonic per connection.
+func (c *Conn) reserveEmit(p *sim.Proc) sim.Time {
+	cost := c.st.Cfg.TxSegCost + c.st.Cfg.DriverTx
+	var done sim.Time
+	if p != nil {
+		done = p.Now().Add(sim.Duration(cost))
+		if done < c.lastEmit {
+			done = c.lastEmit
+		}
+		c.lastEmit = done
+		p.Sleep(cost)
+		return done
+	}
+	done = c.st.Host.ChargeIRQ(cost)
+	if done < c.lastEmit {
+		done = c.lastEmit
+	}
+	c.lastEmit = done
+	return done
+}
+
+// emit transmits one data segment [seq, seq+n).
+func (c *Conn) emit(p *sim.Proc, seq int64, n int, push bool) {
+	flags := flagACK
+	if push {
+		flags |= flagPSH
+	}
+	objs := c.sndbuf.ObjectsIn(seq, seq+int64(n))
+	done := c.reserveEmit(p)
+	c.pendingAcks = 0 // data segments piggyback the ack
+	c.delAck.Cancel()
+	c.st.transmitAt(done, &Segment{
+		Src: c.st.addr, Dst: c.raddr,
+		SrcPort: c.lport, DstPort: c.rport,
+		Flags: flags, Seq: seq, Ack: c.peerAck(), Wnd: c.advertise(),
+		Len: n, Objs: objs,
+	})
+}
+
+// rttSample folds one round-trip measurement into the smoothed
+// estimator: srtt += (s-srtt)/8, rttvar += (|s-srtt|-rttvar)/4.
+func (c *Conn) rttSample(s sim.Duration) {
+	if s < 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = s
+		c.rttvar = s / 2
+		return
+	}
+	d := s - c.srtt
+	if d < 0 {
+		d = -d
+	}
+	c.rttvar += (d - c.rttvar) / 4
+	c.srtt += (s - c.srtt) / 8
+}
+
+// rto is the adaptive retransmission timeout: srtt + 4*rttvar, clamped
+// to the configured floor and ceiling.
+func (c *Conn) rto() sim.Duration {
+	v := c.srtt + 4*c.rttvar
+	if v < c.st.Cfg.RTO {
+		v = c.st.Cfg.RTO
+	}
+	if c.st.Cfg.MaxRTO > 0 && v > c.st.Cfg.MaxRTO {
+		v = c.st.Cfg.MaxRTO
+	}
+	return v
+}
+
+func (c *Conn) armRTO() {
+	c.rtoTimer.Cancel()
+	c.rtoTimer = c.st.Eng.After(c.rto(), c.onRTO)
+}
+
+// onRTO retransmits go-back-N from SND.UNA with multiplicative backoff
+// of the congestion window.
+func (c *Conn) onRTO() {
+	if c.inflight() == 0 && !(c.finSent && !c.finAcked) {
+		return
+	}
+	c.st.Rexmits.Inc()
+	c.rttValid = false // Karn's rule: never time retransmitted data
+	c.ssthresh = c.inflight() / 2
+	if c.ssthresh < 2*MSS {
+		c.ssthresh = 2 * MSS
+	}
+	c.cwnd = MSS
+	c.sndNxt = c.sndbuf.Base()
+	c.finSent = false
+	c.output(nil)
+	c.armRTO()
+}
+
+// fastRetransmit resends the first unacked segment on triple-dup-ack.
+func (c *Conn) fastRetransmit() {
+	c.st.FastRetransmits.Inc()
+	c.ssthresh = c.inflight() / 2
+	if c.ssthresh < 2*MSS {
+		c.ssthresh = 2 * MSS
+	}
+	c.cwnd = c.ssthresh
+	n := int(c.sndbuf.End() - c.sndbuf.Base())
+	if n > MSS {
+		n = MSS
+	}
+	if n > 0 {
+		c.emit(nil, c.sndbuf.Base(), n, false)
+	}
+}
+
+func (c *Conn) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	c.rtoTimer.Cancel()
+	c.delAck.Cancel()
+	was := c.state
+	c.state = stateClosed
+	c.rcvReady.Broadcast()
+	c.sndReady.Broadcast()
+	c.established.Broadcast()
+	c.st.activity.Broadcast()
+	if was != stateClosed {
+		delete(c.st.conns, c.key())
+	}
+}
+
+// teardown removes a cleanly closed connection (TIME_WAIT is skipped in
+// the model).
+func (c *Conn) teardown() {
+	c.rtoTimer.Cancel()
+	c.delAck.Cancel()
+	if c.state != stateClosed {
+		c.state = stateClosed
+		delete(c.st.conns, c.key())
+	}
+}
+
+// Read implements sock.Conn: blocking receive with the kernel-to-user
+// copy charged at copy-and-checksum bandwidth.
+func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
+	c.st.Host.Syscall(p)
+	if c.rcvbuf == nil {
+		return 0, nil, sock.ErrClosed
+	}
+	blocked := c.rcvbuf.Len() == 0 && !c.eof && c.err == nil
+	c.rcvReady.WaitFor(p, func() bool {
+		return c.rcvbuf.Len() > 0 || c.eof || c.err != nil
+	})
+	if blocked {
+		p.Sleep(c.st.Host.Wakeup())
+	}
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	if c.rcvbuf.Len() == 0 {
+		return 0, nil, nil // EOF
+	}
+	n := c.rcvbuf.Len()
+	if n > max {
+		n = max
+	}
+	wasFull := c.advWindow() < MSS
+	p.Sleep(c.st.copyTime(n))
+	n, objs := c.rcvbuf.Read(n)
+	// Window update: if the window was effectively shut and has now
+	// opened, tell the sender (avoids stalls with small buffers).
+	if wasFull && c.advWindow() >= MSS && c.state != stateClosed {
+		p.Sleep(c.st.Cfg.TxSegCost + c.st.Cfg.DriverTx)
+		c.pendingAcks = 0
+		c.delAck.Cancel()
+		c.st.transmitAt(p.Now(), &Segment{
+			Src: c.st.addr, Dst: c.raddr,
+			SrcPort: c.lport, DstPort: c.rport,
+			Flags: flagACK, Seq: c.sndNxt, Ack: c.peerAck(), Wnd: c.advertise(),
+		})
+	}
+	return n, objs, nil
+}
+
+// Write implements sock.Conn: blocking send; returns once all n bytes
+// are queued in the socket buffer (copied from user space).
+func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
+	c.st.Host.Syscall(p)
+	if c.err != nil {
+		return 0, c.err
+	}
+	if c.state != stateEstablished && c.state != stateCloseWait {
+		return 0, sock.ErrClosed
+	}
+	written := 0
+	for written < n {
+		blocked := c.sndbuf.Len() >= c.st.Cfg.SndBuf && c.err == nil && c.state != stateClosed
+		c.sndReady.WaitFor(p, func() bool {
+			return c.sndbuf.Len() < c.st.Cfg.SndBuf || c.err != nil || c.state == stateClosed
+		})
+		if blocked {
+			p.Sleep(c.st.Host.Wakeup())
+		}
+		if c.err != nil {
+			return written, c.err
+		}
+		if c.state == stateClosed {
+			return written, sock.ErrClosed
+		}
+		chunk := n - written
+		if room := c.st.Cfg.SndBuf - c.sndbuf.Len(); chunk > room {
+			chunk = room
+		}
+		p.Sleep(c.st.copyTime(chunk))
+		var o any
+		if written+chunk >= n {
+			o = obj
+		}
+		c.sndbuf.Append(chunk, o)
+		written += chunk
+		c.output(p)
+	}
+	return written, nil
+}
+
+// Close implements sock.Conn: send FIN after draining; returns without
+// lingering (the kernel completes the close in the background).
+func (c *Conn) Close(p *sim.Proc) error {
+	c.st.Host.Syscall(p)
+	if c.closeUser {
+		return nil
+	}
+	c.closeUser = true
+	switch c.state {
+	case stateEstablished:
+		c.state = stateFinWait1
+	case stateCloseWait:
+		c.state = stateLastAck
+	case stateSynSent, stateSynRcvd:
+		c.fail(sock.ErrClosed)
+		return nil
+	default:
+		return nil
+	}
+	c.finSeq = c.sndbuf.End()
+	c.output(p)
+	return nil
+}

@@ -1,0 +1,282 @@
+package tcpip
+
+import (
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// connKey demultiplexes established connections.
+type connKey struct {
+	lport int
+	raddr ethernet.Addr
+	rport int
+}
+
+// Stack is one host's kernel TCP/IP instance with its standard
+// (non-programmable) NIC driver. It attaches to the switch as a station;
+// received frames accumulate in a ring until the coalesced interrupt
+// fires, then are processed in a softirq batch charged to the host's
+// interrupt context.
+type Stack struct {
+	Eng  *sim.Engine
+	Host *kernel.Host
+	Cfg  StackConfig
+
+	addr ethernet.Addr
+	port *ethernet.Port
+
+	conns     map[connKey]*Conn
+	listeners map[int]*Listener
+	udps      map[int]*UDPSocket
+	nextPort  int
+	nextISS   int64
+	nextDgram uint64
+
+	// activity wakes select() whenever any socket becomes ready.
+	activity *sim.Cond
+
+	// Receive interrupt coalescing state.
+	rxRing  []*ethernet.Frame
+	rxIntr  sim.Event
+	rxFirst sim.Time
+
+	// Stats.
+	SegsIn, SegsOut   sim.Counter
+	Rexmits           sim.Counter
+	DelayedAcks       sim.Counter
+	Interrupts        sim.Counter
+	FastRetransmits   sim.Counter
+	DroppedNoListener sim.Counter
+	DroppedSegs       sim.Counter
+}
+
+// NewStack creates a stack on host and attaches it to sw.
+func NewStack(e *sim.Engine, host *kernel.Host, sw *ethernet.Switch, cfg StackConfig) *Stack {
+	st := &Stack{
+		Eng:       e,
+		Host:      host,
+		Cfg:       cfg,
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[int]*Listener),
+		udps:      make(map[int]*UDPSocket),
+		nextPort:  32768,
+		nextISS:   1 << 20,
+		activity:  sim.NewCond(e, "tcp.activity"),
+	}
+	st.port = sw.Attach(st)
+	st.addr = st.port.Addr()
+	return st
+}
+
+// Addr reports the host's address.
+func (st *Stack) Addr() ethernet.Addr { return st.addr }
+
+var _ sock.Network = (*Stack)(nil)
+
+// copyTime is the user<->kernel copy-and-checksum cost for n bytes.
+func (st *Stack) copyTime(n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return st.Host.Costs.CopySetup + sim.BytesToDuration(n, st.Cfg.CopyBandwidth*8)
+}
+
+// ephemeralPort allocates a local port.
+func (st *Stack) ephemeralPort() int {
+	for {
+		st.nextPort++
+		if st.nextPort > 60999 {
+			st.nextPort = 32768
+		}
+		if _, ok := st.listeners[st.nextPort]; ok {
+			continue
+		}
+		if _, ok := st.udps[st.nextPort]; ok {
+			continue
+		}
+		return st.nextPort
+	}
+}
+
+// Deliver implements ethernet.Station: queue the frame and manage the
+// coalesced receive interrupt.
+func (st *Stack) Deliver(f *ethernet.Frame) {
+	st.rxRing = append(st.rxRing, f)
+	if len(st.rxRing) == 1 {
+		st.rxFirst = st.Eng.Now()
+		st.rxIntr = st.Eng.After(st.Cfg.CoalesceDelay, st.interrupt)
+	}
+	if len(st.rxRing) >= st.Cfg.CoalesceFrames {
+		st.rxIntr.Cancel()
+		st.interrupt()
+	}
+}
+
+// interrupt fires the receive interrupt: the whole batch is charged to
+// the host's IRQ context (hardware interrupt + softirq protocol
+// processing per segment), and each segment's protocol actions run when
+// its processing completes.
+func (st *Stack) interrupt() {
+	batch := st.rxRing
+	st.rxRing = nil
+	if len(batch) == 0 {
+		return
+	}
+	st.Interrupts.Inc()
+	done := st.Host.Interrupt(0)
+	for _, f := range batch {
+		f := f
+		done = st.Host.ChargeIRQ(st.Cfg.RxSegCost)
+		st.Eng.At(done, func() { st.dispatch(f) })
+	}
+}
+
+// dispatch routes one received frame to its connection, listener or UDP
+// socket. Runs in event context at softirq completion time.
+func (st *Stack) dispatch(f *ethernet.Frame) {
+	switch pl := f.Payload.(type) {
+	case *Segment:
+		st.SegsIn.Inc()
+		st.dispatchTCP(pl)
+	case *Datagram:
+		st.dispatchUDP(pl)
+	default:
+		// Not for this stack (e.g. EMP traffic on a shared fabric).
+	}
+}
+
+func (st *Stack) dispatchTCP(seg *Segment) {
+	st.Eng.Tracef("tcp", "rx %v", seg)
+	key := connKey{lport: seg.DstPort, raddr: seg.Src, rport: seg.SrcPort}
+	if c, ok := st.conns[key]; ok {
+		c.input(seg)
+		return
+	}
+	if l, ok := st.listeners[seg.DstPort]; ok && seg.Flags&flagSYN != 0 && seg.Flags&flagACK == 0 {
+		l.inputSYN(seg)
+		return
+	}
+	st.DroppedNoListener.Inc()
+	if seg.Flags&flagRST == 0 {
+		// Refuse with RST.
+		st.transmitAt(st.Eng.Now(), &Segment{
+			Src: st.addr, Dst: seg.Src,
+			SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+			Flags: flagRST | flagACK, Seq: seg.Ack, Ack: seg.Seq + int64(seg.Len),
+		})
+	}
+}
+
+// transmitAt hands a segment to the NIC at time t (>= now).
+func (st *Stack) transmitAt(t sim.Time, seg *Segment) {
+	st.SegsOut.Inc()
+	fr := &ethernet.Frame{
+		Src:        st.addr,
+		Dst:        seg.Dst,
+		PayloadLen: seg.wireLen(),
+		Payload:    seg,
+	}
+	if t <= st.Eng.Now() {
+		st.port.Transmit(fr)
+		return
+	}
+	st.Eng.At(t, func() { st.port.Transmit(fr) })
+}
+
+// Listen implements sock.Network.
+func (st *Stack) Listen(p *sim.Proc, port, backlog int) (sock.Listener, error) {
+	st.Host.Syscall(p) // socket()+bind()+listen() folded
+	if port == 0 {
+		port = st.ephemeralPort()
+	}
+	if _, ok := st.listeners[port]; ok {
+		return nil, sock.ErrInUse
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	l := newListener(st, port, backlog)
+	st.listeners[port] = l
+	return l, nil
+}
+
+// Dial implements sock.Network: active open with the kernel three-way
+// handshake (the connection cost the paper measures at 200-250 us).
+func (st *Stack) Dial(p *sim.Proc, addr ethernet.Addr, port int) (sock.Conn, error) {
+	st.Host.Syscall(p) // socket()+connect()
+	c := newConn(st, st.ephemeralPort(), addr, port)
+	st.conns[c.key()] = c
+	c.state = stateSynSent
+	c.sendSYN(p, false)
+	// Block until established or refused, retrying the SYN.
+	for tries := 0; c.state == stateSynSent; {
+		if !c.established.WaitForTimeout(p, st.Cfg.RTO, func() bool { return c.state != stateSynSent }) {
+			tries++
+			if tries > st.Cfg.SynRetries {
+				delete(st.conns, c.key())
+				return nil, sock.ErrTimeout
+			}
+			c.sendSYN(p, false)
+		}
+	}
+	if c.state != stateEstablished {
+		delete(st.conns, c.key())
+		if c.err != nil {
+			return nil, c.err
+		}
+		return nil, sock.ErrRefused
+	}
+	p.Sleep(st.Host.Wakeup())
+	return c, nil
+}
+
+// Select implements sock.Network over this stack's sockets.
+func (st *Stack) Select(p *sim.Proc, items []sock.Waitable, timeout sim.Duration) []int {
+	st.Host.Syscall(p)
+	deadline := sim.Forever
+	if timeout >= 0 {
+		deadline = p.Now().Add(timeout)
+	}
+	for {
+		var ready []int
+		for i, it := range items {
+			if it.Ready() {
+				ready = append(ready, i)
+			}
+		}
+		if len(ready) > 0 {
+			return ready
+		}
+		remain := deadline.Sub(p.Now())
+		if remain <= 0 {
+			return nil
+		}
+		if deadline == sim.Forever {
+			st.activity.WaitFor(p, func() bool {
+				for _, it := range items {
+					if it.Ready() {
+						return true
+					}
+				}
+				return false
+			})
+		} else if !st.activity.WaitForTimeout(p, remain, func() bool {
+			for _, it := range items {
+				if it.Ready() {
+					return true
+				}
+			}
+			return false
+		}) {
+			return nil
+		}
+	}
+}
+
+func (st *Stack) String() string {
+	return fmt.Sprintf("tcpip.Stack(addr=%d conns=%d)", st.addr, len(st.conns))
+}

@@ -1,0 +1,98 @@
+// Package repro is the public facade of this reproduction of "High
+// Performance User Level Sockets over Gigabit Ethernet" (Balaji, Shivam,
+// Wyckoff, Panda — IEEE Cluster 2002).
+//
+// The paper's system — a user-level sockets substrate over the EMP
+// NIC-level message-passing protocol on Alteon Gigabit Ethernet — is
+// rebuilt as a deterministic discrete-event simulation (see DESIGN.md
+// for the hardware-to-model substitution argument). This package
+// re-exports the pieces a downstream user needs:
+//
+//   - Cluster / NewSubstrateCluster / NewTCPCluster: assemble a testbed
+//     of hosts, NICs and a Gigabit switch with the chosen transport.
+//   - Options / DefaultOptions / DatagramOptions: the substrate's
+//     configuration space (credits, delayed acks, unexpected-queue acks,
+//     rendezvous — the paper's Section 6 knobs).
+//   - Conn / Listener / Network: the generic sockets API applications
+//     are written against; the same application code runs over kernel
+//     TCP and over the substrate, which is the paper's claim.
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	c := repro.NewSubstrateCluster(2, nil)
+//	c.Eng.Spawn("server", func(p *sim.Proc) {
+//	    l, _ := c.Nodes[0].Net.Listen(p, 80, 4)
+//	    conn, _ := l.Accept(p)
+//	    ...
+//	})
+//	c.Run(repro.Seconds(10))
+package repro
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// Re-exported simulation types.
+type (
+	// Cluster is an assembled simulated testbed.
+	Cluster = cluster.Cluster
+	// ClusterConfig fully parameterizes a testbed.
+	ClusterConfig = cluster.Config
+	// Node is one simulated machine.
+	Node = cluster.Node
+	// Options configures the sockets-over-EMP substrate.
+	Options = core.Options
+	// Conn is a connected socket over either transport.
+	Conn = sock.Conn
+	// Listener is a passive socket over either transport.
+	Listener = sock.Listener
+	// Network is one host's socket layer.
+	Network = sock.Network
+	// Proc is a simulated process.
+	Proc = sim.Proc
+	// Engine is the discrete-event core.
+	Engine = sim.Engine
+	// Duration is simulated time.
+	Duration = sim.Duration
+)
+
+// Transport selectors.
+const (
+	TransportTCP       = cluster.TransportTCP
+	TransportTCPBig    = cluster.TransportTCPBig
+	TransportSubstrate = cluster.TransportSubstrate
+)
+
+// NewSubstrateCluster builds an n-node cluster running the paper's
+// user-level sockets substrate (nil opts selects the paper's standard
+// DS_DA_UQ configuration).
+func NewSubstrateCluster(n int, opts *Options) *Cluster {
+	return cluster.NewSubstrate(n, opts)
+}
+
+// NewTCPCluster builds an n-node cluster running the kernel TCP baseline
+// with the era-default 16 KB socket buffers.
+func NewTCPCluster(n int) *Cluster { return cluster.NewTCP(n) }
+
+// NewTCPBigCluster builds the enlarged-socket-buffer TCP baseline.
+func NewTCPBigCluster(n int) *Cluster { return cluster.NewTCPBig(n) }
+
+// NewCluster builds a testbed from a full configuration.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// DefaultOptions is the paper's standard Data Streaming configuration
+// (credit 32, 64 KB buffers, delayed acks, unexpected-queue acks).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DatagramOptions is the paper's Datagram configuration (zero-copy
+// receives, rendezvous for large messages).
+func DatagramOptions() Options { return core.DatagramOptions() }
+
+// Seconds converts wall seconds to simulated duration.
+func Seconds(s float64) Duration { return Duration(s * 1e9) }
+
+// Microseconds converts microseconds to simulated duration.
+func Microseconds(us float64) Duration { return Duration(us * 1e3) }

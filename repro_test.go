@@ -1,0 +1,90 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+func TestFacadeBuildsWorkingClusters(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() *Cluster
+	}{
+		{"substrate", func() *Cluster { return NewSubstrateCluster(2, nil) }},
+		{"tcp", func() *Cluster { return NewTCPCluster(2) }},
+		{"tcp-big", func() *Cluster { return NewTCPBigCluster(2) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.build()
+			ok := false
+			c.Eng.Spawn("server", func(p *Proc) {
+				l, err := c.Nodes[0].Net.Listen(p, 80, 4)
+				if err != nil {
+					return
+				}
+				conn, err := l.Accept(p)
+				if err != nil {
+					return
+				}
+				if n, _, _ := sock.ReadFull(p, conn, 128); n == 128 {
+					ok = true
+				}
+				conn.Close(p)
+			})
+			c.Eng.Spawn("client", func(p *Proc) {
+				p.Sleep(Microseconds(10))
+				conn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+				if err != nil {
+					return
+				}
+				conn.Write(p, 128, nil)
+				conn.Close(p)
+			})
+			c.Run(Seconds(10))
+			if !ok {
+				t.Fatal("facade-built cluster did not move data")
+			}
+		})
+	}
+}
+
+func TestFacadeOptionsFlowThrough(t *testing.T) {
+	o := DefaultOptions()
+	o.Credits = 7
+	c := NewSubstrateCluster(2, &o)
+	if c.Nodes[0].Sub.Opts.Credits != 7 {
+		t.Fatal("options did not reach the substrate")
+	}
+	dgOpts := DatagramOptions()
+	if dgOpts.Mode.String() != "DG" {
+		t.Fatalf("DatagramOptions mode = %v", dgOpts.Mode)
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if Seconds(1.5) != Duration(1_500_000_000) {
+		t.Fatalf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if Microseconds(2) != Duration(2000) {
+		t.Fatalf("Microseconds(2) = %v", Microseconds(2))
+	}
+	if Seconds(1) != Duration(sim.Second) {
+		t.Fatal("facade duration diverges from sim")
+	}
+}
+
+func TestFullConfigCluster(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 3, Transport: TransportSubstrate, Seed: 5})
+	if len(c.Nodes) != 3 || c.Nodes[0].Sub == nil {
+		t.Fatal("NewCluster wiring wrong")
+	}
+	c2 := NewCluster(ClusterConfig{Nodes: 1, Transport: TransportTCPBig})
+	if c2.Nodes[0].Stack == nil {
+		t.Fatal("TCPBig transport missing stack")
+	}
+	if c2.Nodes[0].Stack.Cfg.SndBuf <= 16<<10 {
+		t.Fatal("TCPBig should enlarge socket buffers")
+	}
+}
