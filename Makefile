@@ -1,9 +1,10 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench reproduce ablations examples verify
+.PHONY: test race bench reproduce ablations chaos examples verify
 
 test:
-	go test ./...
+	go vet ./...
+	go test -race ./...
 
 race:
 	go test -race ./...
@@ -16,6 +17,11 @@ reproduce:
 
 ablations:
 	go run ./cmd/reproduce -ablations
+
+# chaos runs every workload under randomized fault plans and the
+# node-crash scenario, failing if any run does not recover.
+chaos:
+	go run ./cmd/reproduce -chaos
 
 examples:
 	go run ./examples/quickstart

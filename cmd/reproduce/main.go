@@ -24,6 +24,8 @@ import (
 func main() {
 	figFlag := flag.String("fig", "all", "which figure to reproduce (all, fig11..fig17)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead")
+	chaos := flag.Bool("chaos", false, "run the fault-injection chaos suite instead")
+	chaosSeeds := flag.Int("chaos-seeds", 5, "randomized fault plans per chaos workload")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
 	plot := flag.Bool("plot", false, "also render each figure as an ASCII chart")
@@ -49,6 +51,17 @@ func main() {
 		}
 		f.CSV(out)
 		out.Close()
+	}
+
+	if *chaos {
+		runs := bench.Chaos(*chaosSeeds, *quick)
+		bench.FprintChaos(os.Stdout, runs)
+		for _, r := range runs {
+			if !r.OK {
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	if *ablations {

@@ -10,6 +10,7 @@
 //	trace -scenario pingpong -transport tcp
 //	trace -scenario connect-race
 //	trace -scenario lossy
+//	trace -scenario chaos
 package main
 
 import (
@@ -19,12 +20,13 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/ethernet"
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/sock"
 )
 
 func main() {
-	scenario := flag.String("scenario", "pingpong", "pingpong, connect-race or lossy")
+	scenario := flag.String("scenario", "pingpong", "pingpong, connect-race, lossy or chaos")
 	transport := flag.String("transport", "substrate", "substrate or tcp")
 	msgSize := flag.Int("size", 64, "message size in bytes")
 	flag.Parse()
@@ -33,17 +35,25 @@ func main() {
 	if *transport == "tcp" {
 		cfg.Transport = cluster.TransportTCP
 	}
-	if *scenario == "lossy" {
+	switch *scenario {
+	case "lossy":
 		sw := ethernet.DefaultSwitchConfig()
 		sw.LossRate = 0.1
 		cfg.Switch = &sw
+		cfg.Seed = 7
+	case "chaos":
+		// A randomized plan plus heavy uniform rates so a single
+		// round trip shows drops, duplicates and FCS rejects.
+		pl := faults.RandomPlan(7, 2, sim.Second)
+		pl.Clauses = append(pl.Clauses, faults.Uniform(0.05, 0.05, 0.05, 0.05))
+		cfg.Faults = pl
 		cfg.Seed = 7
 	}
 	c := cluster.New(cfg)
 	c.Eng.SetTrace(os.Stdout)
 
 	switch *scenario {
-	case "pingpong", "lossy":
+	case "pingpong", "lossy", "chaos":
 		runPingPong(c, *msgSize)
 	case "connect-race":
 		runConnectRace(c, *msgSize)
@@ -52,6 +62,9 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("--- %d trace events ---\n", c.Eng.TraceCount())
+	if fs := c.Switch.FaultStats(); fs.Total() > 0 {
+		fmt.Printf("fault stats: %v\n", fs)
+	}
 	if blocked := c.Eng.BlockedProcs(); len(blocked) > 0 {
 		fmt.Println("blocked processes at end of run:")
 		for _, b := range blocked {

@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/ethernet"
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// Chaos is the fault-injection counterpart of the figure harness: every
+// evaluation workload runs to completion under randomized fault plans
+// (loss, duplication, corruption, reordering bursts) on both transports,
+// plus a node-crash scenario that measures how quickly the substrate's
+// peer-failure detection surfaces sock.ErrReset. cmd/reproduce -chaos
+// prints the resulting fault/recovery report.
+
+// ChaosRun is one workload execution under one fault plan.
+type ChaosRun struct {
+	Workload  string
+	Transport cluster.Transport
+	Seed      uint64
+	OK        bool
+	Detail    string // failure text, or a recovery note
+	Elapsed   sim.Duration
+	Faults    ethernet.FaultStats
+	// FCSDrops counts corrupted frames rejected before any payload
+	// reached EMP or TCP (NIC FCS check / stack checksum check).
+	FCSDrops int64
+	// Rexmits is the recovery work spent: EMP retransmits on the
+	// substrate, TCP (fast) retransmissions on the kernel stack.
+	Rexmits int64
+}
+
+// chaosCounters sums the per-node fault and recovery counters.
+func chaosCounters(c *cluster.Cluster, r *ChaosRun) {
+	r.Faults = c.Switch.FaultStats()
+	for _, n := range c.Nodes {
+		if n.Sub != nil {
+			r.FCSDrops += n.Sub.EP.NIC.FCSErrors.Value
+			r.Rexmits += int64(n.Sub.EP.Stats().Retransmits)
+		}
+		if n.Stack != nil {
+			r.FCSDrops += n.Stack.ChecksumDrops.Value
+			r.Rexmits += n.Stack.Rexmits.Value + n.Stack.FastRetransmits.Value
+		}
+	}
+}
+
+// Chaos runs the matrix of workloads × transports × seeds and the crash
+// scenario, returning one row per run.
+func Chaos(seeds int, quick bool) []ChaosRun {
+	if seeds < 1 {
+		seeds = 1
+	}
+	ftpBytes := 4 << 20
+	kvOps := 50
+	if quick {
+		ftpBytes = 1 << 20
+		kvOps = 20
+	}
+	var runs []ChaosRun
+	for _, tr := range []cluster.Transport{cluster.TransportSubstrate, cluster.TransportTCP} {
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			runs = append(runs,
+				chaosFTP(tr, seed, ftpBytes),
+				chaosKV(tr, seed, kvOps),
+				chaosWeb(tr, seed))
+		}
+	}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		runs = append(runs, chaosCrash(seed))
+	}
+	return runs
+}
+
+func chaosCluster(tr cluster.Transport, nodes int, seed uint64, dur sim.Duration) *cluster.Cluster {
+	return cluster.New(cluster.Config{
+		Nodes:     nodes,
+		Transport: tr,
+		Seed:      seed,
+		Faults:    faults.RandomPlan(seed, nodes, dur),
+	})
+}
+
+func chaosFTP(tr cluster.Transport, seed uint64, bytes int) ChaosRun {
+	r := ChaosRun{Workload: "ftp", Transport: tr, Seed: seed}
+	c := chaosCluster(tr, 2, seed, 2*sim.Second)
+	res := apps.RunFTP(c, bytes)
+	r.Elapsed = res.Elapsed
+	if res.Err != nil {
+		r.Detail = res.Err.Error()
+	} else if size, _ := c.Nodes[1].FS.Stat("copy.bin"); size != bytes {
+		r.Detail = fmt.Sprintf("file corrupted: %d of %d bytes", size, bytes)
+	} else {
+		r.OK = true
+		r.Detail = fmt.Sprintf("%d bytes intact", bytes)
+	}
+	chaosCounters(c, &r)
+	return r
+}
+
+func chaosKV(tr cluster.Transport, seed uint64, ops int) ChaosRun {
+	r := ChaosRun{Workload: "kvstore", Transport: tr, Seed: seed}
+	c := chaosCluster(tr, 4, seed, sim.Second)
+	cfg := apps.DefaultKVConfig(1024)
+	cfg.OpsPerClient = ops
+	res := apps.RunKVStore(c, cfg)
+	r.Elapsed = res.Elapsed
+	want := cfg.Clients * cfg.OpsPerClient
+	switch {
+	case res.Err != nil:
+		r.Detail = res.Err.Error()
+	case res.Ops != want:
+		r.Detail = fmt.Sprintf("%d of %d ops", res.Ops, want)
+	default:
+		r.OK = true
+		r.Detail = fmt.Sprintf("%d ops completed", res.Ops)
+	}
+	chaosCounters(c, &r)
+	return r
+}
+
+func chaosWeb(tr cluster.Transport, seed uint64) ChaosRun {
+	r := ChaosRun{Workload: "web", Transport: tr, Seed: seed}
+	c := chaosCluster(tr, 4, seed, sim.Second)
+	res := apps.RunWeb(c, apps.DefaultWebConfig(1024, 8))
+	want := 3 * 24
+	switch {
+	case res.Err != nil:
+		r.Detail = res.Err.Error()
+	case res.Requests != want:
+		r.Detail = fmt.Sprintf("%d of %d requests", res.Requests, want)
+	default:
+		r.OK = true
+		r.Detail = fmt.Sprintf("%d requests served", res.Requests)
+	}
+	chaosCounters(c, &r)
+	return r
+}
+
+// chaosCrash kills the server mid-stream and reports how long the
+// surviving writer took to observe sock.ErrReset.
+func chaosCrash(seed uint64) ChaosRun {
+	r := ChaosRun{Workload: "crash", Transport: cluster.TransportSubstrate, Seed: seed}
+	const killAt = 20 * sim.Millisecond
+	pl := faults.RandomPlan(seed, 2, sim.Second)
+	pl.Crashes = append(pl.Crashes, faults.CrashAt(0, killAt))
+	c := cluster.New(cluster.Config{
+		Nodes:     2,
+		Transport: cluster.TransportSubstrate,
+		Seed:      seed,
+		Faults:    pl,
+	})
+	var wrErr error
+	var errAt sim.Time
+	c.Eng.Spawn("server", func(p *sim.Proc) {
+		l, err := c.Nodes[0].Net.Listen(p, 80, 4)
+		if err != nil {
+			return
+		}
+		conn, err := l.Accept(p)
+		if err != nil {
+			return
+		}
+		for {
+			if _, _, err := conn.Read(p, 1<<20); err != nil {
+				return
+			}
+		}
+	})
+	c.Eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		conn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+		if err != nil {
+			wrErr = err
+			return
+		}
+		for {
+			if _, err := conn.Write(p, 8<<10, nil); err != nil {
+				wrErr, errAt = err, p.Now()
+				return
+			}
+		}
+	})
+	c.Run(2 * sim.Second)
+	detect := sim.Duration(errAt) - killAt
+	r.Elapsed = detect
+	leaked := c.Nodes[1].Sub.ActiveSockets() + c.Nodes[1].Sub.EP.PrepostedDescriptors()
+	switch {
+	case wrErr != sock.ErrReset:
+		r.Detail = fmt.Sprintf("writer got %v, want reset", wrErr)
+	case leaked != 0:
+		r.Detail = fmt.Sprintf("%d resources leaked after reset", leaked)
+	default:
+		r.OK = true
+		r.Detail = fmt.Sprintf("reset %v after crash, no leaks", detect)
+	}
+	chaosCounters(c, &r)
+	return r
+}
+
+// FprintChaos renders the chaos report.
+func FprintChaos(w io.Writer, runs []ChaosRun) {
+	fmt.Fprintln(w, "=== chaos: workloads under randomized fault plans ===")
+	header := fmt.Sprintf("%-8s  %-10s  %4s  %-4s  %7s  %8s  %8s  %s",
+		"workload", "transport", "seed", "ok", "rexmits", "fcsdrops", "injected", "detail")
+	fmt.Fprintln(w, header)
+	ok := 0
+	var total ethernet.FaultStats
+	for _, r := range runs {
+		status := "FAIL"
+		if r.OK {
+			status = "ok"
+			ok++
+		}
+		fmt.Fprintf(w, "%-8s  %-10s  %4d  %-4s  %7d  %8d  %8d  %s\n",
+			r.Workload, r.Transport, r.Seed, status,
+			r.Rexmits, r.FCSDrops, r.Faults.Total(), r.Detail)
+		total.Add(r.Faults)
+	}
+	fmt.Fprintf(w, "runs: %d/%d survived; injected totals: %v\n\n", ok, len(runs), total)
+}

@@ -10,6 +10,7 @@ package cluster
 import (
 	"repro/internal/core"
 	"repro/internal/ethernet"
+	"repro/internal/faults"
 	"repro/internal/fdtable"
 	"repro/internal/kernel"
 	"repro/internal/nic"
@@ -62,6 +63,11 @@ type Config struct {
 	NIC *nic.Config
 	// Seed seeds the engine's deterministic random source.
 	Seed uint64
+	// Faults, when non-nil, injects the plan's link faults at the
+	// switch and schedules its node crashes. Node indices in the plan
+	// refer to positions in Nodes; fabric port indices coincide with
+	// node indices because New attaches nodes in order.
+	Faults *faults.Plan
 }
 
 // Node is one machine of the cluster.
@@ -138,7 +144,30 @@ func New(cfg Config) *Cluster {
 		n.FD = fdtable.New(n.Net, n.FS)
 		c.Nodes = append(c.Nodes, n)
 	}
+	if cfg.Faults != nil {
+		sw.SetFaults(cfg.Faults)
+		for _, cr := range cfg.Faults.Crashes {
+			cr := cr
+			eng.At(sim.Time(cr.At), func() { c.Kill(cr.Node) })
+		}
+	}
 	return c
+}
+
+// Kill crashes node i: its protocol state dies instantly (no farewell
+// messages) and its NIC stops accepting frames, as with a power loss.
+// Out of range is a no-op; killing twice is harmless.
+func (c *Cluster) Kill(i int) {
+	if i < 0 || i >= len(c.Nodes) {
+		return
+	}
+	n := c.Nodes[i]
+	if n.Sub != nil {
+		n.Sub.Kill()
+	}
+	if n.Stack != nil {
+		n.Stack.Kill()
+	}
 }
 
 // NewTCP builds an n-node kernel-TCP cluster with default buffers.

@@ -12,6 +12,9 @@ func (c *Cluster) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cluster: %d nodes, transport %v\n", len(c.Nodes), c.Cfg.Transport)
 	fmt.Fprintf(&b, "fabric: %d frames forwarded, %d dropped\n", c.Switch.Forwards(), c.Switch.Drops())
+	if fs := c.Switch.FaultStats(); fs.Total() > 0 {
+		fmt.Fprintf(&b, "fabric faults: %v\n", fs)
+	}
 	for i, n := range c.Nodes {
 		fmt.Fprintf(&b, "node %d:\n", i)
 		fmt.Fprintf(&b, "  host: %d syscalls, %d interrupts, %d ctx switches, %d bytes copied\n",
@@ -29,6 +32,12 @@ func (c *Cluster) Report() string {
 				n.Sub.RendezvousOps.Value, n.Sub.ClosesSent.Value)
 			fmt.Fprintf(&b, "  pin cache: %d hits, %d misses\n",
 				n.Sub.EP.CacheHits.Value, n.Sub.EP.CacheMisses.Value)
+			if n.Sub.ConnsFailed.Value > 0 || n.Sub.KeepalivesSent.Value > 0 ||
+				n.Sub.DialRetries.Value > 0 || n.Sub.EP.NIC.FCSErrors.Value > 0 {
+				fmt.Fprintf(&b, "  failures: %d conns failed, %d keepalives sent, %d dial retries, %d FCS drops\n",
+					n.Sub.ConnsFailed.Value, n.Sub.KeepalivesSent.Value,
+					n.Sub.DialRetries.Value, n.Sub.EP.NIC.FCSErrors.Value)
+			}
 		}
 		if n.Stack != nil {
 			fmt.Fprintf(&b, "  tcp: %d segs in, %d out, %d rexmits, %d fast rexmits, %d delayed acks, %d interrupts, %d ooo drops\n",
@@ -36,6 +45,9 @@ func (c *Cluster) Report() string {
 				n.Stack.Rexmits.Value, n.Stack.FastRetransmits.Value,
 				n.Stack.DelayedAcks.Value, n.Stack.Interrupts.Value,
 				n.Stack.DroppedSegs.Value)
+			if n.Stack.ChecksumDrops.Value > 0 {
+				fmt.Fprintf(&b, "  tcp faults: %d checksum drops\n", n.Stack.ChecksumDrops.Value)
+			}
 		}
 		if n.FS != nil && (n.FS.Reads.Value > 0 || n.FS.Writes.Value > 0) {
 			fmt.Fprintf(&b, "  fs: %d reads (%d bytes), %d writes (%d bytes)\n",

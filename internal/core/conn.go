@@ -61,6 +61,9 @@ type Conn struct {
 	peerClosed  bool
 	cleaned     bool
 	err         error
+	// lastIO is when the connection last saw application activity; the
+	// keepalive loop probes only connections idle past the interval.
+	lastIO sim.Time
 }
 
 var _ sock.Conn = (*Conn)(nil)
@@ -75,6 +78,7 @@ func connOptions(base Options, req *connRequest) Options {
 	o.DelayedAcks = req.DelayedAcks
 	o.UQAcks = req.UQAcks
 	o.Piggyback = req.Piggyback
+	o.KeepaliveIdle = req.Keepalive
 	return o.normalize()
 }
 
@@ -104,10 +108,66 @@ func newConn(s *Substrate, peer ethernet.Addr, req *connRequest, isClient bool) 
 	c.sendKey = s.allocKey()
 	c.userKey = s.allocKey()
 	c.holdback = make(map[uint64]*header)
+	c.lastIO = s.Eng.Now()
 	s.active[c] = struct{}{}
 	s.openChans[chanKey{peer, c.dataInTag}] = true
 	s.openChans[chanKey{peer, c.ackInTag}] = true
+	if c.opts.KeepaliveIdle > 0 {
+		s.Eng.Spawn("keepalive", c.keepaliveLoop)
+	}
 	return c
+}
+
+// fail marks the connection failed: blocked Read/Write/Select callers
+// wake with err on their next predicate check. Safe to call from event
+// context (the EMP send-failure notification path).
+func (c *Conn) fail(err error) {
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	c.sub.ConnsFailed.Inc()
+	c.sub.Eng.Tracef("substrate", "conn %d:%d -> %d:%d FAILED: %v",
+		c.sub.addr, c.localPort, c.peer, c.remotePort, err)
+	c.sub.activity.Broadcast()
+}
+
+// abort reclaims a failed connection's resources without the Section 5.3
+// close handshake — the peer is unreachable, so no close message can be
+// delivered. Every descriptor is still unposted ("used or unposted") and
+// the socket leaves the active table, so failure leaks nothing.
+func (c *Conn) abort(p *sim.Proc) {
+	if c.cleaned {
+		return
+	}
+	c.closeSent = true // suppress any later close message
+	c.cleanup(p)
+}
+
+// keepaliveLoop probes the peer while the connection sits idle. The
+// probe is a no-op message on the ack channel; its value is that EMP
+// reliability will retry it and report failure if the peer is gone,
+// turning silent peer death into a connection error for applications
+// that only ever block in Read.
+func (c *Conn) keepaliveLoop(p *sim.Proc) {
+	idle := c.opts.KeepaliveIdle
+	for {
+		p.Sleep(idle)
+		if c.cleaned || c.err != nil || c.peerClosed || c.closeSent {
+			return
+		}
+		if c.sub.Eng.Now().Sub(c.lastIO) < idle {
+			continue // application traffic is already probing the peer
+		}
+		c.sub.KeepalivesSent.Inc()
+		c.sub.Eng.Tracef("substrate", "keepalive %d -> %d", c.sub.addr, c.peer)
+		st := c.sub.EP.Send(p, c.peer, c.ackOutTag, headerBytes,
+			&header{Kind: kindKeepalive}, emp.KeyNone)
+		if st != emp.StatusOK {
+			c.fail(sock.ErrReset)
+			return
+		}
+	}
 }
 
 // postInitialDescriptors posts the connection's standing descriptors;
@@ -189,6 +249,9 @@ func (c *Conn) handleControl(hdr *header) {
 	case kindRendAck:
 		// Handled inline by the rendezvous sender via rendAckReady.
 		c.rendAcks = append(c.rendAcks, hdr)
+	case kindKeepalive:
+		// Peer-liveness probe: receiving it requires no action (the
+		// NIC-level acknowledgment it elicited is the liveness signal).
 	}
 	c.sub.activity.Broadcast()
 }
@@ -302,10 +365,28 @@ func (c *Conn) takeCredit(p *sim.Proc) error {
 		if c.opts.UQAcks || c.opts.Mode == Datagram {
 			h := c.sub.EP.PostRecv(p, c.peer, c.ackInTag, headerBytes, emp.KeyNone)
 			h.SetNotify(c.sub.activity)
-			m, st := c.sub.EP.WaitRecv(p, h)
-			if st == emp.StatusOK {
-				if hdr, ok := m.Data.(*header); ok {
-					c.handleControl(hdr)
+			// Wake on completion OR connection failure: a descriptor on
+			// a failed connection never completes, and the §5.3 rule
+			// says it must then be unposted, not abandoned.
+			c.sub.activity.WaitFor(p, func() bool {
+				return h.Status() != emp.StatusPending || c.err != nil || c.peerClosed
+			})
+			if h.Status() != emp.StatusPending {
+				m, st := c.sub.EP.WaitRecv(p, h) // immediate; charges the poll gap
+				if st == emp.StatusOK {
+					if hdr, ok := m.Data.(*header); ok {
+						c.handleControl(hdr)
+					}
+				}
+				continue
+			}
+			if !c.sub.EP.Unpost(p, h) {
+				// An arrival consumed the descriptor while the unpost was
+				// in flight: the ack must still be accounted.
+				if m, st, ok := c.sub.EP.TryRecv(h); ok && st == emp.StatusOK {
+					if hdr, ok2 := m.Data.(*header); ok2 {
+						c.handleControl(hdr)
+					}
 				}
 			}
 			continue
@@ -384,9 +465,7 @@ func (c *Conn) collectDS(p *sim.Proc) {
 		case emp.StatusCancelled:
 			// Unposted during cleanup: nothing to deliver.
 		default:
-			if c.err == nil {
-				c.err = sock.ErrReset
-			}
+			c.fail(sock.ErrReset)
 		}
 	}
 	for {
@@ -415,11 +494,13 @@ func (c *Conn) pumpDS(p *sim.Proc, block bool) {
 func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 	p.Sleep(c.opts.LibCall)
 	if c.err != nil {
+		c.abort(p)
 		return 0, nil, c.err
 	}
 	if c.cleaned {
 		return 0, nil, sock.ErrClosed
 	}
+	c.lastIO = p.Now()
 	if c.opts.Mode == Datagram {
 		return c.readDG(p, max)
 	}
@@ -431,6 +512,7 @@ func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 		c.pumpDS(p, true)
 	}
 	if c.err != nil {
+		c.abort(p)
 		return 0, nil, c.err
 	}
 	c.pumpDS(p, false) // opportunistic drain
@@ -452,6 +534,7 @@ func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 	p.Sleep(c.opts.LibCall)
 	if c.err != nil {
+		c.abort(p)
 		return 0, c.err
 	}
 	if c.closeSent || c.cleaned {
@@ -460,6 +543,7 @@ func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 	if c.peerClosed {
 		return 0, sock.ErrClosed
 	}
+	c.lastIO = p.Now()
 	if c.opts.Mode == Datagram {
 		return c.writeDG(p, n, obj)
 	}
@@ -471,6 +555,9 @@ func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 			chunk = c.opts.BufSize
 		}
 		if err := c.takeCredit(p); err != nil {
+			if c.err != nil {
+				c.abort(p)
+			}
 			return written, err
 		}
 		piggy := 0
@@ -490,7 +577,8 @@ func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 		st := c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes+chunk,
 			&header{Kind: kindData, Piggy: piggy, Len: chunk, Obj: o, Seq: seq}, c.sendKey)
 		if st != emp.StatusOK {
-			c.err = sock.ErrReset
+			c.fail(sock.ErrReset)
+			c.abort(p)
 			return written, c.err
 		}
 		written += chunk
@@ -521,7 +609,9 @@ func (c *Conn) Close(p *sim.Proc) error {
 	} else {
 		c.drainDGControl(p)
 	}
-	if !c.peerClosed {
+	if !c.peerClosed && c.err == nil {
+		// A failed connection skips the close message — the peer is
+		// unreachable and the send would only burn a retry budget.
 		sendClose := true
 		if c.opts.Mode == DataStreaming {
 			if err := c.takeCredit(p); err != nil {

@@ -28,7 +28,8 @@ func (c *Conn) writeDG(p *sim.Proc, n int, obj any) (int, error) {
 	st := c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes+n,
 		&header{Kind: kindData, Len: n, Obj: obj}, c.sendKey)
 	if st != emp.StatusOK {
-		c.err = sock.ErrReset
+		c.fail(sock.ErrReset)
+		c.abort(p)
 		return 0, c.err
 	}
 	return n, nil
@@ -45,7 +46,8 @@ func (c *Conn) writeRendezvous(p *sim.Proc, n int, obj any) (int, error) {
 	st := c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes,
 		&header{Kind: kindRendReq, RendTag: tag, RendLen: n}, emp.KeyNone)
 	if st != emp.StatusOK {
-		c.err = sock.ErrReset
+		c.fail(sock.ErrReset)
+		c.abort(p)
 		return 0, c.err
 	}
 	// Block until the matching rendezvous acknowledgment arrives.
@@ -56,7 +58,8 @@ func (c *Conn) writeRendezvous(p *sim.Proc, n int, obj any) (int, error) {
 			st = c.sub.EP.Send(p, c.peer, tag, n,
 				&header{Kind: kindData, Len: n, Obj: obj}, c.userKey)
 			if st != emp.StatusOK {
-				c.err = sock.ErrReset
+				c.fail(sock.ErrReset)
+				c.abort(p)
 				return 0, c.err
 			}
 			return n, nil
@@ -67,6 +70,7 @@ func (c *Conn) writeRendezvous(p *sim.Proc, n int, obj any) (int, error) {
 		c.pollAcks(p)
 	}
 	if c.err != nil {
+		c.abort(p)
 		return 0, c.err
 	}
 	return 0, sock.ErrClosed
@@ -106,6 +110,20 @@ func (c *Conn) readDG(p *sim.Proc, max int) (int, []any, error) {
 		// Post the receive with the user's buffer: the zero-copy path.
 		h := c.sub.EP.PostRecv(p, c.peer, c.dataInTag, headerBytes+max, c.userKey)
 		h.SetNotify(c.sub.activity)
+		// Wake on completion OR connection failure: a read blocked
+		// against a dead peer must return, and its descriptor must be
+		// unposted rather than abandoned (§5.3).
+		c.sub.activity.WaitFor(p, func() bool {
+			return h.Status() != emp.StatusPending || c.err != nil
+		})
+		if h.Status() == emp.StatusPending {
+			if c.sub.EP.Unpost(p, h) {
+				c.abort(p)
+				return 0, nil, c.err
+			}
+			// An arrival consumed the descriptor while the unpost was in
+			// flight; fall through and process it.
+		}
 		m, st := c.sub.EP.WaitRecv(p, h)
 		switch st {
 		case emp.StatusOK:
@@ -118,10 +136,15 @@ func (c *Conn) readDG(p *sim.Proc, max int) (int, []any, error) {
 			// dropped by the firmware: datagram truncation.
 			c.sub.DGramTruncated.Inc()
 			return 0, nil, sock.ErrMessageTruncated
-		default:
-			if c.err == nil {
-				c.err = sock.ErrReset
+		case emp.StatusCancelled:
+			c.abort(p)
+			if c.err != nil {
+				return 0, nil, c.err
 			}
+			return 0, nil, sock.ErrClosed
+		default:
+			c.fail(sock.ErrReset)
+			c.abort(p)
 			return 0, nil, c.err
 		}
 	}
@@ -174,11 +197,19 @@ func (c *Conn) receiveRendezvous(p *sim.Proc, req *header, max int) (int, []any,
 	h.SetNotify(c.sub.activity)
 	c.sub.EP.Send(p, c.peer, c.ackOutTag, headerBytes,
 		&header{Kind: kindRendAck, RendTag: req.RendTag}, emp.KeyNone)
+	c.sub.activity.WaitFor(p, func() bool {
+		return h.Status() != emp.StatusPending || c.err != nil
+	})
+	if h.Status() == emp.StatusPending {
+		if c.sub.EP.Unpost(p, h) {
+			c.abort(p)
+			return 0, nil, c.err
+		}
+	}
 	m, st := c.sub.EP.WaitRecv(p, h)
 	if st != emp.StatusOK {
-		if c.err == nil {
-			c.err = sock.ErrReset
-		}
+		c.fail(sock.ErrReset)
+		c.abort(p)
 		return 0, nil, c.err
 	}
 	hdr, _ := m.Data.(*header)

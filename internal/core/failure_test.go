@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// failureBound is how much simulated time peer-death detection may take
+// after the crash: the EMP retry budget (MaxRetries timeouts, each at
+// most MaxRTO) plus generous slack for keepalive scheduling.
+const failureBound = 500 * sim.Millisecond
+
+// TestWriterGetsResetAfterPeerCrash: a client streaming data to a peer
+// whose substrate dies mid-run must observe sock.ErrReset on Write
+// within the retry-budget bound, and the failed connection must leave
+// zero descriptors and zero active-table entries behind.
+func TestWriterGetsResetAfterPeerCrash(t *testing.T) {
+	b := newBed(2, DefaultOptions())
+	const killAt = 20 * sim.Millisecond
+
+	var wrErr error
+	var errAt sim.Time
+	b.eng.Spawn("server", func(p *sim.Proc) {
+		l, err := b.subs[0].Listen(p, 80, 4)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		conn, err := l.Accept(p)
+		if err != nil {
+			return // killed before/while accepting
+		}
+		for {
+			if _, _, err := conn.Read(p, 1<<20); err != nil {
+				return
+			}
+		}
+	})
+	b.eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		conn, err := b.subs[1].Dial(p, b.subs[0].Addr(), 80)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		for {
+			if _, err := conn.Write(p, 8<<10, nil); err != nil {
+				wrErr, errAt = err, p.Now()
+				return
+			}
+		}
+	})
+	b.eng.At(sim.Time(killAt), func() { b.subs[0].Kill() })
+	b.eng.RunUntil(sim.Time(2 * sim.Second))
+
+	if wrErr != sock.ErrReset {
+		t.Fatalf("write to crashed peer returned %v, want sock.ErrReset", wrErr)
+	}
+	if d := sim.Duration(errAt) - killAt; d > failureBound {
+		t.Fatalf("failure detected %v after the crash, bound %v", d, failureBound)
+	}
+	if n := b.subs[1].ConnsFailed.Value; n == 0 {
+		t.Fatal("ConnsFailed not counted on the surviving side")
+	}
+	// No leaks on the survivor: the aborted connection left the active
+	// table and unposted every descriptor.
+	if n := b.subs[1].ActiveSockets(); n != 0 {
+		t.Fatalf("%d sockets leaked in the active table", n)
+	}
+	if n := b.subs[1].EP.PrepostedDescriptors(); n != 0 {
+		t.Fatalf("%d descriptors leaked at the NIC", n)
+	}
+	b.subs[1].PurgeStale()
+	if n := b.subs[1].EP.UnexpectedQueued(); n != 0 {
+		t.Fatalf("%d unexpected-queue entries leaked", n)
+	}
+}
+
+// TestKeepaliveDetectsIdlePeerCrash: a client blocked in Read with no
+// data to send must still detect the peer's death — via the keepalive
+// probe riding EMP reliability — and wake with sock.ErrReset.
+func TestKeepaliveDetectsIdlePeerCrash(t *testing.T) {
+	opts := DefaultOptions()
+	opts.KeepaliveIdle = 5 * sim.Millisecond
+	b := newBed(2, opts)
+	const killAt = 20 * sim.Millisecond
+
+	var rdErr error
+	var errAt sim.Time
+	b.eng.Spawn("server", func(p *sim.Proc) {
+		l, err := b.subs[0].Listen(p, 80, 4)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		conn, err := l.Accept(p)
+		if err != nil {
+			return
+		}
+		conn.Read(p, 1<<20) // block forever; the host dies under us
+	})
+	b.eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		conn, err := b.subs[1].Dial(p, b.subs[0].Addr(), 80)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		_, _, err = conn.Read(p, 1<<20) // no traffic: only keepalives probe
+		rdErr, errAt = err, p.Now()
+	})
+	b.eng.At(sim.Time(killAt), func() { b.subs[0].Kill() })
+	b.eng.RunUntil(sim.Time(2 * sim.Second))
+
+	if rdErr != sock.ErrReset {
+		t.Fatalf("idle read against crashed peer returned %v, want sock.ErrReset", rdErr)
+	}
+	if d := sim.Duration(errAt) - killAt; d > failureBound {
+		t.Fatalf("keepalive detection took %v after the crash, bound %v", d, failureBound)
+	}
+	if b.subs[1].KeepalivesSent.Value == 0 {
+		t.Fatal("no keepalive probes were sent")
+	}
+	if n := b.subs[1].ActiveSockets(); n != 0 {
+		t.Fatalf("%d sockets leaked in the active table", n)
+	}
+	if n := b.subs[1].EP.PrepostedDescriptors(); n != 0 {
+		t.Fatalf("%d descriptors leaked at the NIC", n)
+	}
+}
+
+// TestDialRetriesThenTimesOut: a synchronous connect to a port nobody
+// answers must retry with backoff and then surface sock.ErrTimeout.
+func TestDialRetriesThenTimesOut(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SyncConnect = true
+	opts.CloseTimeout = 2 * sim.Millisecond // per-attempt reply deadline
+	opts.DialRetries = 2
+	opts.DialBackoff = 1 * sim.Millisecond
+	b := newBed(2, opts)
+
+	var dialErr error
+	b.eng.Spawn("client", func(p *sim.Proc) {
+		// Nothing listens on port 99: the request parks in the server's
+		// unexpected queue and no reply ever comes.
+		_, dialErr = b.subs[1].Dial(p, b.subs[0].Addr(), 99)
+	})
+	b.eng.RunUntil(sim.Time(sim.Second))
+
+	if dialErr != sock.ErrTimeout {
+		t.Fatalf("dial with no listener returned %v, want sock.ErrTimeout", dialErr)
+	}
+	if n := b.subs[1].DialRetries.Value; n != 2 {
+		t.Fatalf("DialRetries = %d, want 2", n)
+	}
+	if n := b.subs[1].ActiveSockets(); n != 0 {
+		t.Fatalf("%d sockets leaked after failed dials", n)
+	}
+	if n := b.subs[1].EP.PrepostedDescriptors(); n != 0 {
+		t.Fatalf("%d descriptors leaked after failed dials", n)
+	}
+}
+
+// TestAcceptWakesOnLocalKill: Accept blocked on an empty backlog must
+// return sock.ErrClosed when its own substrate is killed, not hang.
+func TestAcceptWakesOnLocalKill(t *testing.T) {
+	b := newBed(1, DefaultOptions())
+	var acceptErr error
+	done := false
+	b.eng.Spawn("server", func(p *sim.Proc) {
+		l, err := b.subs[0].Listen(p, 80, 2)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		_, acceptErr = l.Accept(p)
+		done = true
+	})
+	b.eng.At(sim.Time(10*sim.Millisecond), func() { b.subs[0].Kill() })
+	b.eng.RunUntil(sim.Time(sim.Second))
+	if !done {
+		t.Fatal("Accept still blocked after local kill")
+	}
+	if acceptErr != sock.ErrClosed {
+		t.Fatalf("Accept on killed substrate returned %v, want sock.ErrClosed", acceptErr)
+	}
+}

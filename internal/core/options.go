@@ -107,6 +107,18 @@ type Options struct {
 	// CloseTimeout bounds how long close() waits for the peer's
 	// close acknowledgment before reclaiming descriptors anyway.
 	CloseTimeout sim.Duration
+	// KeepaliveIdle, when positive, probes an idle connection at this
+	// interval with a keepalive message on the ack channel. Because the
+	// probe rides EMP reliability, a crashed or partitioned peer is
+	// detected (and the connection failed with sock.ErrReset) even when
+	// the application never writes. Zero disables probing.
+	KeepaliveIdle sim.Duration
+	// DialRetries is how many times connect() retries a timed-out or
+	// reset connection attempt before giving up.
+	DialRetries int
+	// DialBackoff is the delay before the first connect retry; it
+	// doubles on each subsequent attempt.
+	DialBackoff sim.Duration
 }
 
 // DefaultOptions returns the paper's standard Data Streaming
@@ -126,6 +138,8 @@ func DefaultOptions() Options {
 		StreamSendCost:      3 * sim.Microsecond,
 		StreamRecvCost:      3 * sim.Microsecond,
 		CloseTimeout:        50 * sim.Millisecond,
+		DialRetries:         2,
+		DialBackoff:         1 * sim.Millisecond,
 	}
 }
 
@@ -159,6 +173,15 @@ func (o Options) normalize() Options {
 	}
 	if o.CloseTimeout <= 0 {
 		o.CloseTimeout = 50 * sim.Millisecond
+	}
+	if o.DialRetries < 0 {
+		o.DialRetries = 0
+	}
+	if o.DialBackoff <= 0 {
+		o.DialBackoff = 1 * sim.Millisecond
+	}
+	if o.KeepaliveIdle < 0 {
+		o.KeepaliveIdle = 0
 	}
 	return o
 }

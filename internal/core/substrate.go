@@ -46,6 +46,7 @@ type Substrate struct {
 	// stale unexpected-queue entries (control messages that raced a
 	// close) can be purged.
 	openChans map[chanKey]bool
+	dead      bool
 
 	// Stats.
 	ConnectsSent   sim.Counter
@@ -57,6 +58,9 @@ type Substrate struct {
 	RendezvousOps  sim.Counter
 	ClosesSent     sim.Counter
 	DGramTruncated sim.Counter
+	ConnsFailed    sim.Counter
+	KeepalivesSent sim.Counter
+	DialRetries    sim.Counter
 }
 
 // New creates a substrate on the given host and NIC. The NIC must be
@@ -86,8 +90,51 @@ func New(e *sim.Engine, host *kernel.Host, n *nic.NIC, opts Options) *Substrate 
 	// Datagram-mode early arrivals surface through the unexpected
 	// queue; blocked substrate calls and select() must wake on them.
 	s.EP.SetUnexpectedNotify(s.activity)
+	// A send that exhausts its EMP retry budget means the peer's NIC is
+	// gone (crashed or partitioned past the reliability horizon): fail
+	// every connection to that peer. The notification is tag-agnostic
+	// because rendezvous transfers use dynamically allocated tags.
+	s.EP.SetSendFailureNotify(func(dst ethernet.Addr, tag emp.Tag, msgID uint64) {
+		s.peerUnreachable(dst)
+	})
 	return s
 }
+
+// peerUnreachable fails every active connection to dst with
+// sock.ErrReset, waking blocked Read/Write/Select callers. Runs in event
+// context.
+func (s *Substrate) peerUnreachable(dst ethernet.Addr) {
+	for c := range s.active {
+		if c.peer == dst {
+			c.fail(sock.ErrReset)
+		}
+	}
+}
+
+// Kill models this host dying mid-run: every active connection fails,
+// every listener closes, and the EMP endpoint (with its NIC) stops.
+// Blocked callers wake with errors; peers discover the death through
+// their own retry budgets or keepalive probes.
+func (s *Substrate) Kill() {
+	if s.dead {
+		return
+	}
+	s.dead = true
+	for c := range s.active {
+		c.fail(sock.ErrReset)
+	}
+	for _, l := range s.listeners {
+		l.closed = true
+	}
+	s.listeners = make(map[int]*Listener)
+	// Killing the endpoint cancels every posted descriptor, so blocked
+	// Accept/WaitRecv callers wake with cancellation statuses.
+	s.EP.Kill()
+	s.activity.Broadcast()
+}
+
+// Dead reports whether Kill has been called.
+func (s *Substrate) Dead() bool { return s.dead }
 
 // Addr implements sock.Network.
 func (s *Substrate) Addr() sock.Addr { return s.addr }
@@ -148,6 +195,9 @@ func (s *Substrate) allocKey() emp.BufKey {
 // management).
 func (s *Substrate) Listen(p *sim.Proc, port, backlog int) (sock.Listener, error) {
 	p.Sleep(s.Opts.LibCall)
+	if s.dead {
+		return nil, sock.ErrClosed
+	}
 	if port == 0 {
 		port = s.ephemeralPort()
 	}
@@ -184,6 +234,30 @@ func (s *Substrate) ephemeralPort() int {
 // the unexpected queue) covering the race with the server's accept.
 func (s *Substrate) Dial(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, error) {
 	p.Sleep(s.Opts.LibCall)
+	backoff := s.Opts.DialBackoff
+	for attempt := 0; ; attempt++ {
+		c, err := s.dialOnce(p, addr, port)
+		if err == nil {
+			return c, nil
+		}
+		// Retry transient failures (the request or reply lost past the
+		// reliability horizon) with exponential backoff; give up on
+		// anything else or once the budget is spent.
+		if attempt >= s.Opts.DialRetries || (err != sock.ErrTimeout && err != sock.ErrReset) {
+			return nil, err
+		}
+		s.DialRetries.Inc()
+		s.Eng.Tracef("substrate", "connect %d -> %d:%d retry %d after %v", s.addr, addr, port, attempt+1, backoff)
+		p.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// dialOnce runs one connection attempt.
+func (s *Substrate) dialOnce(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, error) {
+	if s.dead {
+		return nil, sock.ErrClosed
+	}
 	s.ConnectsSent.Inc()
 	req := &connRequest{
 		ClientAddr:    s.addr,
@@ -200,6 +274,7 @@ func (s *Substrate) Dial(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, erro
 		UQAcks:        s.Opts.UQAcks,
 		Piggyback:     s.Opts.Piggyback,
 		SyncConnect:   s.Opts.SyncConnect,
+		Keepalive:     s.Opts.KeepaliveIdle,
 	}
 	c := newConn(s, addr, req, true)
 	c.postInitialDescriptors(p)
@@ -267,6 +342,11 @@ func (s *Substrate) Select(p *sim.Proc, items []sock.Waitable, timeout sim.Durat
 
 // Shutdown stops the underlying endpoint's firmware (end of simulation).
 func (s *Substrate) Shutdown() { s.EP.Shutdown() }
+
+// PurgeStale discards unexpected-queue messages addressed to channels
+// that no longer exist (exported for fault-injection tests asserting
+// zero resource leaks after connection churn and failures).
+func (s *Substrate) PurgeStale() { s.purgeStaleUQ() }
 
 // Listener is a substrate passive socket: backlog pre-posted connection
 // request descriptors, FIFO accepted.

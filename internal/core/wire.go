@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/emp"
 	"repro/internal/ethernet"
+	"repro/internal/sim"
 )
 
 // msgKind classifies substrate messages carried inside EMP messages.
@@ -16,6 +17,11 @@ const (
 	kindConnReply
 	kindRendReq
 	kindRendAck
+	// kindKeepalive is an idle-connection probe on the ack channel: it
+	// carries nothing, but sending it exercises EMP reliability, so a
+	// crashed peer is detected by retry-budget exhaustion even when the
+	// application has no data to send.
+	kindKeepalive
 )
 
 func (k msgKind) String() string {
@@ -34,6 +40,8 @@ func (k msgKind) String() string {
 		return "rend-req"
 	case kindRendAck:
 		return "rend-ack"
+	case kindKeepalive:
+		return "keepalive"
 	}
 	return "?"
 }
@@ -92,4 +100,7 @@ type connRequest struct {
 	UQAcks      bool
 	Piggyback   bool
 	SyncConnect bool
+	// Keepalive carries the client's idle-probe interval so both sides
+	// run (or skip) peer-liveness probing consistently; zero disables it.
+	Keepalive sim.Duration
 }

@@ -61,6 +61,12 @@ type Endpoint struct {
 	fw        *firmware
 	addr      ethernet.Addr
 	nextMsgID uint64
+	dead      bool
+
+	// onSendFailure, when set, is invoked (in event context, after the
+	// host-notify delay) whenever a send exhausts its retry budget — the
+	// sockets substrate uses it to fail connections to unreachable peers.
+	onSendFailure func(dst ethernet.Addr, tag Tag, msgID uint64)
 
 	tcache     map[BufKey]struct{}
 	tcacheFIFO []BufKey
@@ -93,6 +99,31 @@ func (ep *Endpoint) Addr() ethernet.Addr { return ep.addr }
 
 // Shutdown stops the firmware processors.
 func (ep *Endpoint) Shutdown() { ep.fw.shutdown() }
+
+// SetSendFailureNotify registers fn to run whenever a posted send gives
+// up after exhausting its retry budget (the peer NIC stopped
+// acknowledging). fn runs in event context after the host-notify delay
+// and must not block.
+func (ep *Endpoint) SetSendFailureNotify(fn func(dst ethernet.Addr, tag Tag, msgID uint64)) {
+	ep.onSendFailure = fn
+}
+
+// Kill models this endpoint's host dying mid-run: the NIC stops moving
+// frames, every in-flight send fails, every posted descriptor is
+// cancelled, and the firmware processors stop. Blocked WaitSend/WaitRecv
+// callers wake with failure statuses; peers discover the death through
+// their own retry budgets.
+func (ep *Endpoint) Kill() {
+	if ep.dead {
+		return
+	}
+	ep.dead = true
+	ep.NIC.Kill()
+	ep.fw.kill()
+}
+
+// Dead reports whether Kill has been called.
+func (ep *Endpoint) Dead() bool { return ep.dead }
 
 // translate charges p for the address translation of a post: free on a
 // translation-cache hit, a pin system call on a miss.
@@ -156,12 +187,18 @@ func (ep *Endpoint) PostSend(p *sim.Proc, dst ethernet.Addr, tag Tag, length int
 		tag:    tag,
 		length: length,
 	}
+	if ep.dead {
+		h.complete(StatusFailed)
+		return h
+	}
 	p.Sleep(ep.Cfg.HostPostCPU)
 	ep.translate(p, key)
 	ep.Host.MMIO(p)
 	post := &txPost{h: h, data: data}
 	ep.Eng.After(ep.NIC.Cfg.MailboxLatency, func() {
-		ep.fw.txWork.TryPut(txOp{post: post})
+		if !ep.fw.txWork.TryPut(txOp{post: post}) {
+			post.h.complete(StatusFailed) // endpoint died before pickup
+		}
 	})
 	return h
 }
@@ -229,6 +266,10 @@ func (ep *Endpoint) PostRecv(p *sim.Proc, src ethernet.Addr, tag Tag, maxLen int
 		tag:    tag,
 		maxLen: maxLen,
 	}
+	if ep.dead {
+		h.complete(StatusCancelled, Message{})
+		return h
+	}
 	p.Sleep(ep.Cfg.HostPostCPU)
 	// The library checks the unexpected queue in user space before
 	// troubling the NIC.
@@ -240,7 +281,9 @@ func (ep *Endpoint) PostRecv(p *sim.Proc, src ethernet.Addr, tag Tag, maxLen int
 	ep.translate(p, key)
 	ep.Host.MMIO(p)
 	ep.Eng.After(ep.NIC.Cfg.MailboxLatency, func() {
-		ep.fw.rxWork.TryPut(rxOp{post: h})
+		if !ep.fw.rxWork.TryPut(rxOp{post: h}) {
+			h.complete(StatusCancelled, Message{}) // endpoint died before pickup
+		}
 	})
 	return h
 }
@@ -329,11 +372,21 @@ func (ep *Endpoint) Unpost(p *sim.Proc, h *RecvHandle) bool {
 	if h.status != StatusPending {
 		return false
 	}
+	if ep.dead {
+		// The descriptor list died with the NIC; no mailbox round trip
+		// (which could never complete) is needed.
+		h.complete(StatusCancelled, Message{})
+		return true
+	}
 	p.Sleep(ep.Cfg.HostPostCPU)
 	ep.Host.MMIO(p)
 	op := &unpostOp{h: h, done: sim.NewCond(ep.Eng, "emp.unpost")}
 	ep.Eng.After(ep.NIC.Cfg.MailboxLatency, func() {
-		ep.fw.rxWork.TryPut(rxOp{unpost: op})
+		if ep.fw.rxWork.TryPut(rxOp{unpost: op}) {
+			return
+		}
+		op.processed = true // endpoint died before pickup
+		op.done.Broadcast()
 	})
 	op.done.WaitFor(p, func() bool { return op.processed })
 	return h.status == StatusCancelled

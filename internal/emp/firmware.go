@@ -160,6 +160,37 @@ func (fw *firmware) shutdown() {
 	fw.rxWork.Close()
 }
 
+// kill tears the firmware state down when the host dies: every
+// transmission record fails (waking blocked send posts), every posted
+// descriptor and in-progress reassembly is cancelled, the unexpected
+// queue is discarded, and the processors stop once the work queues
+// drain. Handlers run with dead-endpoint guards for work already queued.
+func (fw *firmware) kill() {
+	for _, rec := range fw.records {
+		rec.failed = true
+		rec.timer.Cancel()
+		rec.cond.Broadcast()
+	}
+	fw.records = make(map[uint64]*txRecord)
+	fw.destInflight = make(map[ethernet.Addr]int)
+	fw.txWindow.Broadcast()
+	for _, d := range fw.preposted {
+		d.h.complete(StatusCancelled, Message{})
+	}
+	fw.preposted = nil
+	for _, r := range fw.reasm {
+		if r.h != nil {
+			r.h.complete(StatusCancelled, Message{})
+		}
+	}
+	fw.reasm = make(map[reasmKey]*reassembly)
+	fw.uqEntries = nil
+	if fw.uqNotify != nil {
+		fw.uqNotify.Broadcast()
+	}
+	fw.shutdown()
+}
+
 // --- Send processor -----------------------------------------------------
 
 func (fw *firmware) sendLoop(p *sim.Proc) {
@@ -191,6 +222,10 @@ func (fw *firmware) scheduleResend(id uint64) {
 func (fw *firmware) handleSendPost(p *sim.Proc, post *txPost) {
 	p.Sleep(fw.n.Cfg.TxPostHandle)
 	h := post.h
+	if fw.ep.dead {
+		h.complete(StatusFailed)
+		return
+	}
 	rec := &txRecord{
 		msgID:  h.msgID,
 		dst:    h.dst,
@@ -271,10 +306,16 @@ func (fw *firmware) resend(p *sim.Proc, rec *txRecord) {
 	if rec.retries > fw.ep.Cfg.Rel.MaxRetries {
 		rec.failed = true
 		fw.sendsFailed.Inc()
+		fw.eng.Tracef(fw.n.Name, "SEND FAILED dst=%d tag=%d msg=%d after %d retries",
+			rec.dst, rec.tag, rec.msgID, rec.retries-1)
 		fw.releaseInflight(rec.dst, rec.sent-rec.acked)
 		fw.retire(rec)
 		rec.cond.Broadcast()
 		fw.txWindow.Broadcast()
+		if fn := fw.ep.onSendFailure; fn != nil {
+			dst, tag, id := rec.dst, rec.tag, rec.msgID
+			fw.eng.After(fw.n.Cfg.HostNotify, func() { fn(dst, tag, id) })
+		}
 		return
 	}
 	fw.eng.Tracef(fw.n.Name, "REXMIT dst=%d msg=%d frags %d..%d retry=%d", rec.dst, rec.msgID, rec.acked, rec.sent, rec.retries)
@@ -547,6 +588,10 @@ func (fw *firmware) handleRecvPost(p *sim.Proc, h *RecvHandle) {
 
 	if h.status != StatusPending {
 		return // completed host-side (unexpected-queue claim) in the meantime
+	}
+	if fw.ep.dead {
+		h.complete(StatusCancelled, Message{})
+		return
 	}
 	// Safety net: a message may have landed in the unexpected queue
 	// between the host-side check and this post reaching the NIC.

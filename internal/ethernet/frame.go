@@ -53,7 +53,15 @@ type Frame struct {
 	Dst        Addr
 	PayloadLen int
 	Payload    any
+	// Corrupt marks a frame whose bits were flipped in flight by fault
+	// injection; the receiving MAC's FCS check (FCSOK) detects it and
+	// the frame must be dropped, never delivered to a payload consumer.
+	Corrupt bool
 }
+
+// FCSOK models the receiving MAC verifying the frame check sequence:
+// false means the frame was damaged on the wire and must be discarded.
+func (f *Frame) FCSOK() bool { return !f.Corrupt }
 
 // WireBytes is the total on-wire size of the frame including preamble,
 // header, FCS, inter-frame gap, and minimum-size padding.

@@ -3,6 +3,7 @@ package ethernet
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -22,6 +23,15 @@ type SwitchConfig struct {
 	// DupRate is the probability that a forwarded frame is delivered
 	// twice, for exercising duplicate-suppression paths.
 	DupRate float64
+	// CorruptRate is the probability that a forwarded frame has bits
+	// flipped in flight; the receiving MAC's FCS check discards it.
+	CorruptRate float64
+	// ReorderRate is the probability that a forwarded frame is held
+	// back by ReorderDelay so later frames overtake it.
+	ReorderRate float64
+	// ReorderDelay is the extra delivery delay of a reordered frame;
+	// zero selects a default of a few full-MTU frame times.
+	ReorderDelay sim.Duration
 }
 
 // DefaultSwitchConfig reflects a Packet Engines-class Gigabit switch:
@@ -34,6 +44,49 @@ func DefaultSwitchConfig() SwitchConfig {
 	}
 }
 
+// defaultReorderDelay gives a reordered frame enough lag for several
+// subsequent full-MTU frames to overtake it.
+const defaultReorderDelay = 40 * sim.Microsecond
+
+// sanitize clamps the fault rates into [0, 1] (NaN becomes 0) so a
+// malformed configuration cannot make the forwarding path misbehave.
+func (c SwitchConfig) sanitize() SwitchConfig {
+	c.LossRate = faults.ClampRate(c.LossRate)
+	c.DupRate = faults.ClampRate(c.DupRate)
+	c.CorruptRate = faults.ClampRate(c.CorruptRate)
+	c.ReorderRate = faults.ClampRate(c.ReorderRate)
+	return c
+}
+
+// FaultStats aggregates every fault-injection counter of the fabric.
+type FaultStats struct {
+	Drops          int64 // frames dropped by loss injection
+	PartitionDrops int64 // frames dropped by partition/link-down clauses
+	Dups           int64 // frames delivered twice
+	Corruptions    int64 // frames with flipped bits (dropped at FCS check)
+	Reorders       int64 // frames delayed past their successors
+}
+
+// Total reports all injected fault events.
+func (fs FaultStats) Total() int64 {
+	return fs.Drops + fs.PartitionDrops + fs.Dups + fs.Corruptions + fs.Reorders
+}
+
+// Add accumulates another switch's counters, for totals across runs.
+func (fs *FaultStats) Add(o FaultStats) {
+	fs.Drops += o.Drops
+	fs.PartitionDrops += o.PartitionDrops
+	fs.Dups += o.Dups
+	fs.Corruptions += o.Corruptions
+	fs.Reorders += o.Reorders
+}
+
+// String summarizes the counters.
+func (fs FaultStats) String() string {
+	return fmt.Sprintf("drops=%d partition-drops=%d dups=%d corruptions=%d reorders=%d",
+		fs.Drops, fs.PartitionDrops, fs.Dups, fs.Corruptions, fs.Reorders)
+}
+
 // Switch is a store-and-forward Ethernet switch. Each attached station
 // gets a full-duplex port: the station→switch direction is serialized by
 // the station's own transmitter (see Port.Transmit); the switch→station
@@ -43,15 +96,22 @@ type Switch struct {
 	eng      *sim.Engine
 	cfg      SwitchConfig
 	ports    []*Port
-	drops    int64
-	dups     int64
+	plan     *faults.Plan
+	stats    FaultStats
 	forwards int64
 }
 
-// NewSwitch returns a switch with no ports attached.
+// NewSwitch returns a switch with no ports attached. Fault rates in cfg
+// are clamped into [0, 1].
 func NewSwitch(e *sim.Engine, cfg SwitchConfig) *Switch {
-	return &Switch{eng: e, cfg: cfg}
+	return &Switch{eng: e, cfg: cfg.sanitize()}
 }
+
+// SetFaults installs a fault plan evaluated per forwarded frame, on top
+// of the uniform config rates. The plan is normalized (rates clamped);
+// nil removes any installed plan. A plan whose rates are all zero and
+// whose windows never match draws no randomness and adds no delay.
+func (s *Switch) SetFaults(pl *faults.Plan) { s.plan = pl.Normalized() }
 
 // Port is one full-duplex switch port with its attached station.
 type Port struct {
@@ -91,13 +151,16 @@ func (p *Port) Addr() Addr { return p.addr }
 func (s *Switch) Ports() int { return len(s.ports) }
 
 // Drops reports frames dropped by loss injection.
-func (s *Switch) Drops() int64 { return s.drops }
+func (s *Switch) Drops() int64 { return s.stats.Drops }
 
 // Dups reports frames duplicated by duplication injection.
-func (s *Switch) Dups() int64 { return s.dups }
+func (s *Switch) Dups() int64 { return s.stats.Dups }
 
 // Forwards reports frames successfully forwarded.
 func (s *Switch) Forwards() int64 { return s.forwards }
+
+// FaultStats reports the consolidated fault-injection counters.
+func (s *Switch) FaultStats() FaultStats { return s.stats }
 
 // Transmit sends a frame from this port's station into the fabric. The
 // frame is serialized on the station's transmitter, propagates to the
@@ -133,14 +196,54 @@ func (p *Port) TxBacklog() sim.Duration {
 // forward runs when a frame has been fully received by the switch.
 func (s *Switch) forward(f *Frame) {
 	if s.cfg.LossRate > 0 && s.eng.Rand().Bool(s.cfg.LossRate) {
-		s.drops++
+		s.stats.Drops++
 		s.eng.Tracef("switch", "DROP %d->%d len=%d", f.Src, f.Dst, f.PayloadLen)
 		return
+	}
+	var act faults.Action
+	if s.plan != nil {
+		act = s.plan.Eval(s.eng.Rand(), sim.Duration(s.eng.Now()), int(f.Src), int(f.Dst))
+	}
+	if act.Drop {
+		if act.Partition {
+			s.stats.PartitionDrops++
+			s.eng.Tracef("switch", "PARTITION-DROP %d->%d len=%d", f.Src, f.Dst, f.PayloadLen)
+		} else {
+			s.stats.Drops++
+			s.eng.Tracef("switch", "DROP %d->%d len=%d", f.Src, f.Dst, f.PayloadLen)
+		}
+		return
+	}
+	out := f
+	if act.Corrupt || (s.cfg.CorruptRate > 0 && s.eng.Rand().Bool(s.cfg.CorruptRate)) {
+		if !f.Corrupt {
+			// Corrupt a copy: a retransmission of the same payload must
+			// arrive clean.
+			cf := *f
+			cf.Corrupt = true
+			out = &cf
+			s.stats.Corruptions++
+			s.eng.Tracef("switch", "CORRUPT %d->%d len=%d", f.Src, f.Dst, f.PayloadLen)
+		}
+	}
+	delay := act.Delay
+	if s.cfg.ReorderRate > 0 && s.eng.Rand().Bool(s.cfg.ReorderRate) {
+		d := s.cfg.ReorderDelay
+		if d <= 0 {
+			d = defaultReorderDelay
+		}
+		if d > delay {
+			delay = d
+		}
+	}
+	if delay > 0 {
+		s.stats.Reorders++
+		s.eng.Tracef("switch", "REORDER %d->%d len=%d delay=%v", f.Src, f.Dst, f.PayloadLen, delay)
 	}
 	if f.Dst == Broadcast {
 		for _, p := range s.ports {
 			if p.addr != f.Src {
-				s.deliverVia(p, f)
+				s.deliverVia(p, out, delay)
 			}
 		}
 		return
@@ -150,20 +253,23 @@ func (s *Switch) forward(f *Frame) {
 		// this is a wiring bug.
 		panic(fmt.Sprintf("ethernet: frame to unknown station %d", f.Dst))
 	}
-	s.deliverVia(s.ports[f.Dst], f)
-	if s.cfg.DupRate > 0 && s.eng.Rand().Bool(s.cfg.DupRate) {
-		s.dups++
-		s.deliverVia(s.ports[f.Dst], f)
+	s.deliverVia(s.ports[f.Dst], out, delay)
+	if act.Dup || (s.cfg.DupRate > 0 && s.eng.Rand().Bool(s.cfg.DupRate)) {
+		s.stats.Dups++
+		s.deliverVia(s.ports[f.Dst], out, 0)
 	}
 }
 
-func (s *Switch) deliverVia(p *Port, f *Frame) {
+// deliverVia forwards a frame out one port. extraDelay holds the frame
+// back after serialization (reorder injection) without occupying the
+// output resource, so subsequent frames overtake it on delivery.
+func (s *Switch) deliverVia(p *Port, f *Frame, extraDelay sim.Duration) {
 	s.forwards++
 	// Forwarding latency, then serialization on the (possibly busy)
 	// output port, then propagation to the station.
 	start := s.eng.Now().Add(s.cfg.ForwardLatency)
 	done := p.out.ReserveAt(start, f.WireTime())
-	arrive := done.Add(s.cfg.PropDelay)
+	arrive := done.Add(s.cfg.PropDelay + extraDelay)
 	p.rxFrames++
 	p.rxBytes += int64(f.PayloadLen)
 	s.eng.At(arrive, func() { p.station.Deliver(f) })

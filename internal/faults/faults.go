@@ -1,0 +1,272 @@
+// Package faults defines deterministic, seed-stable fault schedules for
+// the simulated fabric and cluster. A Plan is a set of time-windowed,
+// per-link clauses (loss, duplication, corruption, reordering, link
+// partition) plus node-crash entries; the switch evaluates the clauses
+// per forwarded frame and the cluster schedules the crashes. All
+// randomness comes from the engine-owned PRNG handed to Eval, so the
+// same seed always yields the same fault sequence, and a plan whose
+// rates are all zero draws nothing — the happy path stays byte-identical
+// with a plan installed.
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Any matches every station address in a clause's Src/Dst filter. It
+// aliases the Ethernet broadcast address (-1), which never appears as a
+// unicast endpoint.
+const Any = -1
+
+// defaultReorderDelay is the extra delivery delay applied to a reordered
+// frame when the clause does not set one: a few full-MTU wire times, so
+// later frames genuinely overtake it.
+const defaultReorderDelay = 40 * sim.Microsecond
+
+// Clause applies fault rates to frames forwarded on matching links
+// during [From, Until). Until <= 0 means "until the end of the run".
+// The zero value matches only the (0, 0) self-link and injects nothing;
+// use the constructors, or set Src/Dst to Any explicitly.
+type Clause struct {
+	From, Until sim.Duration
+	// Src and Dst filter by frame addresses; Any matches all.
+	Src, Dst int
+	// Loss, Dup, Corrupt and Reorder are per-frame probabilities.
+	Loss, Dup, Corrupt, Reorder float64
+	// Partition drops every matching frame in the window (a dead link
+	// or a flapping/segmented fabric), regardless of the rates.
+	Partition bool
+	// ReorderDelay is the extra delivery delay of a reordered frame;
+	// zero selects a default of a few frame times.
+	ReorderDelay sim.Duration
+}
+
+// Crash kills a node (NIC and protocol state) at the given sim time.
+type Crash struct {
+	Node int
+	At   sim.Duration
+}
+
+// Plan is a complete fault schedule.
+type Plan struct {
+	Clauses []Clause
+	Crashes []Crash
+}
+
+// Action is the outcome of evaluating a plan against one frame.
+type Action struct {
+	Drop      bool
+	Partition bool // Drop was caused by a partition clause
+	Dup       bool
+	Corrupt   bool
+	Delay     sim.Duration // extra delivery delay (reordering)
+}
+
+// active reports whether the clause's window covers now.
+func (c *Clause) active(now sim.Duration) bool {
+	if now < c.From {
+		return false
+	}
+	return c.Until <= 0 || now < c.Until
+}
+
+// matches reports whether the clause's link filter covers (src, dst).
+func (c *Clause) matches(src, dst int) bool {
+	return (c.Src == Any || c.Src == src) && (c.Dst == Any || c.Dst == dst)
+}
+
+// Eval combines all clauses matching a frame on link src->dst at time
+// now. It draws from r only for positive rates of matching, active
+// clauses, so an all-zero plan never perturbs the random sequence.
+func (pl *Plan) Eval(r *sim.Rand, now sim.Duration, src, dst int) Action {
+	var act Action
+	if pl == nil {
+		return act
+	}
+	for i := range pl.Clauses {
+		c := &pl.Clauses[i]
+		if !c.active(now) || !c.matches(src, dst) {
+			continue
+		}
+		if c.Partition {
+			act.Drop = true
+			act.Partition = true
+			return act
+		}
+		if c.Loss > 0 && r.Bool(c.Loss) {
+			act.Drop = true
+			return act
+		}
+		if c.Dup > 0 && r.Bool(c.Dup) {
+			act.Dup = true
+		}
+		if c.Corrupt > 0 && r.Bool(c.Corrupt) {
+			act.Corrupt = true
+		}
+		if c.Reorder > 0 && r.Bool(c.Reorder) {
+			d := c.ReorderDelay
+			if d <= 0 {
+				d = defaultReorderDelay
+			}
+			if d > act.Delay {
+				act.Delay = d
+			}
+		}
+	}
+	return act
+}
+
+// Validate reports the first malformed rate or window in the plan:
+// NaN, negative or >1 probabilities, and inverted time windows.
+func (pl *Plan) Validate() error {
+	if pl == nil {
+		return nil
+	}
+	for i := range pl.Clauses {
+		c := &pl.Clauses[i]
+		for _, rv := range []struct {
+			name string
+			v    float64
+		}{{"Loss", c.Loss}, {"Dup", c.Dup}, {"Corrupt", c.Corrupt}, {"Reorder", c.Reorder}} {
+			if math.IsNaN(rv.v) || rv.v < 0 || rv.v > 1 {
+				return fmt.Errorf("faults: clause %d has invalid %s rate %v", i, rv.name, rv.v)
+			}
+		}
+		if c.Until > 0 && c.Until < c.From {
+			return fmt.Errorf("faults: clause %d window inverted (%v .. %v)", i, c.From, c.Until)
+		}
+	}
+	for i, cr := range pl.Crashes {
+		if cr.Node < 0 {
+			return fmt.Errorf("faults: crash %d has negative node %d", i, cr.Node)
+		}
+	}
+	return nil
+}
+
+// Normalized returns a copy with every rate clamped into [0, 1] (NaN
+// becomes 0) and inverted windows emptied, so a hand-built plan cannot
+// make the switch misbehave.
+func (pl *Plan) Normalized() *Plan {
+	if pl == nil {
+		return nil
+	}
+	out := &Plan{
+		Clauses: append([]Clause(nil), pl.Clauses...),
+		Crashes: append([]Crash(nil), pl.Crashes...),
+	}
+	for i := range out.Clauses {
+		c := &out.Clauses[i]
+		c.Loss = ClampRate(c.Loss)
+		c.Dup = ClampRate(c.Dup)
+		c.Corrupt = ClampRate(c.Corrupt)
+		c.Reorder = ClampRate(c.Reorder)
+		if c.Until > 0 && c.Until < c.From {
+			c.Until = c.From
+		}
+	}
+	return out
+}
+
+// ClampRate clamps a probability into [0, 1], mapping NaN to 0.
+func ClampRate(v float64) float64 {
+	switch {
+	case math.IsNaN(v), v < 0:
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}
+
+// --- Constructors ---------------------------------------------------------
+
+// Uniform returns a clause applying the given rates to every link for
+// the whole run.
+func Uniform(loss, dup, corrupt, reorder float64) Clause {
+	return Clause{Src: Any, Dst: Any, Loss: loss, Dup: dup, Corrupt: corrupt, Reorder: reorder}
+}
+
+// Window bounds a clause to [from, until).
+func (c Clause) Window(from, until sim.Duration) Clause {
+	c.From, c.Until = from, until
+	return c
+}
+
+// LinkPartition cuts both directions between nodes a and b during
+// [from, until).
+func LinkPartition(a, b int, from, until sim.Duration) []Clause {
+	return []Clause{
+		{From: from, Until: until, Src: a, Dst: b, Partition: true},
+		{From: from, Until: until, Src: b, Dst: a, Partition: true},
+	}
+}
+
+// NodeDown isolates a node (all traffic to and from it dropped) during
+// [from, until) — a link down or a dead switch port.
+func NodeDown(node int, from, until sim.Duration) []Clause {
+	return []Clause{
+		{From: from, Until: until, Src: node, Dst: Any, Partition: true},
+		{From: from, Until: until, Src: Any, Dst: node, Partition: true},
+	}
+}
+
+// Flap makes a node's link go down for downFor once per period, count
+// times, starting at from — the classic flapping-port schedule.
+func Flap(node int, from, period, downFor sim.Duration, count int) []Clause {
+	var cs []Clause
+	for i := 0; i < count; i++ {
+		start := from + sim.Duration(i)*period
+		cs = append(cs, NodeDown(node, start, start+downFor)...)
+	}
+	return cs
+}
+
+// CrashAt schedules a node crash.
+func CrashAt(node int, at sim.Duration) Crash { return Crash{Node: node, At: at} }
+
+// RandomPlan generates a seed-stable randomized plan for chaos testing:
+// a base of uniform low-grade loss/dup/corrupt/reorder plus a few
+// windowed bursts on random links among the given nodes. The plan is a
+// pure function of the seed. Crashes are not generated — a workload
+// must be built to tolerate a specific crash, so chaos tests add those
+// explicitly.
+func RandomPlan(seed uint64, nodes int, dur sim.Duration) *Plan {
+	r := sim.NewRand(seed)
+	pl := &Plan{}
+	pl.Clauses = append(pl.Clauses, Uniform(
+		0.002+0.01*r.Float64(), // loss
+		0.002+0.01*r.Float64(), // dup
+		0.002+0.008*r.Float64(), // corrupt
+		0.002+0.01*r.Float64(), // reorder
+	))
+	if nodes < 2 {
+		nodes = 2
+	}
+	bursts := 2 + r.Intn(3)
+	for i := 0; i < bursts; i++ {
+		src := r.Intn(nodes)
+		dst := r.Intn(nodes)
+		for dst == src {
+			dst = r.Intn(nodes)
+		}
+		from := r.Duration(0, dur/2)
+		until := from + r.Duration(dur/20, dur/5)
+		c := Clause{From: from, Until: until, Src: src, Dst: dst}
+		switch r.Intn(4) {
+		case 0:
+			c.Loss = 0.05 + 0.15*r.Float64()
+		case 1:
+			c.Dup = 0.05 + 0.15*r.Float64()
+		case 2:
+			c.Corrupt = 0.05 + 0.15*r.Float64()
+		default:
+			c.Reorder = 0.1 + 0.2*r.Float64()
+		}
+		pl.Clauses = append(pl.Clauses, c)
+	}
+	return pl
+}

@@ -1,0 +1,284 @@
+package integration
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/ethernet"
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// chaosSeeds is how many independent randomized plans each chaos test
+// runs; every plan is a pure function of its seed, so a failure
+// reproduces by rerunning that seed alone.
+const chaosSeeds = 5
+
+// chaosFailureBound mirrors core's failure-detection bound: the EMP
+// retry budget (MaxRetries timeouts at up to MaxRTO each) plus slack.
+const chaosFailureBound = 500 * sim.Millisecond
+
+// checkSubstrateLeaks asserts that every surviving substrate node has
+// drained its socket table, unposted every descriptor (§5.3), and —
+// after purging stale unexpected-queue entries — holds no orphaned
+// messages.
+func checkSubstrateLeaks(t *testing.T, c *cluster.Cluster) {
+	t.Helper()
+	for i, n := range c.Nodes {
+		if n.Sub == nil || n.Sub.Dead() {
+			continue
+		}
+		if k := n.Sub.ActiveSockets(); k != 0 {
+			t.Errorf("node %d leaked %d active sockets", i, k)
+		}
+		if k := n.Sub.EP.PrepostedDescriptors(); k != 0 {
+			t.Errorf("node %d leaked %d preposted descriptors", i, k)
+		}
+		n.Sub.PurgeStale()
+		if k := n.Sub.EP.UnexpectedQueued(); k != 0 {
+			t.Errorf("node %d leaked %d unexpected-queue entries", i, k)
+		}
+	}
+}
+
+// TestChaosFTPUnderRandomPlans runs the FTP transfer over the substrate
+// under five independent randomized fault plans (low-grade uniform loss,
+// duplication, corruption and reordering plus windowed bursts) and
+// requires byte-exact delivery every time. The FCS counters prove the
+// corruption path fired and that no corrupted frame reached EMP.
+func TestChaosFTPUnderRandomPlans(t *testing.T) {
+	const fileSize = 1 << 20
+	var total ethernet.FaultStats
+	for seed := uint64(1); seed <= chaosSeeds; seed++ {
+		pl := faults.RandomPlan(seed, 2, 2*sim.Second)
+		c := cluster.New(cluster.Config{
+			Nodes:     2,
+			Transport: cluster.TransportSubstrate,
+			Seed:      seed,
+			Faults:    pl,
+		})
+		res := apps.RunFTP(c, fileSize)
+		if res.Err != nil {
+			t.Fatalf("seed %d: ftp under chaos: %v", seed, res.Err)
+		}
+		if size, _ := c.Nodes[1].FS.Stat("copy.bin"); size != fileSize {
+			t.Fatalf("seed %d: file corrupted: %d of %d bytes", seed, size, fileSize)
+		}
+		if res.Elapsed > 60*sim.Second {
+			t.Fatalf("seed %d: transfer took %v, recovery unbounded", seed, res.Elapsed)
+		}
+		fs := c.Switch.FaultStats()
+		total.Add(fs)
+		var fcs int64
+		for _, n := range c.Nodes {
+			fcs += n.Sub.EP.NIC.FCSErrors.Value
+		}
+		if fs.Corruptions > 0 && fcs == 0 {
+			t.Fatalf("seed %d: %d frames corrupted but none dropped by FCS", seed, fs.Corruptions)
+		}
+		checkSubstrateLeaks(t, c)
+	}
+	// Across five plans every injection mechanism must have fired.
+	if total.Drops == 0 || total.Dups == 0 || total.Corruptions == 0 || total.Reorders == 0 {
+		t.Fatalf("fault coverage incomplete across seeds: %+v", total)
+	}
+}
+
+// TestChaosKVStoreOverTCPUnderRandomPlans drives the kv workload
+// through the kernel stack's full recovery machinery under randomized
+// plans; the checksum-drop counter proves corrupted segments were
+// rejected before reaching TCP payload.
+func TestChaosKVStoreOverTCPUnderRandomPlans(t *testing.T) {
+	var total ethernet.FaultStats
+	var checksumDrops int64
+	for seed := uint64(1); seed <= chaosSeeds; seed++ {
+		pl := faults.RandomPlan(seed, 4, sim.Second)
+		c := cluster.New(cluster.Config{
+			Nodes:     4,
+			Transport: cluster.TransportTCP,
+			Seed:      seed,
+			Faults:    pl,
+		})
+		cfg := apps.DefaultKVConfig(1024)
+		cfg.OpsPerClient = 25
+		res := apps.RunKVStore(c, cfg)
+		if res.Err != nil {
+			t.Fatalf("seed %d: kv under chaos: %v", seed, res.Err)
+		}
+		if want := cfg.Clients * cfg.OpsPerClient; res.Ops != want {
+			t.Fatalf("seed %d: ops = %d, want %d", seed, res.Ops, want)
+		}
+		total.Add(c.Switch.FaultStats())
+		for _, n := range c.Nodes {
+			checksumDrops += n.Stack.ChecksumDrops.Value
+		}
+	}
+	if total.Corruptions == 0 {
+		t.Fatal("no frames corrupted across seeds; plan generation broken")
+	}
+	if checksumDrops == 0 {
+		t.Fatal("corrupted frames reached TCP without a checksum drop")
+	}
+}
+
+// TestChaosWebSurvivesLinkFlaps runs the web workload while one client's
+// link flaps repeatedly; each outage is shorter than the EMP retry
+// budget, so every request must still complete.
+func TestChaosWebSurvivesLinkFlaps(t *testing.T) {
+	for seed := uint64(1); seed <= chaosSeeds; seed++ {
+		pl := &faults.Plan{Clauses: []faults.Clause{
+			faults.Uniform(0.002, 0.002, 0.002, 0.002),
+		}}
+		// Node 2 (a client) loses its link for 300 us once per 1.5 ms,
+		// six times, starting while requests are in flight — each outage
+		// is well inside the ~200 ms EMP retry budget.
+		pl.Clauses = append(pl.Clauses,
+			faults.Flap(2, 500*sim.Microsecond, 1500*sim.Microsecond, 300*sim.Microsecond, 6)...)
+		c := cluster.New(cluster.Config{
+			Nodes:     4,
+			Transport: cluster.TransportSubstrate,
+			Seed:      seed,
+			Faults:    pl,
+		})
+		res := apps.RunWeb(c, apps.DefaultWebConfig(4096, 8))
+		if res.Err != nil {
+			t.Fatalf("seed %d: web under flaps: %v", seed, res.Err)
+		}
+		if want := 3 * 24; res.Requests != want {
+			t.Fatalf("seed %d: %d requests completed, want %d", seed, res.Requests, want)
+		}
+		if c.Switch.FaultStats().PartitionDrops == 0 {
+			t.Fatalf("seed %d: flap windows never dropped a frame", seed)
+		}
+		checkSubstrateLeaks(t, c)
+	}
+}
+
+// TestChaosPeerCrashMidStream crashes the receiving node mid-transfer —
+// through the cluster's fault-plan scheduling, with corruption and
+// reordering also active — and requires the surviving writer to observe
+// sock.ErrReset within the retry-budget bound, leaking nothing.
+func TestChaosPeerCrashMidStream(t *testing.T) {
+	const killAt = 20 * sim.Millisecond
+	pl := &faults.Plan{
+		Clauses: []faults.Clause{faults.Uniform(0.002, 0.002, 0.005, 0.01)},
+		Crashes: []faults.Crash{faults.CrashAt(0, killAt)},
+	}
+	c := cluster.New(cluster.Config{
+		Nodes:     2,
+		Transport: cluster.TransportSubstrate,
+		Seed:      11,
+		Faults:    pl,
+	})
+	var wrErr error
+	var errAt sim.Time
+	c.Eng.Spawn("server", func(p *sim.Proc) {
+		l, err := c.Nodes[0].Net.Listen(p, 80, 4)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		conn, err := l.Accept(p)
+		if err != nil {
+			return // crashed while accepting
+		}
+		for {
+			if _, _, err := conn.Read(p, 1<<20); err != nil {
+				return
+			}
+		}
+	})
+	c.Eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		conn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		for {
+			if _, err := conn.Write(p, 8<<10, nil); err != nil {
+				wrErr, errAt = err, p.Now()
+				return
+			}
+		}
+	})
+	c.Run(2 * sim.Second)
+
+	if !c.Nodes[0].Sub.Dead() {
+		t.Fatal("crash schedule never fired")
+	}
+	if wrErr != sock.ErrReset {
+		t.Fatalf("write to crashed peer returned %v, want sock.ErrReset", wrErr)
+	}
+	if d := sim.Duration(errAt) - killAt; d > chaosFailureBound {
+		t.Fatalf("failure detected %v after the crash, bound %v", d, chaosFailureBound)
+	}
+	checkSubstrateLeaks(t, c)
+}
+
+// TestChaosPartitionExhaustsRetryBudget isolates the server's switch
+// port for longer than the EMP retry budget: the writer on the far side
+// must fail with sock.ErrReset while the partition holds.
+func TestChaosPartitionExhaustsRetryBudget(t *testing.T) {
+	const cutAt = 10 * sim.Millisecond
+	pl := &faults.Plan{Clauses: faults.NodeDown(0, cutAt, 800*sim.Millisecond)}
+	c := cluster.New(cluster.Config{
+		Nodes:     2,
+		Transport: cluster.TransportSubstrate,
+		Seed:      13,
+		Faults:    pl,
+	})
+	var wrErr error
+	var errAt sim.Time
+	c.Eng.Spawn("server", func(p *sim.Proc) {
+		l, err := c.Nodes[0].Net.Listen(p, 80, 4)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		conn, err := l.Accept(p)
+		if err != nil {
+			return
+		}
+		for {
+			if _, _, err := conn.Read(p, 1<<20); err != nil {
+				return
+			}
+		}
+	})
+	c.Eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		conn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		for {
+			if _, err := conn.Write(p, 8<<10, nil); err != nil {
+				wrErr, errAt = err, p.Now()
+				return
+			}
+		}
+	})
+	c.Run(2 * sim.Second)
+
+	if wrErr != sock.ErrReset {
+		t.Fatalf("write across partition returned %v, want sock.ErrReset", wrErr)
+	}
+	if d := sim.Duration(errAt) - cutAt; d > chaosFailureBound {
+		t.Fatalf("failure detected %v after the cut, bound %v", d, chaosFailureBound)
+	}
+	if c.Switch.FaultStats().PartitionDrops == 0 {
+		t.Fatal("partition never dropped a frame")
+	}
+	// The writer's side must have cleaned up despite the peer being
+	// unreachable (abort path: reclaim without the close handshake).
+	if k := c.Nodes[1].Sub.ActiveSockets(); k != 0 {
+		t.Fatalf("writer leaked %d sockets", k)
+	}
+	if k := c.Nodes[1].Sub.EP.PrepostedDescriptors(); k != 0 {
+		t.Fatalf("writer leaked %d descriptors", k)
+	}
+}

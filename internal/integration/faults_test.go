@@ -29,11 +29,23 @@ func TestSubstrateSurvivesDuplication(t *testing.T) {
 	var objs []any
 	gotN := 0
 	c.Eng.Spawn("server", func(p *sim.Proc) {
-		l, _ := c.Nodes[0].Net.Listen(p, 80, 4)
-		conn, _ := l.Accept(p)
+		l, err := c.Nodes[0].Net.Listen(p, 80, 4)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		conn, err := l.Accept(p)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
 		for gotN < 20*1024 {
 			n, o, err := conn.Read(p, 64<<10)
-			if err != nil || n == 0 {
+			if err != nil {
+				t.Errorf("read after %d bytes: %v", gotN, err)
+				return
+			}
+			if n == 0 {
 				break
 			}
 			gotN += n
@@ -42,9 +54,16 @@ func TestSubstrateSurvivesDuplication(t *testing.T) {
 	})
 	c.Eng.Spawn("client", func(p *sim.Proc) {
 		p.Sleep(10 * sim.Microsecond)
-		conn, _ := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+		conn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
 		for i := 0; i < 20; i++ {
-			conn.Write(p, 1024, i)
+			if _, err := conn.Write(p, 1024, i); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
 		}
 	})
 	c.Run(30 * sim.Second)
@@ -77,11 +96,23 @@ func TestTCPSurvivesDuplication(t *testing.T) {
 	const total = 1 << 20
 	got := 0
 	c.Eng.Spawn("server", func(p *sim.Proc) {
-		l, _ := c.Nodes[0].Net.Listen(p, 80, 4)
-		conn, _ := l.Accept(p)
+		l, err := c.Nodes[0].Net.Listen(p, 80, 4)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		conn, err := l.Accept(p)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
 		for got < total {
 			n, _, err := conn.Read(p, 64<<10)
-			if err != nil || n == 0 {
+			if err != nil {
+				t.Errorf("read after %d bytes: %v", got, err)
+				return
+			}
+			if n == 0 {
 				break
 			}
 			got += n
@@ -91,10 +122,14 @@ func TestTCPSurvivesDuplication(t *testing.T) {
 		p.Sleep(10 * sim.Microsecond)
 		conn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
 		if err != nil {
+			t.Errorf("dial: %v", err)
 			return
 		}
 		for sent := 0; sent < total; sent += 64 << 10 {
-			conn.Write(p, 64<<10, nil)
+			if _, err := conn.Write(p, 64<<10, nil); err != nil {
+				t.Errorf("write at %d: %v", sent, err)
+				return
+			}
 		}
 	})
 	c.Run(60 * sim.Second)
@@ -154,8 +189,16 @@ func TestSelectUnderChurnDoesNotMissWakeups(t *testing.T) {
 	served := 0
 	const rounds = 40
 	c.Eng.Spawn("server", func(p *sim.Proc) {
-		l, _ := c.Nodes[0].Net.Listen(p, 80, 4)
-		conn, _ := l.Accept(p)
+		l, err := c.Nodes[0].Net.Listen(p, 80, 4)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		conn, err := l.Accept(p)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
 		items := []sock.Waitable{conn}
 		for served < rounds {
 			ready := c.Nodes[0].Net.Select(p, items, 100*sim.Millisecond)
@@ -169,9 +212,16 @@ func TestSelectUnderChurnDoesNotMissWakeups(t *testing.T) {
 	})
 	c.Eng.Spawn("client", func(p *sim.Proc) {
 		p.Sleep(10 * sim.Microsecond)
-		conn, _ := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+		conn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
 		for i := 0; i < rounds; i++ {
-			conn.Write(p, 100, nil)
+			if _, err := conn.Write(p, 100, nil); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
 			p.Sleep(200 * sim.Microsecond)
 		}
 	})

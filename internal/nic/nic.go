@@ -114,12 +114,14 @@ type NIC struct {
 	port *ethernet.Port
 	dma  *sim.Resource
 	sink func(*ethernet.Frame)
+	dead bool
 
 	// Counters.
 	TxFrames  sim.Counter
 	RxFrames  sim.Counter
 	DMABytes  sim.Counter
 	TagWalked sim.Counter
+	FCSErrors sim.Counter
 }
 
 // New returns a NIC not yet attached to a switch.
@@ -146,6 +148,17 @@ func (n *NIC) Addr() ethernet.Addr { return n.port.Addr() }
 // receive queue (or the sink hook, if one is installed) for the receive
 // firmware to consume.
 func (n *NIC) Deliver(f *ethernet.Frame) {
+	if n.dead {
+		return
+	}
+	if !f.FCSOK() {
+		// The MAC's frame-check-sequence verification catches bits
+		// flipped on the wire; the frame never reaches the firmware.
+		// The sender's reliability layer retransmits.
+		n.FCSErrors.Inc()
+		n.Eng.Tracef(n.Name, "rx frame dropped: FCS error")
+		return
+	}
 	n.RxFrames.Inc()
 	if n.sink != nil {
 		n.sink(f)
@@ -166,6 +179,9 @@ func (n *NIC) SetSink(fn func(*ethernet.Frame)) { n.sink = fn }
 // serializes at line rate. Call from firmware process context after
 // WaitTxRoom to respect the MAC FIFO bound.
 func (n *NIC) Transmit(f *ethernet.Frame) {
+	if n.dead {
+		return
+	}
 	n.TxFrames.Inc()
 	n.port.Transmit(f)
 }
@@ -217,3 +233,18 @@ func (n *NIC) TagMatch(p *sim.Proc, walked int) sim.Duration {
 // Shutdown closes the receive queue, releasing firmware loops blocked on
 // it.
 func (n *NIC) Shutdown() { n.RxQ.Close() }
+
+// Kill models the NIC dying with its host: it stops receiving and
+// transmitting (frames silently vanish, as on a powered-off station)
+// and closes the receive queue. Peers discover the death through their
+// own reliability timeouts.
+func (n *NIC) Kill() {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	n.RxQ.Close()
+}
+
+// Dead reports whether Kill has been called.
+func (n *NIC) Dead() bool { return n.dead }

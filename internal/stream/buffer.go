@@ -84,6 +84,26 @@ func (b *Buffer) ObjectsIn(from, to int64) []any {
 	return out
 }
 
+// ObjAt pairs an object with the absolute stream offset just past its
+// last byte.
+type ObjAt struct {
+	End int64
+	Obj any
+}
+
+// ObjectsAt is ObjectsIn with each object's end offset included, for
+// callers that must preserve object placement when the stream is
+// re-segmented (e.g. a TCP retransmission merging adjacent writes).
+func (b *Buffer) ObjectsAt(from, to int64) []ObjAt {
+	var out []ObjAt
+	for _, o := range b.objs {
+		if o.end > from && o.end <= to {
+			out = append(out, ObjAt{End: o.end, Obj: o.obj})
+		}
+	}
+	return out
+}
+
 // TrimTo discards buffered bytes below offset newBase (acknowledged
 // data), releasing their objects. It panics if newBase is outside the
 // buffered range.

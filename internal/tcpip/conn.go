@@ -36,6 +36,7 @@ type Conn struct {
 	ssthresh  int
 	rwnd      int
 	dupAcks   int
+	rexmits   int // consecutive RTO fires; reset on ack progress
 	rtoTimer  sim.Event
 	finSeq    int64 // offset of our FIN; -1 until close
 	finSent   bool
@@ -231,6 +232,7 @@ func (c *Conn) input(seg *Segment) {
 		if ackBytes > 0 {
 			c.sndbuf.TrimTo(una + ackBytes)
 			c.dupAcks = 0
+			c.rexmits = 0
 			progress = true
 			if c.rttValid && seg.Ack >= c.rttSeq {
 				c.rttValid = false
@@ -251,6 +253,7 @@ func (c *Conn) input(seg *Segment) {
 		}
 		if finAckedNow && !c.finAcked {
 			c.finAcked = true
+			c.rexmits = 0
 			progress = true
 			switch c.state {
 			case stateFinWait1:
@@ -271,10 +274,14 @@ func (c *Conn) input(seg *Segment) {
 	if seg.Len > 0 && c.rcvbuf != nil {
 		switch {
 		case seg.Seq == c.rcvbuf.End() && seg.Seq+int64(seg.Len) <= c.advEdge:
-			c.rcvbuf.Append(seg.Len, nil)
-			for _, o := range seg.Objs {
-				c.attachObj(o)
+			// Append piecewise so every object lands at its original
+			// stream offset, whatever segmentation carried it here.
+			off := 0
+			for _, so := range seg.Objs {
+				c.rcvbuf.Append(so.End-off, so.Obj)
+				off = so.End
 			}
+			c.rcvbuf.Append(seg.Len-off, nil)
 			c.scheduleAck(seg.Flags&flagPSH != 0)
 			c.rcvReady.Broadcast()
 			c.st.activity.Broadcast()
@@ -312,14 +319,6 @@ func (c *Conn) input(seg *Segment) {
 
 	// The window may have opened: push more data from kernel context.
 	c.output(nil)
-}
-
-// attachObj re-attaches a payload object at the current receive tail.
-// Objects ride on the segment carrying their final byte, which was just
-// appended, so the object's range ends exactly at the new End.
-func (c *Conn) attachObj(o any) {
-	// Reconstruct by appending a zero-length marker at the tail.
-	c.rcvbuf.Append(0, o)
 }
 
 // scheduleAck implements delayed acknowledgments.
@@ -464,7 +463,10 @@ func (c *Conn) emit(p *sim.Proc, seq int64, n int, push bool) {
 	if push {
 		flags |= flagPSH
 	}
-	objs := c.sndbuf.ObjectsIn(seq, seq+int64(n))
+	var objs []SegObj
+	for _, o := range c.sndbuf.ObjectsAt(seq, seq+int64(n)) {
+		objs = append(objs, SegObj{End: int(o.End - seq), Obj: o.Obj})
+	}
 	done := c.reserveEmit(p)
 	c.pendingAcks = 0 // data segments piggyback the ack
 	c.delAck.Cancel()
@@ -517,6 +519,15 @@ func (c *Conn) armRTO() {
 // of the congestion window.
 func (c *Conn) onRTO() {
 	if c.inflight() == 0 && !(c.finSent && !c.finAcked) {
+		return
+	}
+	c.rexmits++
+	if c.st.Cfg.MaxRexmits > 0 && c.rexmits > c.st.Cfg.MaxRexmits {
+		// The peer has been unreachable for the whole backoff sequence:
+		// give up and reset the connection so blocked callers wake.
+		c.st.Eng.Tracef("tcp", "conn %d:%d->%d:%d failed after %d rexmits",
+			c.st.addr, c.lport, c.raddr, c.rport, c.rexmits-1)
+		c.fail(sock.ErrReset)
 		return
 	}
 	c.st.Rexmits.Inc()

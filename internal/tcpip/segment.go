@@ -48,8 +48,17 @@ type Segment struct {
 	Wnd              int
 	Len              int
 	// Objs carries application payload objects whose serialized ranges
-	// end within this segment (see package stream).
-	Objs []any
+	// end within this segment, each at its end offset relative to Seq —
+	// a retransmission that merges adjacent writes must still deliver
+	// every object at its original stream position (see package stream).
+	Objs []SegObj
+}
+
+// SegObj is one application object riding a segment; End is the offset
+// just past the object's last byte, relative to the segment's Seq.
+type SegObj struct {
+	End int
+	Obj any
 }
 
 func (s *Segment) wireLen() int { return tcpIPHeaderBytes + s.Len }
@@ -122,6 +131,10 @@ type StackConfig struct {
 	Nagle bool
 	// SynRetries bounds connection-attempt retransmissions.
 	SynRetries int
+	// MaxRexmits bounds consecutive retransmission timeouts on one
+	// connection before it is failed with a reset error (Linux 2.4's
+	// tcp_retries2 behavior, default 15). Zero disables the bound.
+	MaxRexmits int
 }
 
 // DefaultStackConfig returns the Linux 2.4.18 / Acenic calibration with
@@ -143,6 +156,7 @@ func DefaultStackConfig() StackConfig {
 		InitialCwnd:    2,
 		Nagle:          true,
 		SynRetries:     5,
+		MaxRexmits:     15,
 	}
 }
 

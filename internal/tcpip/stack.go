@@ -35,6 +35,7 @@ type Stack struct {
 	nextPort  int
 	nextISS   int64
 	nextDgram uint64
+	dead      bool
 
 	// activity wakes select() whenever any socket becomes ready.
 	activity *sim.Cond
@@ -52,6 +53,7 @@ type Stack struct {
 	FastRetransmits   sim.Counter
 	DroppedNoListener sim.Counter
 	DroppedSegs       sim.Counter
+	ChecksumDrops     sim.Counter
 }
 
 // NewStack creates a stack on host and attaches it to sw.
@@ -105,6 +107,9 @@ func (st *Stack) ephemeralPort() int {
 // Deliver implements ethernet.Station: queue the frame and manage the
 // coalesced receive interrupt.
 func (st *Stack) Deliver(f *ethernet.Frame) {
+	if st.dead {
+		return
+	}
 	st.rxRing = append(st.rxRing, f)
 	if len(st.rxRing) == 1 {
 		st.rxFirst = st.Eng.Now()
@@ -138,6 +143,14 @@ func (st *Stack) interrupt() {
 // dispatch routes one received frame to its connection, listener or UDP
 // socket. Runs in event context at softirq completion time.
 func (st *Stack) dispatch(f *ethernet.Frame) {
+	if !f.FCSOK() {
+		// The TCP/IP checksum verification (this era's NICs do not
+		// offload it) catches bits flipped on the wire; the segment is
+		// dropped in softirq context and the sender's RTO recovers.
+		st.ChecksumDrops.Inc()
+		st.Eng.Tracef("tcp", "rx frame dropped: checksum error")
+		return
+	}
 	switch pl := f.Payload.(type) {
 	case *Segment:
 		st.SegsIn.Inc()
@@ -171,8 +184,36 @@ func (st *Stack) dispatchTCP(seg *Segment) {
 	}
 }
 
+// Kill models the host dying mid-run: the stack stops sending and
+// receiving, and every connection fails with sock.ErrReset so blocked
+// local readers and writers wake. Peers discover the death through
+// their own retransmission budgets.
+func (st *Stack) Kill() {
+	if st.dead {
+		return
+	}
+	st.dead = true
+	st.rxIntr.Cancel()
+	st.rxRing = nil
+	for _, c := range st.conns {
+		c.fail(sock.ErrReset)
+	}
+	for port, l := range st.listeners {
+		l.closed = true
+		l.queue.Close() // wakes blocked Accept with ErrClosed
+		delete(st.listeners, port)
+	}
+	st.activity.Broadcast()
+}
+
+// Dead reports whether Kill has been called.
+func (st *Stack) Dead() bool { return st.dead }
+
 // transmitAt hands a segment to the NIC at time t (>= now).
 func (st *Stack) transmitAt(t sim.Time, seg *Segment) {
+	if st.dead {
+		return
+	}
 	st.SegsOut.Inc()
 	fr := &ethernet.Frame{
 		Src:        st.addr,
