@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench reproduce ablations chaos examples verify
+.PHONY: test race bench bench-smoke reproduce ablations chaos examples verify
 
 test:
 	go vet ./...
@@ -11,6 +11,14 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# bench-smoke is the single CI gate: vet, race-enabled short tests, and
+# the short-mode benchmarks (including the connection-scaling poller
+# study) each running exactly once.
+bench-smoke:
+	go vet ./...
+	go test -race -short ./...
+	go test -short -run '^$$' -bench . -benchtime 1x ./...
 
 reproduce:
 	go run ./cmd/reproduce

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,8 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead")
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos suite instead")
 	chaosSeeds := flag.Int("chaos-seeds", 5, "randomized fault plans per chaos workload")
+	connscale := flag.Bool("connscale", false, "run the connection-scaling poller study instead")
+	connscaleOut := flag.String("connscale-out", "BENCH_connscale.json", "machine-readable output for -connscale")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
 	plot := flag.Bool("plot", false, "also render each figure as an ASCII chart")
@@ -51,6 +54,35 @@ func main() {
 		}
 		f.CSV(out)
 		out.Close()
+	}
+
+	if *connscale {
+		counts := bench.DefaultConnScaleCounts()
+		if *quick {
+			counts = []int{8, 128}
+		}
+		pts := bench.ConnScaleSweep(counts)
+		fmt.Printf("%12s  %8s  %8s  %10s  %10s  %14s  %12s\n",
+			"transport", "conns", "waits", "delivered", "scanned", "scanned/wait", "sim-ms")
+		for _, pt := range pts {
+			if pt.Err != "" {
+				fmt.Fprintf(os.Stderr, "reproduce: connscale %s/%d: %s\n", pt.Transport, pt.Conns, pt.Err)
+				os.Exit(1)
+			}
+			fmt.Printf("%12s  %8d  %8d  %10d  %10d  %14.2f  %12.3f\n",
+				pt.Transport, pt.Conns, pt.Waits, pt.Delivered, pt.Scanned,
+				pt.ScannedPerWait, pt.Elapsed.Seconds()*1e3)
+		}
+		blob, err := json.MarshalIndent(pts, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*connscaleOut, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *connscaleOut)
+		return
 	}
 
 	if *chaos {

@@ -1,0 +1,101 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// streamTransports are the byte-stream transports the evented servers
+// run over (datagram mode frames messages, which the byte-counting
+// state machines deliberately do not re-implement).
+func streamTransports() map[string]func(n int) *cluster.Cluster {
+	return map[string]func(n int) *cluster.Cluster{
+		"tcp": cluster.NewTCP,
+		"substrate-ds": func(n int) *cluster.Cluster {
+			return cluster.NewSubstrate(n, nil)
+		},
+	}
+}
+
+func TestWebEventLoopCompletesAllRequests(t *testing.T) {
+	for name, build := range streamTransports() {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultWebConfig(1024, 1)
+			cfg.EventLoop = true
+			res := RunWeb(build(4), cfg)
+			if res.Err != nil {
+				t.Fatalf("evented web over %s: %v", name, res.Err)
+			}
+			if res.Requests != 72 {
+				t.Fatalf("completed %d of 72 requests", res.Requests)
+			}
+		})
+	}
+}
+
+func TestWebEventLoopKeepAlive(t *testing.T) {
+	// HTTP/1.1: eight requests ride each connection, so the state
+	// machine must reset between requests instead of closing.
+	for name, build := range streamTransports() {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultWebConfig(4096, 8)
+			cfg.EventLoop = true
+			res := RunWeb(build(4), cfg)
+			if res.Err != nil {
+				t.Fatalf("evented keep-alive web over %s: %v", name, res.Err)
+			}
+			if res.Requests != 72 {
+				t.Fatalf("completed %d of 72 requests", res.Requests)
+			}
+		})
+	}
+}
+
+func TestWebEventLoopFileBacked(t *testing.T) {
+	cfg := DefaultWebConfig(8192, 1)
+	cfg.EventLoop = true
+	cfg.FileBacked = true
+	res := RunWeb(cluster.NewSubstrate(4, nil), cfg)
+	if res.Err != nil {
+		t.Fatalf("evented file-backed web: %v", res.Err)
+	}
+	if res.Requests != 72 {
+		t.Fatalf("completed %d of 72 requests", res.Requests)
+	}
+}
+
+func TestWebEventLoopMatchesForkServer(t *testing.T) {
+	// The event loop changes where the server blocks, not what it
+	// serves: every request completes either way, and response times
+	// stay in the same regime.
+	cfg := DefaultWebConfig(1024, 1)
+	fork := RunWeb(cluster.NewSubstrate(4, nil), cfg)
+	cfg.EventLoop = true
+	ev := RunWeb(cluster.NewSubstrate(4, nil), cfg)
+	if fork.Err != nil || ev.Err != nil {
+		t.Fatalf("errs: fork=%v evented=%v", fork.Err, ev.Err)
+	}
+	if ev.Requests != fork.Requests {
+		t.Fatalf("request counts differ: fork=%d evented=%d", fork.Requests, ev.Requests)
+	}
+	if ev.AvgResponse > 4*fork.AvgResponse {
+		t.Fatalf("evented server implausibly slow: %v vs fork %v", ev.AvgResponse, fork.AvgResponse)
+	}
+}
+
+func TestKVStoreEventLoopCompletes(t *testing.T) {
+	for name, build := range streamTransports() {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultKVConfig(1024)
+			cfg.EventLoop = true
+			res := RunKVStore(build(4), cfg)
+			if res.Err != nil {
+				t.Fatalf("evented kv over %s: %v", name, res.Err)
+			}
+			if res.Ops != cfg.Clients*cfg.OpsPerClient {
+				t.Fatalf("completed %d ops", res.Ops)
+			}
+		})
+	}
+}

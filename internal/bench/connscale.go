@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// Connection-scaling study: the event-driven poller's reason to exist.
+// A single-process echo server multiplexes N registered connections, of
+// which only a small fixed set (the pacers) actually sends requests —
+// the shape of a data-center front end holding mostly-idle keep-alive
+// connections. A broadcast-wakeup server re-scans all N sockets per
+// wakeup, so its per-event work grows linearly in N; the completion-
+// queue poller touches only the sockets whose notifications fired, so
+// its scanned-per-wait stays flat as N grows. The poller's own counters
+// are the measurement.
+
+// connScaleReqBytes is the echo request/response size: small, so the
+// experiment measures event dispatch rather than data movement.
+const connScaleReqBytes = 64
+
+// connScalePacers is how many of the registered connections actively
+// issue requests; the rest connect, register, and sit idle.
+const connScalePacers = 8
+
+// connScaleReqs is the echo round trips each pacer performs.
+const connScaleReqs = 16
+
+// ConnScalePoint is one measurement of the sweep.
+type ConnScalePoint struct {
+	Transport string `json:"transport"`
+	Conns     int    `json:"conns"`
+	Requests  int    `json:"requests"`
+	Waits     int64  `json:"waits"`
+	Delivered int64  `json:"delivered"`
+	Scanned   int64  `json:"scanned"`
+	// ScannedPerWait is the per-Wait readiness work: the number of
+	// registered objects whose state the poller re-checked, averaged
+	// over every Wait. Flat across N is the scalability claim.
+	ScannedPerWait float64      `json:"scanned_per_wait"`
+	Elapsed        sim.Duration `json:"elapsed_ns"`
+	Err            string       `json:"err,omitempty"`
+}
+
+// DefaultConnScaleCounts is the sweep the acceptance run uses.
+func DefaultConnScaleCounts() []int { return []int{8, 64, 256, 1024} }
+
+// connScaleState is one server-side connection's request progress.
+type connScaleState struct {
+	c    sock.Conn
+	need int
+}
+
+// ConnScale runs one data point: conns connections from one client node
+// to a single-process evented echo server, connScalePacers of them
+// active. It reports the server poller's counters.
+func ConnScale(transport cluster.Transport, conns int) ConnScalePoint {
+	pt := ConnScalePoint{Transport: transport.String(), Conns: conns}
+	pacers := connScalePacers
+	if pacers > conns {
+		pacers = conns
+	}
+	cfg := cluster.Config{Nodes: 2, Transport: transport}
+	if transport == cluster.TransportSubstrate {
+		// Small credit windows keep the server's pre-posted descriptor
+		// population (conns x credits) bounded at the high end of the
+		// sweep; the pacer traffic is tiny, so throughput is unaffected.
+		o := core.DefaultOptions()
+		o.Credits = 4
+		cfg.Substrate = &o
+	}
+	c := cluster.New(cfg)
+	const port = 7007
+	fail := func(err error) {
+		if pt.Err == "" && err != nil {
+			pt.Err = err.Error()
+		}
+	}
+
+	c.Eng.Spawn("connscale-server", func(p *sim.Proc) {
+		l, err := c.Nodes[0].Net.Listen(p, port, conns)
+		if err != nil {
+			fail(err)
+			return
+		}
+		lp := l.(sock.Pollable)
+		po := sock.NewPoller(p.Engine(), "connscale")
+		po.Register(lp, sock.PollIn|sock.PollErr, nil)
+		accepted, finished := 0, 0
+		for finished < conns && pt.Err == "" {
+			for _, ev := range po.Wait(p, -1) {
+				if ev.Data == nil {
+					for accepted < conns && lp.PollState()&sock.PollIn != 0 {
+						cn, err := l.Accept(p)
+						if err != nil {
+							fail(err)
+							break
+						}
+						accepted++
+						po.Register(cn.(sock.Pollable),
+							sock.PollIn|sock.PollErr,
+							&connScaleState{c: cn, need: connScaleReqBytes})
+					}
+					if accepted == conns {
+						po.Deregister(lp)
+					}
+					continue
+				}
+				st := ev.Data.(*connScaleState)
+				for st.c.(sock.Pollable).PollState()&(sock.PollIn|sock.PollErr) != 0 {
+					n, _, err := st.c.Read(p, st.need)
+					if err != nil || n == 0 {
+						po.Deregister(st.c.(sock.Pollable))
+						st.c.Close(p)
+						finished++
+						break
+					}
+					st.need -= n
+					if st.need > 0 {
+						continue
+					}
+					if _, err := st.c.Write(p, connScaleReqBytes, "echo"); err != nil {
+						po.Deregister(st.c.(sock.Pollable))
+						st.c.Close(p)
+						finished++
+						break
+					}
+					st.need = connScaleReqBytes
+				}
+			}
+		}
+		l.Close(p)
+		pt.Waits = po.Waits
+		pt.Delivered = po.Delivered
+		pt.Scanned = po.Scanned
+		po.Close()
+		pt.Elapsed = p.Now().Sub(0)
+	})
+
+	// Clients: all conns dial (staggered so accepts keep pace with the
+	// backlog), the pacers run their echo loops once everyone is up,
+	// and every connection closes after the pacers drain.
+	dialed := sim.NewWaitGroup(c.Eng, "connscale.dialed")
+	dialed.Add(conns)
+	pacing := sim.NewWaitGroup(c.Eng, "connscale.pacing")
+	pacing.Add(pacers)
+	done := 0
+	for i := 0; i < conns; i++ {
+		i := i
+		c.Eng.Spawn("connscale-client", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(10+25*i) * sim.Microsecond)
+			cn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), port)
+			dialed.Done()
+			if err != nil {
+				fail(err)
+				if i < pacers {
+					pacing.Done()
+				}
+				return
+			}
+			if i < pacers {
+				dialed.Wait(p) // full register population first
+				for r := 0; r < connScaleReqs; r++ {
+					if _, err := cn.Write(p, connScaleReqBytes, "ping"); err != nil {
+						fail(err)
+						break
+					}
+					if _, _, err := sock.ReadFull(p, cn, connScaleReqBytes); err != nil {
+						fail(err)
+						break
+					}
+					done++
+				}
+				pacing.Done()
+			}
+			pacing.Wait(p)
+			cn.Close(p)
+		})
+	}
+	c.Run(600 * sim.Second)
+	pt.Requests = done
+	if pt.Err == "" && done != pacers*connScaleReqs {
+		pt.Err = fmt.Sprintf("connscale: %d of %d echoes", done, pacers*connScaleReqs)
+	}
+	if pt.Waits > 0 {
+		pt.ScannedPerWait = float64(pt.Scanned) / float64(pt.Waits)
+	}
+	return pt
+}
+
+// ConnScaleSweep runs the sweep on both stacks.
+func ConnScaleSweep(counts []int) []ConnScalePoint {
+	var out []ConnScalePoint
+	for _, tr := range []cluster.Transport{cluster.TransportSubstrate, cluster.TransportTCP} {
+		for _, n := range counts {
+			out = append(out, ConnScale(tr, n))
+		}
+	}
+	return out
+}
+
+// ConnScaleFigure renders the sweep as a harness figure (scanned-per-
+// wait vs registered connections, one series per stack).
+func ConnScaleFigure(counts []int) Figure {
+	f := Figure{
+		ID:     "connscale",
+		Title:  "Poller work vs registered connections (evented echo server)",
+		XLabel: "connections",
+		YLabel: "scanned per Wait",
+		PaperNote: "extension: per-event poller work must stay flat as idle " +
+			"connections grow (ready-list delivery, not full re-scan)",
+	}
+	sub := Series{Name: "Substrate"}
+	tcp := Series{Name: "TCP"}
+	for _, pt := range ConnScaleSweep(counts) {
+		s := &tcp
+		if pt.Transport == cluster.TransportSubstrate.String() {
+			s = &sub
+		}
+		s.Points = append(s.Points, Point{X: float64(pt.Conns), Y: pt.ScannedPerWait})
+	}
+	f.Series = []Series{sub, tcp}
+	return f
+}

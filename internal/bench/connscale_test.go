@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestConnScalePollerWorkStaysFlat is the refactor's acceptance
+// criterion: the server's per-Wait readiness work at 1024 registered
+// connections must stay within a small constant factor of the 8-
+// connection baseline on both stacks — delivery from the ready list,
+// not a linear re-scan of the interest set (which would grow the ratio
+// by two orders of magnitude here).
+func TestConnScalePollerWorkStaysFlat(t *testing.T) {
+	hi := 1024
+	if testing.Short() {
+		hi = 256
+	}
+	for _, tr := range []cluster.Transport{cluster.TransportSubstrate, cluster.TransportTCP} {
+		t.Run(tr.String(), func(t *testing.T) {
+			base := ConnScale(tr, 8)
+			big := ConnScale(tr, hi)
+			for _, pt := range []ConnScalePoint{base, big} {
+				if pt.Err != "" {
+					t.Fatalf("%d conns: %s", pt.Conns, pt.Err)
+				}
+				if pt.Requests != connScalePacers*connScaleReqs {
+					t.Fatalf("%d conns: %d echoes", pt.Conns, pt.Requests)
+				}
+			}
+			if base.ScannedPerWait <= 0 || big.ScannedPerWait <= 0 {
+				t.Fatalf("counters missing: base=%+v big=%+v", base, big)
+			}
+			// Allow generous constant-factor noise (accept churn, close
+			// storms); linear growth would be a ratio around hi/8.
+			if ratio := big.ScannedPerWait / base.ScannedPerWait; ratio > 4 {
+				t.Fatalf("per-Wait work grew %.1fx from 8 to %d conns (%.2f -> %.2f): not O(ready)",
+					ratio, hi, base.ScannedPerWait, big.ScannedPerWait)
+			}
+		})
+	}
+}
+
+// BenchmarkConnScale reports the sweep as benchmark metrics; bench-smoke
+// runs it with -benchtime 1x as a perf-trajectory gate.
+func BenchmarkConnScale(b *testing.B) {
+	counts := DefaultConnScaleCounts()
+	if testing.Short() {
+		counts = []int{8, 128}
+	}
+	for _, tr := range []cluster.Transport{cluster.TransportSubstrate, cluster.TransportTCP} {
+		for _, n := range counts {
+			b.Run(tr.String()+"/"+strconv.Itoa(n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pt := ConnScale(tr, n)
+					if pt.Err != "" {
+						b.Fatal(pt.Err)
+					}
+					b.ReportMetric(pt.ScannedPerWait, "scanned/wait")
+					b.ReportMetric(float64(pt.Waits), "waits")
+					b.ReportMetric(pt.Elapsed.Seconds()*1e3, "sim-ms")
+				}
+			})
+		}
+	}
+}

@@ -61,12 +61,30 @@ type Conn struct {
 	peerClosed  bool
 	cleaned     bool
 	err         error
+
+	// ready parks procs blocked on this connection's events (credit
+	// stalls, descriptor completions, control arrivals); src feeds
+	// registered pollers. Both wake only this connection's consumers.
+	ready *sim.Cond
+	src   sim.NoteSource
 	// lastIO is when the connection last saw application activity; the
 	// keepalive loop probes only connections idle past the interval.
 	lastIO sim.Time
 }
 
 var _ sock.Conn = (*Conn)(nil)
+var _ sock.Pollable = (*Conn)(nil)
+
+// Notify wakes this connection's blocked procs and registered pollers:
+// descriptor completions and routed unexpected-queue arrivals land
+// here instead of broadcasting to every blocked proc on the host. The
+// fired mask is deliberately broad — readiness is re-checked at
+// delivery, so a spurious class costs one filtered check on this
+// object, never a host-wide re-scan.
+func (c *Conn) Notify() {
+	c.ready.Broadcast()
+	c.src.Fire(uint32(sock.PollIn | sock.PollOut | sock.PollErr))
+}
 
 // connOptions derives the per-connection options both sides agree on
 // from the connection request.
@@ -94,6 +112,7 @@ func newConn(s *Substrate, peer ethernet.Addr, req *connRequest, isClient bool) 
 		opts:     connOptions(s.Opts, req),
 		isClient: isClient,
 		credits:  req.Credits,
+		ready:    sim.NewCond(s.Eng, "conn.ready"),
 	}
 	if isClient {
 		c.localPort, c.remotePort = req.ClientPort, req.ServerPort
@@ -110,8 +129,8 @@ func newConn(s *Substrate, peer ethernet.Addr, req *connRequest, isClient bool) 
 	c.holdback = make(map[uint64]*header)
 	c.lastIO = s.Eng.Now()
 	s.active[c] = struct{}{}
-	s.openChans[chanKey{peer, c.dataInTag}] = true
-	s.openChans[chanKey{peer, c.ackInTag}] = true
+	s.chans[chanKey{peer, c.dataInTag}] = c
+	s.chans[chanKey{peer, c.ackInTag}] = c
 	if c.opts.KeepaliveIdle > 0 {
 		s.Eng.Spawn("keepalive", c.keepaliveLoop)
 	}
@@ -129,7 +148,7 @@ func (c *Conn) fail(err error) {
 	c.sub.ConnsFailed.Inc()
 	c.sub.Eng.Tracef("substrate", "conn %d:%d -> %d:%d FAILED: %v",
 		c.sub.addr, c.localPort, c.peer, c.remotePort, err)
-	c.sub.activity.Broadcast()
+	c.Notify()
 }
 
 // abort reclaims a failed connection's resources without the Section 5.3
@@ -189,13 +208,13 @@ func (c *Conn) postInitialDescriptors(p *sim.Proc) {
 
 func (c *Conn) postDataDesc(p *sim.Proc) {
 	h := c.sub.EP.PostRecv(p, c.peer, c.dataInTag, headerBytes+c.opts.BufSize, c.dataBufKey)
-	h.SetNotify(c.sub.activity)
+	h.SetNotify(c)
 	c.dataHandles = append(c.dataHandles, h)
 }
 
 func (c *Conn) postAckDesc(p *sim.Proc) {
 	h := c.sub.EP.PostRecv(p, c.peer, c.ackInTag, headerBytes, emp.KeyNone)
-	h.SetNotify(c.sub.activity)
+	h.SetNotify(c)
 	c.ackHandles = append(c.ackHandles, h)
 }
 
@@ -237,6 +256,37 @@ func (c *Conn) Readable() bool {
 // Ready implements sock.Waitable.
 func (c *Conn) Ready() bool { return c.Readable() }
 
+// Writable reports whether Write would make progress without a credit
+// stall: a send credit is in hand, the mode has no credit flow control
+// (Datagram), or Write would return immediately with an error.
+func (c *Conn) Writable() bool {
+	if c.err != nil || c.cleaned || c.closeSent || c.peerClosed {
+		return true
+	}
+	if c.opts.Mode == Datagram {
+		return true
+	}
+	return c.credits > 0
+}
+
+// PollState implements sock.Pollable.
+func (c *Conn) PollState() sock.PollEvents {
+	var ev sock.PollEvents
+	if c.Readable() {
+		ev |= sock.PollIn
+	}
+	if c.Writable() {
+		ev |= sock.PollOut
+	}
+	if c.err != nil {
+		ev |= sock.PollErr
+	}
+	return ev
+}
+
+// PollSource implements sock.Pollable.
+func (c *Conn) PollSource() *sim.NoteSource { return &c.src }
+
 // --- Acknowledgment plumbing ---------------------------------------------
 
 // handleControl processes one message from the ack channel.
@@ -253,7 +303,7 @@ func (c *Conn) handleControl(hdr *header) {
 		// Peer-liveness probe: receiving it requires no action (the
 		// NIC-level acknowledgment it elicited is the liveness signal).
 	}
-	c.sub.activity.Broadcast()
+	c.Notify()
 }
 
 // pollAcks drains the acknowledgment channel without blocking: claimed
@@ -304,7 +354,7 @@ func (c *Conn) anyAckCompleted() bool {
 // waitControlEvent blocks until something may have arrived on the ack
 // channel — or extra() reports readiness — or the deadline passes. It
 // relies on descriptor completions and unexpected-queue arrivals
-// notifying the substrate's activity condition.
+// notifying this connection.
 func (c *Conn) waitControlEvent(p *sim.Proc, deadline sim.Time, extra func() bool) bool {
 	pred := func() bool {
 		if c.err != nil || c.peerClosed {
@@ -323,10 +373,10 @@ func (c *Conn) waitControlEvent(p *sim.Proc, deadline sim.Time, extra func() boo
 		return false
 	}
 	if deadline == sim.Forever {
-		c.sub.activity.WaitFor(p, pred)
+		c.ready.WaitFor(p, pred)
 		return true
 	}
-	return c.sub.activity.WaitForTimeout(p, remain, pred)
+	return c.ready.WaitForTimeout(p, remain, pred)
 }
 
 // waitAckEvent is waitControlEvent with no extra readiness source.
@@ -364,11 +414,11 @@ func (c *Conn) takeCredit(p *sim.Proc) error {
 		// already arrived).
 		if c.opts.UQAcks || c.opts.Mode == Datagram {
 			h := c.sub.EP.PostRecv(p, c.peer, c.ackInTag, headerBytes, emp.KeyNone)
-			h.SetNotify(c.sub.activity)
+			h.SetNotify(c)
 			// Wake on completion OR connection failure: a descriptor on
 			// a failed connection never completes, and the §5.3 rule
 			// says it must then be unposted, not abandoned.
-			c.sub.activity.WaitFor(p, func() bool {
+			c.ready.WaitFor(p, func() bool {
 				return h.Status() != emp.StatusPending || c.err != nil || c.peerClosed
 			})
 			if h.Status() != emp.StatusPending {
@@ -398,7 +448,7 @@ func (c *Conn) takeCredit(p *sim.Proc) error {
 		if len(c.ackHandles) == 0 {
 			return sock.ErrClosed
 		}
-		c.sub.activity.WaitFor(p, func() bool {
+		c.ready.WaitFor(p, func() bool {
 			return c.anyAckCompleted() || c.credits > 0 || c.err != nil || c.peerClosed
 		})
 	}
@@ -432,7 +482,7 @@ func (c *Conn) applyDS(p *sim.Proc, hdr *header) {
 	case kindClose:
 		c.peerClosed = true
 		c.eof = true
-		c.sub.activity.Broadcast()
+		c.Notify()
 	}
 }
 
@@ -483,7 +533,7 @@ func (c *Conn) collectDS(p *sim.Proc) {
 // at least one descriptor to finish.
 func (c *Conn) pumpDS(p *sim.Proc, block bool) {
 	if block {
-		c.sub.activity.WaitFor(p, func() bool {
+		c.ready.WaitFor(p, func() bool {
 			return c.anyDataCompleted() || c.err != nil || len(c.dataHandles) == 0
 		})
 	}
@@ -647,8 +697,8 @@ func (c *Conn) cleanup(p *sim.Proc) {
 	}
 	c.ackHandles = nil
 	delete(c.sub.active, c)
-	delete(c.sub.openChans, chanKey{c.peer, c.dataInTag})
-	delete(c.sub.openChans, chanKey{c.peer, c.ackInTag})
+	delete(c.sub.chans, chanKey{c.peer, c.dataInTag})
+	delete(c.sub.chans, chanKey{c.peer, c.ackInTag})
 	c.sub.purgeStaleUQ()
 	if c.isClient {
 		c.sub.freeTag(c.dataInTag)
@@ -656,5 +706,5 @@ func (c *Conn) cleanup(p *sim.Proc) {
 		c.sub.freeTag(c.dataOutTag)
 		c.sub.freeTag(c.ackOutTag)
 	}
-	c.sub.activity.Broadcast()
+	c.Notify()
 }

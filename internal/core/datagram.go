@@ -109,11 +109,11 @@ func (c *Conn) readDG(p *sim.Proc, max int) (int, []any, error) {
 		}
 		// Post the receive with the user's buffer: the zero-copy path.
 		h := c.sub.EP.PostRecv(p, c.peer, c.dataInTag, headerBytes+max, c.userKey)
-		h.SetNotify(c.sub.activity)
+		h.SetNotify(c)
 		// Wake on completion OR connection failure: a read blocked
 		// against a dead peer must return, and its descriptor must be
 		// unposted rather than abandoned (§5.3).
-		c.sub.activity.WaitFor(p, func() bool {
+		c.ready.WaitFor(p, func() bool {
 			return h.Status() != emp.StatusPending || c.err != nil
 		})
 		if h.Status() == emp.StatusPending {
@@ -165,7 +165,7 @@ func (c *Conn) processDGMessage(p *sim.Proc, m emp.Message, max int) (int, []any
 	case kindClose:
 		c.peerClosed = true
 		c.eof = true
-		c.sub.activity.Broadcast()
+		c.Notify()
 		return 0, nil, nil, true
 	case kindRendReq:
 		n, objs, err := c.receiveRendezvous(p, hdr, max)
@@ -194,10 +194,10 @@ func (c *Conn) deliverDG(n int, obj any, max int) (int, []any, error) {
 // DMAs directly to user space with no intermediate copy.
 func (c *Conn) receiveRendezvous(p *sim.Proc, req *header, max int) (int, []any, error) {
 	h := c.sub.EP.PostRecv(p, c.peer, req.RendTag, req.RendLen, c.userKey)
-	h.SetNotify(c.sub.activity)
+	h.SetNotify(c)
 	c.sub.EP.Send(p, c.peer, c.ackOutTag, headerBytes,
 		&header{Kind: kindRendAck, RendTag: req.RendTag}, emp.KeyNone)
-	c.sub.activity.WaitFor(p, func() bool {
+	c.ready.WaitFor(p, func() bool {
 		return h.Status() != emp.StatusPending || c.err != nil
 	})
 	if h.Status() == emp.StatusPending {

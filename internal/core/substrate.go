@@ -35,18 +35,18 @@ type Substrate struct {
 	listeners map[int]*Listener
 	// active is the paper's static table of active sockets (Section
 	// 5.3): sockets engaged in communication, excluding listeners.
-	active   map[*Conn]struct{}
-	activity *sim.Cond
+	active map[*Conn]struct{}
 
 	tagNext  emp.Tag
 	tagInUse map[emp.Tag]bool
 	keyNext  emp.BufKey
 	portNext int
-	// openChans tracks the (peer, tag) channels of live connections so
-	// stale unexpected-queue entries (control messages that raced a
-	// close) can be purged.
-	openChans map[chanKey]bool
-	dead      bool
+	// chans routes each live (peer, tag) receive channel to its
+	// connection: unexpected-queue arrivals wake only that connection's
+	// waiters, and stale entries (control messages that raced a close)
+	// can be purged.
+	chans map[chanKey]*Conn
+	dead  bool
 
 	// Stats.
 	ConnectsSent   sim.Counter
@@ -79,17 +79,28 @@ func New(e *sim.Engine, host *kernel.Host, n *nic.NIC, opts Options) *Substrate 
 		addr:      n.Addr(),
 		listeners: make(map[int]*Listener),
 		active:    make(map[*Conn]struct{}),
-		activity:  sim.NewCond(e, "substrate.activity"),
 		tagNext:   0x0100,
 		tagInUse:  make(map[emp.Tag]bool),
 		keyNext:   1000,
 		portNext:  32768,
-		openChans: make(map[chanKey]bool),
+		chans:     make(map[chanKey]*Conn),
 	}
 	// Control messages (credit acks, close acks, connect replies) and
 	// Datagram-mode early arrivals surface through the unexpected
-	// queue; blocked substrate calls and select() must wake on them.
-	s.EP.SetUnexpectedNotify(s.activity)
+	// queue; the arrival is routed to the one connection or listener the
+	// message is addressed to, so only its waiters and registered
+	// pollers wake — not every blocked proc on the host.
+	s.EP.SetUnexpectedRoute(func(src ethernet.Addr, tag emp.Tag) {
+		if tag >= listenTagBase {
+			if l, ok := s.listeners[int(tag&^listenTagBase)]; ok {
+				l.Notify()
+			}
+			return
+		}
+		if c, ok := s.chans[chanKey{src, tag}]; ok {
+			c.Notify()
+		}
+	})
 	// A send that exhausts its EMP retry budget means the peer's NIC is
 	// gone (crashed or partitioned past the reliability horizon): fail
 	// every connection to that peer. The notification is tag-agnostic
@@ -123,14 +134,17 @@ func (s *Substrate) Kill() {
 	for c := range s.active {
 		c.fail(sock.ErrReset)
 	}
-	for _, l := range s.listeners {
+	dying := s.listeners
+	s.listeners = make(map[int]*Listener)
+	for _, l := range dying {
 		l.closed = true
 	}
-	s.listeners = make(map[int]*Listener)
 	// Killing the endpoint cancels every posted descriptor, so blocked
 	// Accept/WaitRecv callers wake with cancellation statuses.
 	s.EP.Kill()
-	s.activity.Broadcast()
+	for _, l := range dying {
+		l.Notify()
+	}
 }
 
 // Dead reports whether Kill has been called.
@@ -179,7 +193,21 @@ func (s *Substrate) purgeStaleUQ() {
 			_, ok := s.listeners[int(tag&^listenTagBase)]
 			return ok
 		}
-		return s.openChans[chanKey{src, tag}]
+		if _, ok := s.chans[chanKey{src, tag}]; ok {
+			return true
+		}
+		// Not stale if the channel is merely early: a data message can
+		// outrun its own connection's Accept (the paper's one-message
+		// setup lets the client transmit immediately), so a channel
+		// announced by a still-queued connection request — or from a
+		// peer whose request itself is still parked here — will exist
+		// as soon as Accept runs and must survive the purge.
+		for _, l := range s.listeners {
+			if l.announces(src, tag) || s.EP.PeekUnexpected(src, listenTag(l.port)) {
+				return true
+			}
+		}
+		return false
 	})
 }
 
@@ -210,7 +238,8 @@ func (s *Substrate) Listen(p *sim.Proc, port, backlog int) (sock.Listener, error
 	if backlog < 1 {
 		backlog = 1
 	}
-	l := &Listener{sub: s, port: port, backlog: backlog}
+	l := &Listener{sub: s, port: port, backlog: backlog,
+		ready: sim.NewCond(s.Eng, "listener.ready")}
 	for i := 0; i < backlog; i++ {
 		l.post(p)
 	}
@@ -302,42 +331,13 @@ func (s *Substrate) dialOnce(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, 
 	return c, nil
 }
 
-// Select implements sock.Network. It is a user-level poll over the
-// substrate's completion state — no kernel involvement.
+// Select implements sock.Network. It is a level-triggered compatibility
+// shim over the readiness poller: one user-level library call charged at
+// entry, then an ephemeral registration on each item's notification
+// source — no kernel involvement, and no wakeups from unrelated sockets.
 func (s *Substrate) Select(p *sim.Proc, items []sock.Waitable, timeout sim.Duration) []int {
 	p.Sleep(s.Opts.LibCall)
-	deadline := sim.Forever
-	if timeout >= 0 {
-		deadline = p.Now().Add(timeout)
-	}
-	pred := func() bool {
-		for _, it := range items {
-			if it.Ready() {
-				return true
-			}
-		}
-		return false
-	}
-	for {
-		var ready []int
-		for i, it := range items {
-			if it.Ready() {
-				ready = append(ready, i)
-			}
-		}
-		if len(ready) > 0 {
-			return ready
-		}
-		remain := deadline.Sub(p.Now())
-		if remain <= 0 {
-			return nil
-		}
-		if deadline == sim.Forever {
-			s.activity.WaitFor(p, pred)
-		} else if !s.activity.WaitForTimeout(p, remain, pred) {
-			return nil
-		}
-	}
+	return sock.PollSelect(p, s.Eng, items, timeout)
 }
 
 // Shutdown stops the underlying endpoint's firmware (end of simulation).
@@ -356,15 +356,34 @@ type Listener struct {
 	backlog int
 	handles []*emp.RecvHandle
 	closed  bool
+
+	ready *sim.Cond      // procs blocked on this listener's events
+	src   sim.NoteSource // registered pollers
+	// headDone caches the head-of-backlog completion check so repeated
+	// Acceptable calls don't redo TryRecv work; headKnown is invalidated
+	// by completions (Notify) and by Accept consuming the head.
+	headDone  bool
+	headKnown bool
 }
 
 var _ sock.Listener = (*Listener)(nil)
+var _ sock.Pollable = (*Listener)(nil)
+
+// Notify wakes this listener's waiters and registered pollers; EMP
+// completions on backlog descriptors and routed unexpected-queue
+// arrivals land here instead of broadcasting host-wide.
+func (l *Listener) Notify() {
+	l.headKnown = false
+	l.ready.Broadcast()
+	l.src.Fire(uint32(sock.PollIn | sock.PollErr))
+}
 
 // post adds one backlog descriptor.
 func (l *Listener) post(p *sim.Proc) {
 	h := l.sub.EP.PostRecv(p, emp.AnySource, listenTag(l.port), connReqBytes, emp.KeyNone)
-	h.SetNotify(l.sub.activity)
+	h.SetNotify(l)
 	l.handles = append(l.handles, h)
+	l.headKnown = false
 }
 
 // Addr implements sock.Listener.
@@ -378,12 +397,53 @@ func (l *Listener) Acceptable() bool {
 	if l.closed || len(l.handles) == 0 {
 		return false
 	}
-	_, _, done := l.sub.EP.TryRecv(l.handles[0])
-	return done
+	if !l.headKnown {
+		_, _, done := l.sub.EP.TryRecv(l.handles[0])
+		l.headDone = done
+		l.headKnown = true
+	}
+	return l.headDone
 }
 
 // Ready implements sock.Waitable.
 func (l *Listener) Ready() bool { return l.Acceptable() }
+
+// announces reports whether a completed but not-yet-accepted connection
+// request in this listener's backlog names (src, tag) as a channel the
+// server will receive on. Early data arrivals for such channels park in
+// the unexpected queue and must survive staleness purges until Accept
+// posts the connection's descriptors.
+func (l *Listener) announces(src ethernet.Addr, tag emp.Tag) bool {
+	for _, h := range l.handles {
+		m, st, done := l.sub.EP.TryRecv(h)
+		if !done || st != emp.StatusOK || m.Src != src {
+			continue
+		}
+		hdr, ok := m.Data.(*header)
+		if !ok || hdr.Kind != kindConnReq || hdr.Req == nil {
+			continue
+		}
+		if hdr.Req.ServerDataTag == tag || hdr.Req.ServerAckTag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// PollState implements sock.Pollable.
+func (l *Listener) PollState() sock.PollEvents {
+	var ev sock.PollEvents
+	if l.Acceptable() {
+		ev |= sock.PollIn
+	}
+	if l.closed {
+		ev |= sock.PollErr
+	}
+	return ev
+}
+
+// PollSource implements sock.Pollable.
+func (l *Listener) PollSource() *sim.NoteSource { return &l.src }
 
 // Accept implements sock.Listener: block on the head-of-backlog
 // descriptor (the paper's Section 5.1 design), build the connection from
@@ -399,7 +459,8 @@ func (l *Listener) Accept(p *sim.Proc) (sock.Conn, error) {
 		return nil, sock.ErrClosed
 	}
 	l.handles = l.handles[1:]
-	l.post(p) // replenish the backlog
+	l.headKnown = false // the cached check described the consumed head
+	l.post(p)           // replenish the backlog
 	if st != emp.StatusOK {
 		return nil, sock.ErrReset
 	}
@@ -419,7 +480,10 @@ func (l *Listener) Accept(p *sim.Proc) (sock.Conn, error) {
 }
 
 // Close implements sock.Listener: unpost every backlog descriptor (EMP
-// has no garbage collection — Section 5.3).
+// has no garbage collection — Section 5.3). Only procs registered on
+// this listener wake: each unpost cancels its descriptor, whose
+// completion notifies the listener — unrelated blocked sockets on the
+// host see nothing (no more host-wide broadcast).
 func (l *Listener) Close(p *sim.Proc) error {
 	p.Sleep(l.sub.Opts.LibCall)
 	if l.closed {
@@ -431,6 +495,6 @@ func (l *Listener) Close(p *sim.Proc) error {
 		l.sub.EP.Unpost(p, h)
 	}
 	l.handles = nil
-	l.sub.activity.Broadcast()
+	l.Notify()
 	return nil
 }

@@ -220,7 +220,7 @@ type RecvHandle struct {
 	status Status
 	cond   *sim.Cond
 	msg    Message
-	notify *sim.Cond
+	notify sim.Notifiable
 
 	src    ethernet.Addr
 	tag    Tag
@@ -228,9 +228,10 @@ type RecvHandle struct {
 	desc   *recvDesc
 }
 
-// SetNotify registers an additional condition broadcast on completion;
-// the sockets substrate points this at its select() activity condition.
-func (h *RecvHandle) SetNotify(c *sim.Cond) { h.notify = c }
+// SetNotify registers an additional notification fired on completion;
+// the sockets substrate points this at the owning connection or
+// listener so only procs registered on that object wake.
+func (h *RecvHandle) SetNotify(n sim.Notifiable) { h.notify = n }
 
 // Status reports the handle's current state.
 func (h *RecvHandle) Status() Status { return h.status }
@@ -247,7 +248,7 @@ func (h *RecvHandle) complete(s Status, m Message) {
 	h.msg = m
 	h.cond.Broadcast()
 	if h.notify != nil {
-		h.notify.Broadcast()
+		h.notify.Notify()
 	}
 }
 
@@ -322,10 +323,19 @@ func (ep *Endpoint) PollUnexpected(p *sim.Proc, src ethernet.Addr, tag Tag, maxL
 	return m, ok
 }
 
-// SetUnexpectedNotify registers a condition broadcast whenever a message
+// SetUnexpectedNotify registers a notification fired whenever a message
 // lands in the host-visible unexpected queue; pollers (the substrate's
 // control channels) block on it instead of spinning.
-func (ep *Endpoint) SetUnexpectedNotify(c *sim.Cond) { ep.fw.uqNotify = c }
+func (ep *Endpoint) SetUnexpectedNotify(n sim.Notifiable) { ep.fw.uqNotify = n }
+
+// SetUnexpectedRoute registers a per-arrival callback invoked (in event
+// context, must not block) with the source and tag of each message that
+// parks in the unexpected queue. The sockets substrate uses it to wake
+// only the connection or listener the message is addressed to, instead
+// of broadcasting to every blocked proc on the host.
+func (ep *Endpoint) SetUnexpectedRoute(fn func(src ethernet.Addr, tag Tag)) {
+	ep.fw.uqRoute = fn
+}
 
 // PurgeUnexpected discards host-visible unexpected-queue messages for
 // which keep reports false, freeing their NIC slots. The sockets

@@ -110,7 +110,8 @@ type firmware struct {
 
 	completed     map[reasmKey]bool
 	completedRing []reasmKey
-	uqNotify      *sim.Cond
+	uqNotify      sim.Notifiable
+	uqRoute       func(src ethernet.Addr, tag Tag)
 
 	sendProc *sim.Proc
 	recvProc *sim.Proc
@@ -186,7 +187,7 @@ func (fw *firmware) kill() {
 	fw.reasm = make(map[reasmKey]*reassembly)
 	fw.uqEntries = nil
 	if fw.uqNotify != nil {
-		fw.uqNotify.Broadcast()
+		fw.uqNotify.Notify()
 	}
 	fw.shutdown()
 }
@@ -556,7 +557,10 @@ func (fw *firmware) finish(r *reassembly) {
 		}
 		fw.uqEntries = append(fw.uqEntries, &uqEntry{msg: msg})
 		if fw.uqNotify != nil {
-			fw.uqNotify.Broadcast()
+			fw.uqNotify.Notify()
+		}
+		if fw.uqRoute != nil {
+			fw.uqRoute(msg.Src, msg.Tag)
 		}
 	}
 }

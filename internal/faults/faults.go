@@ -238,10 +238,10 @@ func RandomPlan(seed uint64, nodes int, dur sim.Duration) *Plan {
 	r := sim.NewRand(seed)
 	pl := &Plan{}
 	pl.Clauses = append(pl.Clauses, Uniform(
-		0.002+0.01*r.Float64(), // loss
-		0.002+0.01*r.Float64(), // dup
+		0.002+0.01*r.Float64(),  // loss
+		0.002+0.01*r.Float64(),  // dup
 		0.002+0.008*r.Float64(), // corrupt
-		0.002+0.01*r.Float64(), // reorder
+		0.002+0.01*r.Float64(),  // reorder
 	))
 	if nodes < 2 {
 		nodes = 2

@@ -54,13 +54,14 @@ type entry struct {
 type Space struct {
 	net  sock.Network
 	fs   *ramfs.FS
+	eng  *sim.Engine
 	ents map[int]*entry
 	next int
 }
 
 // New returns an empty descriptor space.
 func New(net sock.Network, fs *ramfs.FS) *Space {
-	return &Space{net: net, fs: fs, ents: make(map[int]*entry), next: 3}
+	return &Space{net: net, fs: fs, eng: fs.Host().Eng, ents: make(map[int]*entry), next: 3}
 }
 
 // Network exposes the underlying socket layer (for select on raw

@@ -17,14 +17,16 @@ type bed struct {
 	spaces []*Space
 }
 
-func newBed(n int) *bed {
+func newBed(n int) *bed { return newBedOpts(n, core.DefaultOptions()) }
+
+func newBedOpts(n int, opts core.Options) *bed {
 	b := &bed{eng: sim.NewEngine()}
 	sw := ethernet.NewSwitch(b.eng, ethernet.DefaultSwitchConfig())
 	for i := 0; i < n; i++ {
 		h := kernel.NewHost(b.eng, "h", 4, kernel.DefaultCosts())
 		nc := nic.New(b.eng, "n", nic.DefaultConfig())
 		nc.Attach(sw)
-		sub := core.New(b.eng, h, nc, core.DefaultOptions())
+		sub := core.New(b.eng, h, nc, opts)
 		b.spaces = append(b.spaces, New(sub, ramfs.New(h)))
 	}
 	return b

@@ -1,0 +1,130 @@
+package fdtable
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// fileEntry adapts a file descriptor to sock.Pollable: RAM-disk files
+// never block, so the adapter is permanently readable and writable and
+// its notification source never fires. Registering one delivers an
+// immediate event (the Register-time readiness kick), matching
+// select()'s historical always-ready treatment of regular files.
+type fileEntry struct {
+	src sim.NoteSource
+}
+
+func (f *fileEntry) Ready() bool                 { return true }
+func (f *fileEntry) PollState() sock.PollEvents  { return sock.PollIn | sock.PollOut }
+func (f *fileEntry) PollSource() *sim.NoteSource { return &f.src }
+
+var _ sock.Pollable = (*fileEntry)(nil)
+
+// FDEvent is one ready descriptor delivered by Poller.Wait.
+type FDEvent struct {
+	FD     int
+	Events sock.PollEvents
+}
+
+// Poller is the descriptor-space face of sock.Poller: the same
+// edge-triggered Register/Deregister/Wait contract, keyed by file
+// descriptor, dispatching on the descriptor's tracked kind the same way
+// the generic read()/write() calls do. Connections and listeners
+// register their transport's notification source; files register an
+// always-ready adapter.
+type Poller struct {
+	s     *Space
+	po    *sock.Poller
+	items map[int]sock.Pollable
+	files map[int]*fileEntry
+}
+
+// NewPoller returns an empty poller over this descriptor space.
+func (s *Space) NewPoller(label string) *Poller {
+	return &Poller{
+		s:     s,
+		po:    sock.NewPoller(s.eng, label),
+		items: make(map[int]sock.Pollable),
+		files: make(map[int]*fileEntry),
+	}
+}
+
+// Raw exposes the underlying sock.Poller (counters, WaitCost).
+func (pl *Poller) Raw() *sock.Poller { return pl.po }
+
+// Len reports how many descriptors are registered.
+func (pl *Poller) Len() int { return len(pl.items) }
+
+// Register adds fd to the interest set. A descriptor already ready for
+// an interest class delivers an immediate event.
+func (pl *Poller) Register(fd int, interest sock.PollEvents) error {
+	e, err := pl.s.lookup(fd)
+	if err != nil {
+		return err
+	}
+	var item sock.Pollable
+	switch e.kind {
+	case KindConn:
+		pc, ok := e.conn.(sock.Pollable)
+		if !ok {
+			return fmt.Errorf("fdtable: connection descriptor %d is not pollable", fd)
+		}
+		item = pc
+	case KindListener:
+		plst, ok := e.lst.(sock.Pollable)
+		if !ok {
+			return fmt.Errorf("fdtable: listener descriptor %d is not pollable", fd)
+		}
+		item = plst
+	case KindFile:
+		fe := pl.files[fd]
+		if fe == nil {
+			fe = &fileEntry{}
+			pl.files[fd] = fe
+		}
+		item = fe
+	default:
+		return fmt.Errorf("fdtable: poll on %s descriptor %d", e.kind, fd)
+	}
+	if old, ok := pl.items[fd]; ok && old != item {
+		pl.po.Deregister(old) // fd number was reused for a new object
+	}
+	pl.items[fd] = item
+	pl.po.Register(item, interest, fd)
+	return nil
+}
+
+// Deregister removes fd from the interest set; unknown fds are no-ops.
+func (pl *Poller) Deregister(fd int) {
+	item, ok := pl.items[fd]
+	if !ok {
+		return
+	}
+	pl.po.Deregister(item)
+	delete(pl.items, fd)
+	delete(pl.files, fd)
+}
+
+// Wait blocks until a registered descriptor has a pending event or the
+// timeout elapses (negative waits forever, zero polls), returning ready
+// descriptors or nil on timeout.
+func (pl *Poller) Wait(p *sim.Proc, timeout sim.Duration) []FDEvent {
+	evs := pl.po.Wait(p, timeout)
+	if evs == nil {
+		return nil
+	}
+	out := make([]FDEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = FDEvent{FD: ev.Data.(int), Events: ev.Events}
+	}
+	return out
+}
+
+// Close deregisters everything; the poller can be reused.
+func (pl *Poller) Close() {
+	pl.po.Close()
+	pl.items = make(map[int]sock.Pollable)
+	pl.files = make(map[int]*fileEntry)
+}

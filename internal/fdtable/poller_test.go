@@ -1,0 +1,260 @@
+package fdtable
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// TestPollerZeroTimeoutPolls: Wait with a zero timeout is a pure poll —
+// it must return nil immediately when nothing is pending and deliver
+// without blocking once an event has fired.
+func TestPollerZeroTimeoutPolls(t *testing.T) {
+	b := newBed(2)
+	var before, after []FDEvent
+	served := false
+	b.eng.Spawn("server", func(p *sim.Proc) {
+		s := b.spaces[0]
+		lfd, err := s.Listen(p, 80, 4)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		pl := s.NewPoller("zero")
+		if err := pl.Register(lfd, sock.PollIn|sock.PollErr); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		before = pl.Wait(p, 0) // nothing has happened yet
+		p.Sleep(5 * sim.Millisecond)
+		after = pl.Wait(p, 0) // the client's connect request landed
+		cfd, err := s.Accept(p, lfd)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		s.Read(p, cfd, 64)
+		served = true
+		s.Close(p, cfd)
+		s.Close(p, lfd)
+		pl.Close()
+	})
+	b.eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(50 * sim.Microsecond)
+		s := b.spaces[1]
+		fd, err := s.Connect(p, b.spaces[0].Network().Addr(), 80)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		s.Write(p, fd, 64, nil)
+		s.Close(p, fd)
+	})
+	b.eng.RunUntil(sim.Time(10 * sim.Second))
+	if !served {
+		t.Fatal("server did not finish")
+	}
+	if before != nil {
+		t.Fatalf("zero-timeout Wait with nothing pending returned %v", before)
+	}
+	if len(after) != 1 || after[0].Events&sock.PollIn == 0 {
+		t.Fatalf("zero-timeout Wait after connect returned %v", after)
+	}
+}
+
+// TestPollerMixedKindsOneInterestSet: a regular file, a listener, and an
+// accepted connection share one interest set. The file delivers an
+// immediate always-ready event; the listener and connection deliver on
+// real transport activity; the generic descriptor Read serves both.
+func TestPollerMixedKindsOneInterestSet(t *testing.T) {
+	b := newBed(2)
+	b.spaces[0].FS().Create("mixed.dat", 100, "file-data")
+	var seenFile, seenListener, seenConn bool
+	var fileN, connN int
+	b.eng.Spawn("server", func(p *sim.Proc) {
+		s := b.spaces[0]
+		ffd, err := s.Open(p, "mixed.dat")
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		lfd, err := s.Listen(p, 80, 4)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		pl := s.NewPoller("mixed")
+		pl.Register(ffd, sock.PollIn|sock.PollOut)
+		pl.Register(lfd, sock.PollIn|sock.PollErr)
+		cfd := -1
+		for !(seenFile && seenListener && seenConn) {
+			for _, ev := range pl.Wait(p, -1) {
+				switch ev.FD {
+				case ffd:
+					seenFile = true
+					fileN, _, _ = s.Read(p, ffd, 100)
+					pl.Deregister(ffd) // edge-triggered: one kick is all it gives
+				case lfd:
+					seenListener = true
+					cfd, err = s.Accept(p, lfd)
+					if err != nil {
+						t.Errorf("accept: %v", err)
+						return
+					}
+					pl.Register(cfd, sock.PollIn|sock.PollErr)
+				case cfd:
+					seenConn = true
+					connN, _, _ = s.Read(p, cfd, 64)
+				}
+			}
+		}
+		if cfd >= 0 {
+			s.Close(p, cfd)
+		}
+		s.Close(p, lfd)
+		s.Close(p, ffd)
+		pl.Close()
+	})
+	b.eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(50 * sim.Microsecond)
+		s := b.spaces[1]
+		fd, err := s.Connect(p, b.spaces[0].Network().Addr(), 80)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		s.Write(p, fd, 64, "net-data")
+		p.Sleep(10 * sim.Millisecond)
+		s.Close(p, fd)
+	})
+	b.eng.RunUntil(sim.Time(10 * sim.Second))
+	if !seenFile || !seenListener || !seenConn {
+		t.Fatalf("events: file=%v listener=%v conn=%v", seenFile, seenListener, seenConn)
+	}
+	if fileN != 100 || connN != 64 {
+		t.Fatalf("reads: file=%d conn=%d", fileN, connN)
+	}
+}
+
+// TestPollerDeregisterWhileWaiterBlocked: removing a descriptor from the
+// interest set while another proc is blocked in Wait must suppress that
+// descriptor's subsequent events — the waiter times out empty even
+// though data arrives — and the data stays readable directly.
+func TestPollerDeregisterWhileWaiterBlocked(t *testing.T) {
+	b := newBed(2)
+	var evs []FDEvent
+	waited := false
+	var n int
+	b.eng.Spawn("server", func(p *sim.Proc) {
+		s := b.spaces[0]
+		lfd, err := s.Listen(p, 80, 4)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		cfd, err := s.Accept(p, lfd)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		pl := s.NewPoller("dereg")
+		pl.Register(cfd, sock.PollIn|sock.PollErr)
+		b.eng.Spawn("deregister", func(q *sim.Proc) {
+			q.Sleep(1 * sim.Millisecond) // after the Wait below blocks,
+			pl.Deregister(cfd)           // before the client's 5ms write
+		})
+		evs = pl.Wait(p, 20*sim.Millisecond)
+		waited = true
+		n, _, _ = s.Read(p, cfd, 64) // arrival was suppressed, not lost
+		s.Close(p, cfd)
+		s.Close(p, lfd)
+		pl.Close()
+	})
+	b.eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(50 * sim.Microsecond)
+		s := b.spaces[1]
+		fd, err := s.Connect(p, b.spaces[0].Network().Addr(), 80)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		p.Sleep(5 * sim.Millisecond)
+		s.Write(p, fd, 64, nil)
+		p.Sleep(30 * sim.Millisecond)
+		s.Close(p, fd)
+	})
+	b.eng.RunUntil(sim.Time(10 * sim.Second))
+	if !waited {
+		t.Fatal("Wait never returned")
+	}
+	if evs != nil {
+		t.Fatalf("deregistered descriptor still delivered %v", evs)
+	}
+	if n != 64 {
+		t.Fatalf("read after deregister = %d, want 64", n)
+	}
+}
+
+// TestPollerDeliversErrAfterPeerCrash: when the peer substrate dies, the
+// PR-1 abort path fails the connection with sock.ErrReset; a poller
+// holding that descriptor must wake with PollErr and the generic Read
+// must surface the reset.
+func TestPollerDeliversErrAfterPeerCrash(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.KeepaliveIdle = 5 * sim.Millisecond
+	b := newBedOpts(2, opts)
+	var gotErr bool
+	var rdErr error
+	b.eng.Spawn("server", func(p *sim.Proc) {
+		s := b.spaces[0]
+		lfd, err := s.Listen(p, 80, 4)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		cfd, err := s.Accept(p, lfd)
+		if err != nil {
+			return
+		}
+		pl := s.NewPoller("reset")
+		pl.Register(cfd, sock.PollIn|sock.PollErr)
+		for !gotErr {
+			evs := pl.Wait(p, sim.Second)
+			if evs == nil {
+				break // timed out: detection never happened; fail below
+			}
+			for _, ev := range evs {
+				if ev.FD != cfd || ev.Events&sock.PollErr == 0 {
+					continue
+				}
+				gotErr = true
+				_, _, rdErr = s.Read(p, cfd, 64)
+			}
+		}
+		s.Close(p, cfd)
+		s.Close(p, lfd)
+		pl.Close()
+	})
+	b.eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(50 * sim.Microsecond)
+		s := b.spaces[1]
+		fd, err := s.Connect(p, b.spaces[0].Network().Addr(), 80)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		s.Read(p, fd, 64) // idle until the crash kills us
+	})
+	b.eng.At(sim.Time(20*sim.Millisecond), func() {
+		b.spaces[1].Network().(*core.Substrate).Kill()
+	})
+	b.eng.RunUntil(sim.Time(5 * sim.Second))
+	if !gotErr {
+		t.Fatal("poller never delivered PollErr after the peer crash")
+	}
+	if rdErr != sock.ErrReset {
+		t.Fatalf("read on reset descriptor returned %v, want sock.ErrReset", rdErr)
+	}
+}

@@ -1,0 +1,128 @@
+package integration
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ethernet"
+	"repro/internal/kernel"
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/sock"
+	"repro/internal/tcpip"
+)
+
+// mixEnd tracks one listener and its accepted connection in the mixed
+// interest set; it doubles as the poller's per-registration data.
+type mixEnd struct {
+	name string
+	l    sock.Listener
+	c    sock.Conn
+	n    int
+}
+
+// TestPollerMixesSubstrateAndTCPInOneInterestSet: one sock.Poller
+// multiplexes listeners and connections from BOTH stacks — the
+// user-level substrate and the kernel TCP stack — on one fabric. The
+// readiness contract is stack-agnostic, so a single event loop can
+// front both; each side must deliver its accept and its data through
+// the same Wait.
+func TestPollerMixesSubstrateAndTCPInOneInterestSet(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := ethernet.NewSwitch(eng, ethernet.DefaultSwitchConfig())
+	var stacks [2]*tcpip.Stack
+	for i := range stacks {
+		h := kernel.NewHost(eng, "tcp-host", 4, kernel.DefaultCosts())
+		stacks[i] = tcpip.NewStack(eng, h, sw, tcpip.DefaultStackConfig())
+	}
+	var subs [2]*core.Substrate
+	for i := range subs {
+		h := kernel.NewHost(eng, "emp-host", 4, kernel.DefaultCosts())
+		n := nic.New(eng, "nic", nic.DefaultConfig())
+		n.Attach(sw)
+		subs[i] = core.New(eng, h, n, core.DefaultOptions())
+	}
+
+	const want = 64
+	ends := []*mixEnd{{name: "substrate"}, {name: "tcp"}}
+	eng.Spawn("front-end", func(p *sim.Proc) {
+		var err error
+		if ends[0].l, err = subs[0].Listen(p, 80, 2); err != nil {
+			t.Errorf("substrate listen: %v", err)
+			return
+		}
+		if ends[1].l, err = stacks[0].Listen(p, 80, 2); err != nil {
+			t.Errorf("tcp listen: %v", err)
+			return
+		}
+		po := sock.NewPoller(eng, "mixed-stacks")
+		for _, e := range ends {
+			po.Register(e.l.(sock.Pollable), sock.PollIn|sock.PollErr, e)
+		}
+		for ends[0].n < want || ends[1].n < want {
+			evs := po.Wait(p, 5*sim.Second)
+			if evs == nil {
+				t.Error("mixed poller timed out")
+				break
+			}
+			for _, ev := range evs {
+				e := ev.Data.(*mixEnd)
+				if e.c == nil {
+					if e.l.(sock.Pollable).PollState()&sock.PollIn == 0 {
+						continue
+					}
+					c, err := e.l.Accept(p)
+					if err != nil {
+						t.Errorf("%s accept: %v", e.name, err)
+						return
+					}
+					e.c = c
+					po.Register(c.(sock.Pollable), sock.PollIn|sock.PollErr, e)
+					continue
+				}
+				for e.n < want && e.c.(sock.Pollable).PollState()&sock.PollIn != 0 {
+					n, _, err := e.c.Read(p, want-e.n)
+					if err != nil || n == 0 {
+						break
+					}
+					e.n += n
+				}
+			}
+		}
+		po.Close()
+		for _, e := range ends {
+			if e.c != nil {
+				e.c.Close(p)
+			}
+			e.l.Close(p)
+		}
+	})
+	eng.Spawn("sub-client", func(p *sim.Proc) {
+		p.Sleep(50 * sim.Microsecond)
+		c, err := subs[1].Dial(p, subs[0].Addr(), 80)
+		if err != nil {
+			t.Errorf("substrate dial: %v", err)
+			return
+		}
+		c.Write(p, want, "sub-data")
+		p.Sleep(20 * sim.Millisecond)
+		c.Close(p)
+	})
+	eng.Spawn("tcp-client", func(p *sim.Proc) {
+		p.Sleep(70 * sim.Microsecond)
+		c, err := stacks[1].Dial(p, stacks[0].Addr(), 80)
+		if err != nil {
+			t.Errorf("tcp dial: %v", err)
+			return
+		}
+		c.Write(p, want, "tcp-data")
+		p.Sleep(20 * sim.Millisecond)
+		c.Close(p)
+	})
+	eng.RunUntil(sim.Time(30 * sim.Second))
+	for _, e := range ends {
+		if e.n != want {
+			t.Fatalf("%s delivered %d of %d bytes through the mixed poller", e.name, e.n, want)
+		}
+	}
+}

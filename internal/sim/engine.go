@@ -62,7 +62,15 @@ type Engine struct {
 	trace    *Tracer
 	rand     *Rand
 	deadline Time
+
+	wakeups int64 // processes resumed from wait queues (herd diagnostics)
 }
+
+// Wakeups reports how many processes have been resumed from wait queues
+// since the engine was created. Regression tests diff this counter to
+// assert that an operation's wakeup cost does not scale with the number
+// of unrelated blocked processes.
+func (e *Engine) Wakeups() int64 { return e.wakeups }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
 func NewEngine() *Engine {

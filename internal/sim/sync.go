@@ -78,6 +78,7 @@ func (w *WaitQueue) WakeOne() bool {
 		}
 		wt.woken = true
 		wt.timeout.Cancel()
+		w.eng.wakeups++
 		w.eng.After(0, func() { w.eng.step(wt.p) })
 		return true
 	}

@@ -1,0 +1,279 @@
+// Readiness poller: an epoll-style completion-queue interface over the
+// sim notification primitive. Each pollable object owns a
+// sim.NoteSource and fires it on state transitions (data arrival,
+// credit return, backlog growth, error); a Poller subscribes a single
+// sim.NoteSink to every registered object and wakes on the first
+// matching event. Wait's work is proportional to the number of objects
+// that became ready — a ready-list, not a re-scan of the interest set —
+// which is what lets one proc multiplex hundreds of connections.
+package sock
+
+import "repro/internal/sim"
+
+// PollEvents is a bitmask of readiness classes, mirroring epoll's
+// EPOLLIN/EPOLLOUT/EPOLLERR triple.
+type PollEvents uint32
+
+const (
+	// PollIn reports the object is readable (or acceptable).
+	PollIn PollEvents = 1 << iota
+	// PollOut reports the object is writable without blocking.
+	PollOut
+	// PollErr reports a terminal error (reset, peer failure, close).
+	PollErr
+)
+
+// String renders the mask as "in|out|err" for diagnostics.
+func (e PollEvents) String() string {
+	s := ""
+	add := func(name string) {
+		if s != "" {
+			s += "|"
+		}
+		s += name
+	}
+	if e&PollIn != 0 {
+		add("in")
+	}
+	if e&PollOut != 0 {
+		add("out")
+	}
+	if e&PollErr != 0 {
+		add("err")
+	}
+	if s == "" {
+		s = "none"
+	}
+	return s
+}
+
+// Pollable is an object a Poller can register: it exposes its current
+// readiness state and the notification source it fires on transitions.
+type Pollable interface {
+	Waitable
+	// PollState reports the object's current readiness mask.
+	PollState() PollEvents
+	// PollSource returns the object's notification source. It must
+	// return the same source for the object's whole lifetime.
+	PollSource() *sim.NoteSource
+}
+
+// PollEvent is one ready object delivered by Wait.
+type PollEvent struct {
+	Item   Pollable
+	Events PollEvents // current readiness, masked by the registered interest
+	Data   any        // user datum passed at Register
+}
+
+type pollReg struct {
+	item     Pollable
+	interest PollEvents
+	data     any
+	token    uint64
+}
+
+// Poller multiplexes readiness across registered objects, edge-triggered
+// with a level-triggered kick at Register: registering an object that is
+// already ready queues an immediate event, and subsequent events arrive
+// only on state transitions. Consumers must therefore drain an object
+// (read until not Readable, write until blocked) before calling Wait
+// again, as with EPOLLET.
+type Poller struct {
+	eng   *sim.Engine
+	sink  *sim.NoteSink
+	regs  map[uint64]*pollReg
+	items map[Pollable]uint64
+	next  uint64
+
+	// WaitCost, if set, is charged once per Wait call before blocking
+	// (e.g. a library-call or syscall entry cost).
+	WaitCost func(p *sim.Proc)
+
+	// Counters for scalability accounting: Waits is the number of Wait
+	// calls that returned events, Delivered the total events returned,
+	// and Scanned the per-object readiness checks performed. Scanned
+	// tracking Delivered rather than the registered-set size is the
+	// poller's reason to exist.
+	Waits     int64
+	Delivered int64
+	Scanned   int64
+}
+
+// NewPoller returns an empty poller. The label names its wait queue in
+// deadlock diagnostics.
+func NewPoller(e *sim.Engine, label string) *Poller {
+	return &Poller{
+		eng:   e,
+		sink:  sim.NewNoteSink(e, label),
+		regs:  make(map[uint64]*pollReg),
+		items: make(map[Pollable]uint64),
+	}
+}
+
+// Len reports how many objects are registered.
+func (po *Poller) Len() int { return len(po.regs) }
+
+// Register adds item to the interest set. data rides back on every
+// delivered event. Registering an already-registered item updates its
+// interest and data. If the item is currently ready for any interest
+// class, an event is queued immediately so the caller cannot miss an
+// edge that fired before registration.
+func (po *Poller) Register(item Pollable, interest PollEvents, data any) {
+	if tok, ok := po.items[item]; ok {
+		reg := po.regs[tok]
+		reg.interest = interest
+		reg.data = data
+		item.PollSource().Subscribe(po.sink, tok, uint32(interest))
+		if item.PollState()&interest != 0 {
+			po.sink.Post(tok)
+		} else {
+			po.sink.Remove(tok)
+		}
+		return
+	}
+	po.next++
+	tok := po.next
+	reg := &pollReg{item: item, interest: interest, data: data, token: tok}
+	po.regs[tok] = reg
+	po.items[item] = tok
+	item.PollSource().Subscribe(po.sink, tok, uint32(interest))
+	if item.PollState()&interest != 0 {
+		po.sink.Post(tok)
+	}
+}
+
+// Deregister removes item from the interest set, discarding any queued
+// event for it. Deregistering an unknown item is a no-op.
+func (po *Poller) Deregister(item Pollable) {
+	tok, ok := po.items[item]
+	if !ok {
+		return
+	}
+	item.PollSource().Unsubscribe(po.sink)
+	po.sink.Remove(tok)
+	delete(po.regs, tok)
+	delete(po.items, item)
+}
+
+// Wait blocks p until at least one registered object has a pending
+// event or the timeout elapses (negative timeout waits forever; zero
+// polls). It returns the ready objects with their current readiness,
+// or nil on timeout. Spurious tokens — an object that fired but is no
+// longer ready by delivery time — are filtered out, and Wait re-blocks
+// rather than return an empty slice before the deadline.
+func (po *Poller) Wait(p *sim.Proc, timeout sim.Duration) []PollEvent {
+	if po.WaitCost != nil {
+		po.WaitCost(p)
+	}
+	deadline := sim.Time(0)
+	if timeout >= 0 {
+		deadline = p.Now().Add(timeout)
+	}
+	for {
+		if po.sink.Pending() == 0 {
+			if timeout == 0 {
+				return nil
+			}
+			if timeout < 0 {
+				po.sink.WaitAny(p, -1)
+			} else {
+				remain := deadline.Sub(p.Now())
+				if remain <= 0 || !po.sink.WaitAny(p, remain) {
+					return nil
+				}
+			}
+		}
+		var out []PollEvent
+		for _, tok := range po.sink.Drain() {
+			reg, ok := po.regs[tok]
+			if !ok {
+				continue
+			}
+			po.Scanned++
+			ev := reg.item.PollState() & reg.interest
+			if ev == 0 {
+				continue
+			}
+			out = append(out, PollEvent{Item: reg.item, Events: ev, Data: reg.data})
+		}
+		if len(out) > 0 {
+			po.Waits++
+			po.Delivered += int64(len(out))
+			return out
+		}
+		// Every queued token was stale; block again unless polling.
+		if timeout == 0 {
+			return nil
+		}
+	}
+}
+
+// Close deregisters everything. The poller can be reused afterwards.
+func (po *Poller) Close() {
+	for item := range po.items {
+		item.PollSource().Unsubscribe(po.sink)
+	}
+	po.sink.Drain()
+	po.regs = make(map[uint64]*pollReg)
+	po.items = make(map[Pollable]uint64)
+}
+
+// PollSelect implements the legacy level-triggered Select contract over
+// an ephemeral poller: scan once, and if nothing is ready, register
+// everything, block for one readiness edge, and rescan. Entry-cost
+// charging is the caller's: transports charge their library-call or
+// syscall cost before calling. Items that do not implement Pollable
+// are treated as always-ready-never-notifying (matching the old
+// re-scan-on-any-activity semantics only for ready items; all current
+// transports implement Pollable).
+func PollSelect(p *sim.Proc, eng *sim.Engine, items []Waitable, timeout sim.Duration) []int {
+	scan := func() []int {
+		var ready []int
+		for i, it := range items {
+			if it != nil && it.Ready() {
+				ready = append(ready, i)
+			}
+		}
+		return ready
+	}
+	if ready := scan(); len(ready) > 0 || timeout == 0 {
+		return ready
+	}
+	po := NewPoller(eng, "select")
+	defer po.Close()
+	registered := false
+	for _, it := range items {
+		if pl, ok := it.(Pollable); ok && pl != nil {
+			po.Register(pl, PollIn|PollErr, nil)
+			registered = true
+		}
+	}
+	if !registered {
+		// Nothing can ever signal; honor the timeout.
+		if timeout > 0 {
+			p.Sleep(timeout)
+		}
+		return scan()
+	}
+	deadline := sim.Time(0)
+	if timeout > 0 {
+		deadline = p.Now().Add(timeout)
+	}
+	for {
+		remain := sim.Duration(-1)
+		if timeout > 0 {
+			remain = deadline.Sub(p.Now())
+			if remain <= 0 {
+				return scan()
+			}
+		}
+		if evs := po.Wait(p, remain); evs == nil {
+			return scan()
+		}
+		if ready := scan(); len(ready) > 0 {
+			return ready
+		}
+		// A transition fired but levels say not ready (e.g. another
+		// proc consumed the data); keep waiting.
+	}
+}

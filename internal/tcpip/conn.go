@@ -59,6 +59,9 @@ type Conn struct {
 	rcvReady    *sim.Cond
 	sndReady    *sim.Cond
 	established *sim.Cond
+	// src feeds registered pollers: readiness transitions fire it with
+	// the event class, waking only consumers registered on this socket.
+	src sim.NoteSource
 
 	// Round-trip estimation (Jacobson/Karels, with Karn's rule: samples
 	// from retransmitted data are discarded). srtt == 0 means no sample
@@ -125,6 +128,36 @@ func (c *Conn) Readable() bool {
 
 // Ready implements sock.Waitable.
 func (c *Conn) Ready() bool { return c.Readable() }
+
+// Writable reports whether Write would queue bytes without blocking on
+// socket-buffer space (or return immediately with an error).
+func (c *Conn) Writable() bool {
+	if c.err != nil || c.state == stateClosed {
+		return true
+	}
+	if c.state != stateEstablished && c.state != stateCloseWait {
+		return false
+	}
+	return c.sndbuf.Len() < c.st.Cfg.SndBuf
+}
+
+// PollState implements sock.Pollable.
+func (c *Conn) PollState() sock.PollEvents {
+	var ev sock.PollEvents
+	if c.Readable() {
+		ev |= sock.PollIn
+	}
+	if c.Writable() {
+		ev |= sock.PollOut
+	}
+	if c.err != nil {
+		ev |= sock.PollErr
+	}
+	return ev
+}
+
+// PollSource implements sock.Pollable.
+func (c *Conn) PollSource() *sim.NoteSource { return &c.src }
 
 // advWindow is the receive window to advertise.
 func (c *Conn) advWindow() int {
@@ -195,7 +228,7 @@ func (c *Conn) input(seg *Segment) {
 			c.state = stateEstablished
 			c.ackNow()
 			c.established.Broadcast()
-			c.st.activity.Broadcast()
+			c.src.Fire(uint32(sock.PollIn | sock.PollOut))
 		}
 		return
 	case stateSynRcvd:
@@ -245,6 +278,7 @@ func (c *Conn) input(seg *Segment) {
 				c.cwnd += MSS * MSS / c.cwnd // congestion avoidance
 			}
 			c.sndReady.Broadcast()
+			c.src.Fire(uint32(sock.PollOut))
 		} else if seg.Len == 0 && c.inflight() > 0 && seg.Ack == una && seg.Wnd == c.rwnd {
 			c.dupAcks++
 			if c.dupAcks == 3 {
@@ -284,7 +318,7 @@ func (c *Conn) input(seg *Segment) {
 			c.rcvbuf.Append(seg.Len-off, nil)
 			c.scheduleAck(seg.Flags&flagPSH != 0)
 			c.rcvReady.Broadcast()
-			c.st.activity.Broadcast()
+			c.src.Fire(uint32(sock.PollIn))
 		default:
 			// Out of order, duplicate, or no buffer space: drop and
 			// send an immediate duplicate ack.
@@ -311,7 +345,7 @@ func (c *Conn) input(seg *Segment) {
 			}
 			c.ackNow()
 			c.rcvReady.Broadcast()
-			c.st.activity.Broadcast()
+			c.src.Fire(uint32(sock.PollIn))
 		} else if c.peerFinSeq >= 0 && finSeq == c.peerFinSeq {
 			c.ackNow() // retransmitted FIN: our ack was lost
 		}
@@ -571,7 +605,7 @@ func (c *Conn) fail(err error) {
 	c.rcvReady.Broadcast()
 	c.sndReady.Broadcast()
 	c.established.Broadcast()
-	c.st.activity.Broadcast()
+	c.src.Fire(uint32(sock.PollIn | sock.PollOut | sock.PollErr))
 	if was != stateClosed {
 		delete(c.st.conns, c.key())
 	}

@@ -14,6 +14,8 @@ type Listener struct {
 	backlog int
 	queue   *sim.FIFO[*Conn]
 	closed  bool
+	// src feeds registered pollers on backlog growth and close.
+	src sim.NoteSource
 }
 
 func newListener(st *Stack, port, backlog int) *Listener {
@@ -36,6 +38,21 @@ func (l *Listener) Acceptable() bool { return l.queue.Len() > 0 }
 
 // Ready implements sock.Waitable.
 func (l *Listener) Ready() bool { return l.Acceptable() }
+
+// PollState implements sock.Pollable.
+func (l *Listener) PollState() sock.PollEvents {
+	var ev sock.PollEvents
+	if l.Acceptable() {
+		ev |= sock.PollIn
+	}
+	if l.closed {
+		ev |= sock.PollErr
+	}
+	return ev
+}
+
+// PollSource implements sock.Pollable.
+func (l *Listener) PollSource() *sim.NoteSource { return &l.src }
 
 // inputSYN handles a connection request: create the embryonic connection
 // and reply SYN-ACK from kernel context.
@@ -75,7 +92,7 @@ func (l *Listener) connEstablished(c *Conn) {
 		c.fail(sock.ErrRefused)
 		return
 	}
-	l.st.activity.Broadcast()
+	l.src.Fire(uint32(sock.PollIn))
 }
 
 // Accept implements sock.Listener: block for the next established
@@ -110,5 +127,6 @@ func (l *Listener) Close(p *sim.Proc) error {
 		c.fail(sock.ErrClosed)
 	}
 	l.queue.Close()
+	l.src.Fire(uint32(sock.PollErr))
 	return nil
 }

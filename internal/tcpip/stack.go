@@ -37,9 +37,6 @@ type Stack struct {
 	nextDgram uint64
 	dead      bool
 
-	// activity wakes select() whenever any socket becomes ready.
-	activity *sim.Cond
-
 	// Receive interrupt coalescing state.
 	rxRing  []*ethernet.Frame
 	rxIntr  sim.Event
@@ -67,7 +64,6 @@ func NewStack(e *sim.Engine, host *kernel.Host, sw *ethernet.Switch, cfg StackCo
 		udps:      make(map[int]*UDPSocket),
 		nextPort:  32768,
 		nextISS:   1 << 20,
-		activity:  sim.NewCond(e, "tcp.activity"),
 	}
 	st.port = sw.Attach(st)
 	st.addr = st.port.Addr()
@@ -202,8 +198,8 @@ func (st *Stack) Kill() {
 		l.closed = true
 		l.queue.Close() // wakes blocked Accept with ErrClosed
 		delete(st.listeners, port)
+		l.src.Fire(uint32(sock.PollErr))
 	}
-	st.activity.Broadcast()
 }
 
 // Dead reports whether Kill has been called.
@@ -275,47 +271,14 @@ func (st *Stack) Dial(p *sim.Proc, addr ethernet.Addr, port int) (sock.Conn, err
 	return c, nil
 }
 
-// Select implements sock.Network over this stack's sockets.
+// Select implements sock.Network over this stack's sockets. It is a
+// level-triggered compatibility shim over the readiness poller: one
+// syscall charged at entry, then an ephemeral registration on each
+// item's notification source — wakeups come only from the polled
+// sockets, not from every socket on the host.
 func (st *Stack) Select(p *sim.Proc, items []sock.Waitable, timeout sim.Duration) []int {
 	st.Host.Syscall(p)
-	deadline := sim.Forever
-	if timeout >= 0 {
-		deadline = p.Now().Add(timeout)
-	}
-	for {
-		var ready []int
-		for i, it := range items {
-			if it.Ready() {
-				ready = append(ready, i)
-			}
-		}
-		if len(ready) > 0 {
-			return ready
-		}
-		remain := deadline.Sub(p.Now())
-		if remain <= 0 {
-			return nil
-		}
-		if deadline == sim.Forever {
-			st.activity.WaitFor(p, func() bool {
-				for _, it := range items {
-					if it.Ready() {
-						return true
-					}
-				}
-				return false
-			})
-		} else if !st.activity.WaitForTimeout(p, remain, func() bool {
-			for _, it := range items {
-				if it.Ready() {
-					return true
-				}
-			}
-			return false
-		}) {
-			return nil
-		}
-	}
+	return sock.PollSelect(p, st.Eng, items, timeout)
 }
 
 func (st *Stack) String() string {

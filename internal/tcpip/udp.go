@@ -15,6 +15,8 @@ type UDPSocket struct {
 	queue  *sim.FIFO[recvDgram]
 	reasm  map[reasmID]*dgramReasm
 	closed bool
+	// src feeds registered pollers on datagram arrival and close.
+	src sim.NoteSource
 	// Drops counts datagrams discarded because the socket buffer was
 	// full or reassembly failed.
 	Drops sim.Counter
@@ -69,6 +71,22 @@ func (u *UDPSocket) Port() int { return u.port }
 
 // Ready implements sock.Waitable.
 func (u *UDPSocket) Ready() bool { return u.queue.Len() > 0 }
+
+// PollState implements sock.Pollable. UDP sends never block, so a live
+// socket is always writable.
+func (u *UDPSocket) PollState() sock.PollEvents {
+	ev := sock.PollOut
+	if u.queue.Len() > 0 {
+		ev |= sock.PollIn
+	}
+	if u.closed {
+		ev |= sock.PollErr
+	}
+	return ev
+}
+
+// PollSource implements sock.Pollable.
+func (u *UDPSocket) PollSource() *sim.NoteSource { return &u.src }
 
 // SendTo transmits one datagram of n bytes to dst:port, fragmenting at
 // the IP layer if needed. It is unreliable: frames lost on the fabric
@@ -143,6 +161,7 @@ func (u *UDPSocket) Close(p *sim.Proc) error {
 	u.closed = true
 	delete(u.st.udps, u.port)
 	u.queue.Close()
+	u.src.Fire(uint32(sock.PollErr))
 	return nil
 }
 
@@ -188,5 +207,5 @@ func (u *UDPSocket) deliver(d recvDgram) {
 		u.Drops.Inc() // socket buffer full: drop, as real UDP does
 		return
 	}
-	u.st.activity.Broadcast()
+	u.src.Fire(uint32(sock.PollIn))
 }
