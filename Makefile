@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench bench-smoke reproduce ablations chaos examples verify
+.PHONY: test race bench bench-smoke reproduce ablations chaos overload audit examples verify
 
 test:
 	go vet ./...
@@ -27,9 +27,21 @@ ablations:
 	go run ./cmd/reproduce -ablations
 
 # chaos runs every workload under randomized fault plans and the
-# node-crash scenario, failing if any run does not recover.
+# node-crash scenario, failing if any run does not recover or leaves a
+# resource-audit finding behind.
 chaos:
 	go run ./cmd/reproduce -chaos
+
+# overload runs the flood/starvation resilience suite under the race
+# detector: connect floods beyond the backlog, credit/buffer starvation
+# with deadlines, and the bounded-pool edge races.
+overload:
+	go test -race -run 'Overload|Deadline|Budget|UQByte|Refus|Starv' ./...
+
+# audit runs every workload and a connect flood, then the host-wide
+# descriptor-leak auditor; any finding fails the target.
+audit:
+	go run ./cmd/reproduce -audit
 
 examples:
 	go run ./examples/quickstart

@@ -27,6 +27,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead")
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos suite instead")
 	chaosSeeds := flag.Int("chaos-seeds", 5, "randomized fault plans per chaos workload")
+	auditFlag := flag.Bool("audit", false, "run the descriptor-leak audit sweep instead")
 	connscale := flag.Bool("connscale", false, "run the connection-scaling poller study instead")
 	connscaleOut := flag.String("connscale-out", "BENCH_connscale.json", "machine-readable output for -connscale")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
@@ -88,6 +89,17 @@ func main() {
 	if *chaos {
 		runs := bench.Chaos(*chaosSeeds, *quick)
 		bench.FprintChaos(os.Stdout, runs)
+		for _, r := range runs {
+			if !r.OK {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *auditFlag {
+		runs := bench.AuditSweep(*quick)
+		bench.FprintAudit(os.Stdout, runs)
 		for _, r := range runs {
 			if !r.OK {
 				os.Exit(1)

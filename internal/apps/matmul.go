@@ -112,20 +112,25 @@ func matmulMaster(p *sim.Proc, node *cluster.Node, port, n, workers int) (sim.Du
 	}
 	// Master's own share overlaps with the workers'.
 	node.Host.Compute(p, int64(2*selfRows*n*n))
-	// Gather with select(): the paper's stated reason for needing
-	// select() support in the substrate.
-	pending := make(map[int]bool, workers)
-	items := make([]sock.Waitable, workers)
-	for i, c := range conns {
-		pending[i] = true
-		items[i] = c
+	// Gather with the readiness poller: multiplexing the workers' result
+	// sockets is the paper's stated reason for needing select() support
+	// in the substrate. Each worker sends exactly one result, so its
+	// socket is consumed whole on its first readable event and then
+	// deregistered — the edge-triggered drain obligation is discharged by
+	// reading the full result.
+	po := sock.NewPoller(p.Engine(), "matmul.gather")
+	defer po.Close()
+	pending := workers
+	for idx, c := range conns {
+		cp, ok := c.(sock.Pollable)
+		if !ok {
+			return 0, fmt.Errorf("matmul: connection %T is not pollable", c)
+		}
+		po.Register(cp, sock.PollIn|sock.PollErr, idx)
 	}
-	for len(pending) > 0 {
-		ready := node.Net.Select(p, items, -1)
-		for _, idx := range ready {
-			if !pending[idx] {
-				continue
-			}
+	for pending > 0 {
+		for _, ev := range po.Wait(p, -1) {
+			idx := ev.Data.(int)
 			c := conns[idx]
 			_, objs, err := sock.ReadFull(p, c, matmulHeaderBytes)
 			if err != nil || len(objs) == 0 {
@@ -135,7 +140,8 @@ func matmulMaster(p *sim.Proc, node *cluster.Node, port, n, workers int) (sim.Du
 			if _, _, err := sock.ReadFull(p, c, hdr.Rows*hdr.N*8); err != nil {
 				return 0, err
 			}
-			delete(pending, idx)
+			po.Deregister(c.(sock.Pollable))
+			pending--
 		}
 	}
 	elapsed := p.Now().Sub(start)

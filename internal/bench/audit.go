@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/audit"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// Descriptor-leak audit sweep (cmd/reproduce -audit): run every
+// evaluation workload to completion on both transports, plus a connect
+// flood that exercises the refusal path, and require the host-wide
+// resource auditor to come back clean each time. This is the
+// machine-checked form of the paper's Section 5.3 claim that every
+// descriptor is either used or unposted, extended across connection
+// churn, overload, and teardown.
+
+// AuditRun is one workload execution followed by a full resource audit.
+type AuditRun struct {
+	Workload  string
+	Transport cluster.Transport
+	OK        bool
+	Detail    string
+	Report    *audit.Report
+}
+
+// auditAfter purges residual control traffic and audits the cluster.
+func auditAfter(c *cluster.Cluster, r *AuditRun) {
+	for _, n := range c.Nodes {
+		if n.Sub != nil && !n.Sub.Dead() {
+			n.Sub.PurgeStale()
+		}
+	}
+	r.Report = audit.Cluster(c)
+	if !r.Report.Clean() {
+		r.OK = false
+		r.Detail += fmt.Sprintf("; %d finding(s)", len(r.Report.Findings))
+	}
+}
+
+// AuditSweep runs the workload matrix and the overload flood, auditing
+// each cluster at quiescence.
+func AuditSweep(quick bool) []AuditRun {
+	ftpBytes := 4 << 20
+	matN := 128
+	if quick {
+		ftpBytes = 1 << 20
+		matN = 64
+	}
+	var runs []AuditRun
+	for _, tr := range []cluster.Transport{cluster.TransportSubstrate, cluster.TransportTCP} {
+		{
+			r := AuditRun{Workload: "ftp", Transport: tr, OK: true}
+			c := cluster.New(cluster.Config{Nodes: 2, Transport: tr, Seed: 1})
+			if res := apps.RunFTP(c, ftpBytes); res.Err != nil {
+				r.OK, r.Detail = false, res.Err.Error()
+			} else {
+				r.Detail = fmt.Sprintf("%d bytes", ftpBytes)
+			}
+			auditAfter(c, &r)
+			runs = append(runs, r)
+		}
+		{
+			r := AuditRun{Workload: "web", Transport: tr, OK: true}
+			c := cluster.New(cluster.Config{Nodes: 4, Transport: tr, Seed: 2})
+			if res := apps.RunWeb(c, apps.DefaultWebConfig(1024, 8)); res.Err != nil {
+				r.OK, r.Detail = false, res.Err.Error()
+			} else {
+				r.Detail = fmt.Sprintf("%d requests", res.Requests)
+			}
+			auditAfter(c, &r)
+			runs = append(runs, r)
+		}
+		{
+			r := AuditRun{Workload: "matmul", Transport: tr, OK: true}
+			c := cluster.New(cluster.Config{Nodes: 4, Transport: tr, Seed: 3})
+			if res := apps.RunMatmul(c, matN); res.Err != nil {
+				r.OK, r.Detail = false, res.Err.Error()
+			} else {
+				r.Detail = fmt.Sprintf("N=%d", matN)
+			}
+			auditAfter(c, &r)
+			runs = append(runs, r)
+		}
+	}
+	runs = append(runs, auditFlood())
+	return runs
+}
+
+// auditFlood is the overload scenario: 128 synchronous dialers against a
+// backlog-8 listener that never accepts. Every dialer must resolve with
+// a typed error and the flood must leave no trace in any pool.
+func auditFlood() AuditRun {
+	r := AuditRun{Workload: "flood", Transport: cluster.TransportSubstrate, OK: true}
+	opts := core.DefaultOptions()
+	opts.SyncConnect = true
+	opts.DialRetries = 0
+	c := cluster.New(cluster.Config{
+		Nodes:     5,
+		Transport: cluster.TransportSubstrate,
+		Substrate: &opts,
+		Seed:      4,
+	})
+	resolved, refused, badErrs := 0, 0, 0
+	var l sock.Listener
+	c.Eng.Spawn("server", func(p *sim.Proc) {
+		l, _ = c.Nodes[0].Net.Listen(p, 80, 8)
+	})
+	const total = 128
+	for i := 0; i < total; i++ {
+		i := i
+		c.Eng.Spawn("dialer", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(10+3*i) * sim.Microsecond)
+			_, err := c.Nodes[1+i%4].Net.Dial(p, c.Addr(0), 80)
+			switch err {
+			case sock.ErrRefused:
+				refused++
+			case sock.ErrTimeout:
+			default:
+				badErrs++
+			}
+			resolved++
+		})
+	}
+	c.Eng.Spawn("teardown", func(p *sim.Proc) {
+		for resolved < total {
+			p.Sleep(sim.Millisecond)
+		}
+		if l != nil {
+			l.Close(p)
+		}
+	})
+	c.Run(10 * sim.Second)
+	switch {
+	case resolved != total:
+		r.OK, r.Detail = false, fmt.Sprintf("%d/%d dialers resolved", resolved, total)
+	case badErrs > 0:
+		r.OK, r.Detail = false, fmt.Sprintf("%d dialers got undefined errors", badErrs)
+	case refused == 0:
+		r.OK, r.Detail = false, "refusal policy never fired"
+	default:
+		r.Detail = fmt.Sprintf("%d dialers: %d refused, %d timed out", total, refused, total-refused)
+	}
+	auditAfter(c, &r)
+	return r
+}
+
+// FprintAudit renders the audit-sweep report.
+func FprintAudit(w io.Writer, runs []AuditRun) {
+	fmt.Fprintln(w, "=== audit: descriptor-leak sweep across workloads ===")
+	fmt.Fprintf(w, "%-8s  %-10s  %-6s  %s\n", "workload", "transport", "audit", "detail")
+	ok := 0
+	for _, r := range runs {
+		status := "LEAK"
+		if r.OK {
+			status = "clean"
+			ok++
+		}
+		fmt.Fprintf(w, "%-8s  %-10s  %-6s  %s\n", r.Workload, r.Transport, status, r.Detail)
+		if !r.Report.Clean() {
+			for _, f := range r.Report.Findings {
+				fmt.Fprintf(w, "    %s\n", f)
+			}
+		}
+	}
+	fmt.Fprintf(w, "runs: %d/%d clean\n\n", ok, len(runs))
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/apps"
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/ethernet"
 	"repro/internal/faults"
@@ -34,9 +35,14 @@ type ChaosRun struct {
 	// Rexmits is the recovery work spent: EMP retransmits on the
 	// substrate, TCP (fast) retransmissions on the kernel stack.
 	Rexmits int64
+	// Leaks counts resource-audit findings after the run; any nonzero
+	// value fails the run even when the workload itself succeeded.
+	Leaks int
 }
 
-// chaosCounters sums the per-node fault and recovery counters.
+// chaosCounters sums the per-node fault and recovery counters, then
+// runs the host-wide resource audit: surviving a fault plan with a
+// leaked descriptor is still a failure.
 func chaosCounters(c *cluster.Cluster, r *ChaosRun) {
 	r.Faults = c.Switch.FaultStats()
 	for _, n := range c.Nodes {
@@ -48,6 +54,14 @@ func chaosCounters(c *cluster.Cluster, r *ChaosRun) {
 			r.FCSDrops += n.Stack.ChecksumDrops.Value
 			r.Rexmits += n.Stack.Rexmits.Value + n.Stack.FastRetransmits.Value
 		}
+		if n.Sub != nil && !n.Sub.Dead() {
+			n.Sub.PurgeStale()
+		}
+	}
+	if rep := audit.Cluster(c); !rep.Clean() {
+		r.Leaks = len(rep.Findings)
+		r.OK = false
+		r.Detail += fmt.Sprintf("; %d audit finding(s): %s", r.Leaks, rep.Findings[0])
 	}
 }
 

@@ -62,6 +62,15 @@ type Conn struct {
 	cleaned     bool
 	err         error
 
+	// deferredDesc counts temp-buffer descriptor reposts (each with its
+	// credit return) withheld while the substrate's eager pool is over
+	// budget; eagerRelease reposts them as readers consume staged bytes.
+	deferredDesc int
+
+	// rdl/wdl are the absolute read/write deadlines (sock.Deadliner);
+	// zero means none. Consulted when an operation blocks.
+	rdl, wdl sim.Time
+
 	// ready parks procs blocked on this connection's events (credit
 	// stalls, descriptor completions, control arrivals); src feeds
 	// registered pollers. Both wake only this connection's consumers.
@@ -74,6 +83,32 @@ type Conn struct {
 
 var _ sock.Conn = (*Conn)(nil)
 var _ sock.Pollable = (*Conn)(nil)
+var _ sock.Deadliner = (*Conn)(nil)
+
+// SetDeadline implements sock.Deadliner.
+func (c *Conn) SetDeadline(t sim.Time) { c.rdl, c.wdl = t, t }
+
+// SetReadDeadline implements sock.Deadliner.
+func (c *Conn) SetReadDeadline(t sim.Time) { c.rdl = t }
+
+// SetWriteDeadline implements sock.Deadliner.
+func (c *Conn) SetWriteDeadline(t sim.Time) { c.wdl = t }
+
+// waitDeadline blocks on the connection's ready cond until pred holds or
+// the deadline dl passes (zero = no deadline). Reports false on expiry;
+// an already-expired deadline still gives pred one non-blocking check,
+// matching net.Conn's deadline-in-the-past behavior.
+func (c *Conn) waitDeadline(p *sim.Proc, dl sim.Time, pred func() bool) bool {
+	if dl == 0 {
+		c.ready.WaitFor(p, pred)
+		return true
+	}
+	remain := dl.Sub(p.Now())
+	if remain <= 0 {
+		return pred()
+	}
+	return c.ready.WaitForTimeout(p, remain, pred)
+}
 
 // Notify wakes this connection's blocked procs and registered pollers:
 // descriptor completions and routed unexpected-queue arrivals land
@@ -302,6 +337,12 @@ func (c *Conn) handleControl(hdr *header) {
 	case kindKeepalive:
 		// Peer-liveness probe: receiving it requires no action (the
 		// NIC-level acknowledgment it elicited is the liveness signal).
+	case kindConnRefused:
+		// The substrate's RST: the listener's backlog overflowed, the
+		// port has no listener, or the listener closed with our request
+		// queued. With asynchronous connect the dialer learns here, on
+		// its first blocked operation, that the connection never existed.
+		c.fail(sock.ErrRefused)
 	}
 	c.Notify()
 }
@@ -391,8 +432,13 @@ func (c *Conn) returnCredits(p *sim.Proc) {
 		c.sub.ExplicitAcks.Inc()
 		n := c.pendingCredits
 		c.pendingCredits = 0
-		c.sub.EP.PostSend(p, c.peer, c.ackOutTag, headerBytes,
+		h := c.sub.EP.PostSend(p, c.peer, c.ackOutTag, headerBytes,
 			&header{Kind: kindCreditAck, Piggy: n}, emp.KeyNone)
+		if h.Status() == emp.StatusNoDescriptors {
+			// Descriptor budget exhausted: the ack never left, so the
+			// credits stay pending and ride the next piggyback or ack.
+			c.pendingCredits += n
+		}
 	}
 }
 
@@ -414,11 +460,24 @@ func (c *Conn) takeCredit(p *sim.Proc) error {
 		// already arrived).
 		if c.opts.UQAcks || c.opts.Mode == Datagram {
 			h := c.sub.EP.PostRecv(p, c.peer, c.ackInTag, headerBytes, emp.KeyNone)
+			if h.Status() == emp.StatusNoDescriptors {
+				// Descriptor budget exhausted: fall back to watching the
+				// unexpected queue directly — a claim from it needs no
+				// descriptor — instead of spinning on failed posts.
+				if !c.waitDeadline(p, c.wdl, func() bool {
+					return c.sub.EP.PeekUnexpected(c.peer, c.ackInTag) ||
+						c.err != nil || c.peerClosed
+				}) {
+					return sock.ErrTimeout
+				}
+				c.pollAcks(p)
+				continue
+			}
 			h.SetNotify(c)
 			// Wake on completion OR connection failure: a descriptor on
 			// a failed connection never completes, and the §5.3 rule
 			// says it must then be unposted, not abandoned.
-			c.ready.WaitFor(p, func() bool {
+			expired := !c.waitDeadline(p, c.wdl, func() bool {
 				return h.Status() != emp.StatusPending || c.err != nil || c.peerClosed
 			})
 			if h.Status() != emp.StatusPending {
@@ -438,6 +497,10 @@ func (c *Conn) takeCredit(p *sim.Proc) error {
 						c.handleControl(hdr)
 					}
 				}
+				continue
+			}
+			if expired {
+				return sock.ErrTimeout
 			}
 			continue
 		}
@@ -448,9 +511,11 @@ func (c *Conn) takeCredit(p *sim.Proc) error {
 		if len(c.ackHandles) == 0 {
 			return sock.ErrClosed
 		}
-		c.ready.WaitFor(p, func() bool {
+		if !c.waitDeadline(p, c.wdl, func() bool {
 			return c.anyAckCompleted() || c.credits > 0 || c.err != nil || c.peerClosed
-		})
+		}) {
+			return sock.ErrTimeout
+		}
 	}
 	c.credits--
 	return nil
@@ -476,9 +541,22 @@ func (c *Conn) applyDS(p *sim.Proc, hdr *header) {
 	case kindData:
 		p.Sleep(c.opts.StreamRecvCost)
 		c.rcv.Append(hdr.Len, hdr.Obj)
-		c.postDataDesc(p) // recycle the temp-buffer descriptor
-		c.pendingCredits++
-		c.returnCredits(p)
+		c.sub.eagerAdd(hdr.Len)
+		if c.sub.eagerOver() {
+			// Eager pool over budget: withhold the descriptor repost AND
+			// the credit return that would ride on it, so the sender
+			// stalls on credits instead of the host staging without
+			// bound. eagerRelease resumes both as readers consume.
+			if c.deferredDesc == 0 {
+				c.sub.deferredQ = append(c.sub.deferredQ, c)
+			}
+			c.deferredDesc++
+			c.sub.EagerDeferrals.Inc()
+		} else {
+			c.postDataDesc(p) // recycle the temp-buffer descriptor
+			c.pendingCredits++
+			c.returnCredits(p)
+		}
 	case kindClose:
 		c.peerClosed = true
 		c.eof = true
@@ -530,14 +608,18 @@ func (c *Conn) collectDS(p *sim.Proc) {
 }
 
 // pumpDS drains completed data descriptors; if block, it first waits for
-// at least one descriptor to finish.
-func (c *Conn) pumpDS(p *sim.Proc, block bool) {
+// at least one descriptor to finish, honoring the read deadline (a false
+// return means the deadline expired before anything completed).
+func (c *Conn) pumpDS(p *sim.Proc, block bool) bool {
+	ok := true
 	if block {
-		c.ready.WaitFor(p, func() bool {
-			return c.anyDataCompleted() || c.err != nil || len(c.dataHandles) == 0
+		ok = c.waitDeadline(p, c.rdl, func() bool {
+			return c.anyDataCompleted() || c.err != nil ||
+				(len(c.dataHandles) == 0 && c.deferredDesc == 0)
 		})
 	}
 	c.collectDS(p)
+	return ok
 }
 
 // Read implements sock.Conn.
@@ -556,10 +638,12 @@ func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 	}
 	c.pollAcks(p)
 	for c.rcv.Len() == 0 && !c.eof && c.err == nil {
-		if len(c.dataHandles) == 0 {
+		if len(c.dataHandles) == 0 && c.deferredDesc == 0 {
 			return 0, nil, sock.ErrClosed
 		}
-		c.pumpDS(p, true)
+		if !c.pumpDS(p, true) {
+			return 0, nil, sock.ErrTimeout
+		}
 	}
 	if c.err != nil {
 		c.abort(p)
@@ -576,6 +660,7 @@ func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 	// The data-streaming copy: temp buffer to user buffer.
 	c.sub.Host.Copy(p, n)
 	n, objs := c.rcv.Read(n)
+	c.sub.eagerRelease(p, n)
 	return n, objs, nil
 }
 
@@ -626,6 +711,16 @@ func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 		c.txSeq++
 		st := c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes+chunk,
 			&header{Kind: kindData, Piggy: piggy, Len: chunk, Obj: o, Seq: seq}, c.sendKey)
+		if st == emp.StatusNoDescriptors {
+			// Descriptor-budget exhaustion is an operation failure, not a
+			// connection failure: the message never left, so restore the
+			// taken credit (and the piggybacked return) and surface the
+			// typed error — the socket stays usable.
+			c.credits++
+			c.pendingCredits += piggy
+			c.txSeq--
+			return written, emp.ErrNoDescriptors
+		}
 		if st != emp.StatusOK {
 			c.fail(sock.ErrReset)
 			c.abort(p)
@@ -696,6 +791,13 @@ func (c *Conn) cleanup(p *sim.Proc) {
 		c.sub.EP.Unpost(p, h)
 	}
 	c.ackHandles = nil
+	// Return staged-but-unread bytes to the eager pool and drop any
+	// withheld reposts: a closing connection releases its share of the
+	// budget so deferred peers can resume.
+	c.deferredDesc = 0
+	if c.rcv != nil && c.rcv.Len() > 0 {
+		c.sub.eagerRelease(p, c.rcv.Len())
+	}
 	delete(c.sub.active, c)
 	delete(c.sub.chans, chanKey{c.peer, c.dataInTag})
 	delete(c.sub.chans, chanKey{c.peer, c.ackInTag})

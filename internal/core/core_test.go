@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/ethernet"
@@ -9,6 +10,24 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sock"
 )
+
+// selectWait emulates the retired level-triggered Select call over an
+// ephemeral Poller: register everything (registration queues an event
+// for already-ready items), wait once, and report the ready indices in
+// ascending order.
+func selectWait(p *sim.Proc, eng *sim.Engine, items []sock.Waitable, timeout sim.Duration) []int {
+	po := sock.NewPoller(eng, "test.select")
+	defer po.Close()
+	for i, it := range items {
+		po.Register(it.(sock.Pollable), sock.PollIn|sock.PollErr, i)
+	}
+	var out []int
+	for _, ev := range po.Wait(p, timeout) {
+		out = append(out, ev.Data.(int))
+	}
+	sort.Ints(out)
+	return out
+}
 
 type bed struct {
 	eng   *sim.Engine
@@ -481,7 +500,7 @@ func TestSubstrateSelect(t *testing.T) {
 		conns := []sock.Conn{c1, c2}
 		items := []sock.Waitable{c1, c2}
 		for len(order) < 2 {
-			for _, i := range b.subs[0].Select(p, items, -1) {
+			for _, i := range selectWait(p, b.eng, items, -1) {
 				conns[i].Read(p, 4096)
 				order = append(order, i)
 			}
@@ -511,7 +530,7 @@ func TestSelectTimeout(t *testing.T) {
 	var ready []int
 	b.eng.Spawn("server", func(p *sim.Proc) {
 		l, _ := b.subs[0].Listen(p, 80, 4)
-		ready = b.subs[0].Select(p, []sock.Waitable{l}, 200*sim.Microsecond)
+		ready = selectWait(p, b.eng, []sock.Waitable{l}, 200*sim.Microsecond)
 	})
 	b.eng.RunUntil(sim.Time(sim.Second))
 	if ready != nil {

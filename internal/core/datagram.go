@@ -112,12 +112,16 @@ func (c *Conn) readDG(p *sim.Proc, max int) (int, []any, error) {
 		h.SetNotify(c)
 		// Wake on completion OR connection failure: a read blocked
 		// against a dead peer must return, and its descriptor must be
-		// unposted rather than abandoned (§5.3).
-		c.ready.WaitFor(p, func() bool {
+		// unposted rather than abandoned (§5.3). The read deadline
+		// bounds the wait; an expired descriptor is likewise unposted.
+		expired := !c.waitDeadline(p, c.rdl, func() bool {
 			return h.Status() != emp.StatusPending || c.err != nil
 		})
 		if h.Status() == emp.StatusPending {
 			if c.sub.EP.Unpost(p, h) {
+				if expired && c.err == nil {
+					return 0, nil, sock.ErrTimeout
+				}
 				c.abort(p)
 				return 0, nil, c.err
 			}
@@ -142,6 +146,9 @@ func (c *Conn) readDG(p *sim.Proc, max int) (int, []any, error) {
 				return 0, nil, c.err
 			}
 			return 0, nil, sock.ErrClosed
+		case emp.StatusNoDescriptors:
+			// Budget exhaustion fails the read, not the connection.
+			return 0, nil, emp.ErrNoDescriptors
 		default:
 			c.fail(sock.ErrReset)
 			c.abort(p)

@@ -119,6 +119,22 @@ type Options struct {
 	// DialBackoff is the delay before the first connect retry; it
 	// doubles on each subsequent attempt.
 	DialBackoff sim.Duration
+	// EagerBudget bounds the bytes staged in Data Streaming receive
+	// buffers across all of a substrate's connections. Over budget, the
+	// substrate defers temp-buffer descriptor reposts (and the credit
+	// returns that ride on them) until readers consume staged data, so a
+	// stalled reader backpressures its senders instead of growing host
+	// memory without limit. Zero means unlimited.
+	EagerBudget int
+	// DescriptorBudget caps the EMP endpoint's descriptors in use
+	// (posted receives plus live send records); posts beyond it fail
+	// fast with emp.ErrNoDescriptors. Zero uses the endpoint default.
+	DescriptorBudget int
+	// UQBytes caps the payload bytes parked in the EMP unexpected
+	// queue; over the cap the oldest non-setup entry is dropped
+	// (connection requests are never dropped — they are bounded by the
+	// listener's refusal policy instead). Zero means unlimited.
+	UQBytes int
 }
 
 // DefaultOptions returns the paper's standard Data Streaming
@@ -182,6 +198,15 @@ func (o Options) normalize() Options {
 	}
 	if o.KeepaliveIdle < 0 {
 		o.KeepaliveIdle = 0
+	}
+	if o.EagerBudget < 0 {
+		o.EagerBudget = 0
+	}
+	if o.DescriptorBudget < 0 {
+		o.DescriptorBudget = 0
+	}
+	if o.UQBytes < 0 {
+		o.UQBytes = 0
 	}
 	return o
 }

@@ -46,7 +46,22 @@ type Substrate struct {
 	// waiters, and stale entries (control messages that raced a close)
 	// can be purged.
 	chans map[chanKey]*Conn
-	dead  bool
+	// awaiting registers the channels announced by completed but
+	// not-yet-accepted connection requests sitting in listener backlogs:
+	// early data arrivals for those channels must survive staleness
+	// purges until Accept posts the connection's descriptors. Keyed the
+	// same way as chans; maintained by the backlog descriptors'
+	// completion hooks, consumed by Accept, cleared by Listener.Close.
+	awaiting map[chanKey]*Listener
+	dead     bool
+
+	// Eager-pool accounting (Options.EagerBudget): bytes staged in Data
+	// Streaming receive buffers across all connections, and the FIFO of
+	// connections whose descriptor reposts are deferred while the pool
+	// is over budget.
+	eagerBytes int
+	eagerHW    int
+	deferredQ  []*Conn
 
 	// Stats.
 	ConnectsSent   sim.Counter
@@ -61,6 +76,8 @@ type Substrate struct {
 	ConnsFailed    sim.Counter
 	KeepalivesSent sim.Counter
 	DialRetries    sim.Counter
+	RefusedConns   sim.Counter
+	EagerDeferrals sim.Counter
 }
 
 // New creates a substrate on the given host and NIC. The NIC must be
@@ -71,6 +88,10 @@ func New(e *sim.Engine, host *kernel.Host, n *nic.NIC, opts Options) *Substrate 
 	opts = opts.normalize()
 	epCfg := emp.DefaultEndpointConfig()
 	epCfg.UnexpectedSlots = 4*opts.Credits + 64
+	epCfg.UnexpectedBytes = opts.UQBytes
+	if opts.DescriptorBudget > 0 {
+		epCfg.MaxDescriptors = opts.DescriptorBudget
+	}
 	s := &Substrate{
 		Eng:       e,
 		Host:      host,
@@ -84,6 +105,7 @@ func New(e *sim.Engine, host *kernel.Host, n *nic.NIC, opts Options) *Substrate 
 		keyNext:   1000,
 		portNext:  32768,
 		chans:     make(map[chanKey]*Conn),
+		awaiting:  make(map[chanKey]*Listener),
 	}
 	// Control messages (credit acks, close acks, connect replies) and
 	// Datagram-mode early arrivals surface through the unexpected
@@ -92,8 +114,21 @@ func New(e *sim.Engine, host *kernel.Host, n *nic.NIC, opts Options) *Substrate 
 	// pollers wake — not every blocked proc on the host.
 	s.EP.SetUnexpectedRoute(func(src ethernet.Addr, tag emp.Tag) {
 		if tag >= listenTagBase {
-			if l, ok := s.listeners[int(tag&^listenTagBase)]; ok {
-				l.Notify()
+			l, ok := s.listeners[int(tag&^listenTagBase)]
+			if !ok {
+				// Nobody listens on this port. There is no kernel to send a
+				// reset on EMP — the request parks in the unexpected queue
+				// until the dialer's own timeout or a purge reclaims it.
+				return
+			}
+			l.Notify()
+			// Backlog overflow: requests beyond the listener's backlog
+			// descriptors park here. A slack of one backlog's worth covers
+			// accept/replenish races; anything past it is refused — the
+			// substrate's RST — so a connect flood degrades to
+			// sock.ErrRefused at the dialers and the queue stays bounded.
+			if s.EP.CountUnexpected(emp.AnySource, tag) > l.backlog {
+				s.refuseParked(src, tag)
 			}
 			return
 		}
@@ -101,6 +136,11 @@ func New(e *sim.Engine, host *kernel.Host, n *nic.NIC, opts Options) *Substrate 
 			c.Notify()
 		}
 	})
+	// Connection-setup requests are the one message class the unexpected
+	// queue's byte-cap eviction must never drop: the sender's NIC has
+	// already acknowledged them, and the refusal policy above bounds them
+	// explicitly.
+	s.EP.SetUnexpectedSetupClass(func(tag emp.Tag) bool { return tag >= listenTagBase })
 	// A send that exhausts its EMP retry budget means the peer's NIC is
 	// gone (crashed or partitioned past the reliability horizon): fail
 	// every connection to that peer. The notification is tag-agnostic
@@ -110,6 +150,110 @@ func New(e *sim.Engine, host *kernel.Host, n *nic.NIC, opts Options) *Substrate 
 	})
 	return s
 }
+
+// refuseParked claims one parked connection request for (src, tag) from
+// the unexpected queue and sends the refusal message. Runs from event
+// context (the unexpected-queue route), so the claim-and-send runs in a
+// short-lived spawned process; if a replenished backlog descriptor wins
+// the race and claims the request first, the claim misses and nothing is
+// refused.
+func (s *Substrate) refuseParked(src ethernet.Addr, tag emp.Tag) {
+	if s.dead {
+		return
+	}
+	s.Eng.Spawn("refuse", func(p *sim.Proc) {
+		if s.dead {
+			return
+		}
+		m, ok := s.EP.PollUnexpected(p, src, tag, connReqBytes)
+		if !ok {
+			return
+		}
+		hdr, ok := m.Data.(*header)
+		if !ok || hdr.Kind != kindConnReq || hdr.Req == nil {
+			return
+		}
+		s.refuseReq(p, hdr.Req)
+	})
+}
+
+// refuseReq sends the substrate's connection refusal (its RST) to the
+// dialer's acknowledgment channel.
+func (s *Substrate) refuseReq(p *sim.Proc, req *connRequest) {
+	s.RefusedConns.Inc()
+	s.Eng.Tracef("substrate", "refuse %d <- %d:%d", s.addr, req.ClientAddr, req.ClientPort)
+	s.EP.PostSend(p, req.ClientAddr, req.ClientAckTag, headerBytes,
+		&header{Kind: kindConnRefused}, emp.KeyNone)
+}
+
+// noteAwaiting registers the receive channels a completed connection
+// request announces; runs from the backlog descriptor's completion hook
+// (event context).
+func (s *Substrate) noteAwaiting(l *Listener, req *connRequest) {
+	s.awaiting[chanKey{req.ClientAddr, req.ServerDataTag}] = l
+	s.awaiting[chanKey{req.ClientAddr, req.ServerAckTag}] = l
+}
+
+// doneAwaiting drops a request's channels from the awaiting-accept
+// registry (the request was accepted or refused).
+func (s *Substrate) doneAwaiting(req *connRequest) {
+	delete(s.awaiting, chanKey{req.ClientAddr, req.ServerDataTag})
+	delete(s.awaiting, chanKey{req.ClientAddr, req.ServerAckTag})
+}
+
+// dropAwaiting removes every registry entry belonging to a closing
+// listener.
+func (s *Substrate) dropAwaiting(l *Listener) {
+	for k, owner := range s.awaiting {
+		if owner == l {
+			delete(s.awaiting, k)
+		}
+	}
+}
+
+// --- Eager-pool accounting (Options.EagerBudget) -------------------------
+
+// eagerOver reports whether the staged-byte pool is over budget.
+func (s *Substrate) eagerOver() bool {
+	return s.Opts.EagerBudget > 0 && s.eagerBytes > s.Opts.EagerBudget
+}
+
+// eagerAdd accounts newly staged receive bytes.
+func (s *Substrate) eagerAdd(n int) {
+	s.eagerBytes += n
+	if s.eagerBytes > s.eagerHW {
+		s.eagerHW = s.eagerBytes
+	}
+}
+
+// eagerRelease returns consumed bytes to the pool and reposts deferred
+// temp-buffer descriptors (with their deferred credit returns) while the
+// pool is back under budget, oldest-stalled connection first.
+func (s *Substrate) eagerRelease(p *sim.Proc, n int) {
+	s.eagerBytes -= n
+	if s.eagerBytes < 0 {
+		panic("core: eager-pool accounting underflow")
+	}
+	for !s.eagerOver() && len(s.deferredQ) > 0 {
+		c := s.deferredQ[0]
+		if c.cleaned || c.err != nil || c.deferredDesc == 0 {
+			c.deferredDesc = 0
+			s.deferredQ = s.deferredQ[1:]
+			continue
+		}
+		c.deferredDesc--
+		if c.deferredDesc == 0 {
+			s.deferredQ = s.deferredQ[1:]
+		}
+		c.postDataDesc(p)
+		c.pendingCredits++
+		c.returnCredits(p)
+	}
+}
+
+// EagerBytes reports the staged-byte pool gauge (and its high-water
+// mark) for stats plumbing and the leak auditor.
+func (s *Substrate) EagerBytes() (now, highWater int) { return s.eagerBytes, s.eagerHW }
 
 // peerUnreachable fails every active connection to dst with
 // sock.ErrReset, waking blocked Read/Write/Select callers. Runs in event
@@ -188,6 +332,24 @@ type chanKey struct {
 // side had already cleaned up), freeing their NIC slots. Called on
 // connection churn.
 func (s *Substrate) purgeStaleUQ() {
+	// Channels announced by completed-but-unaccepted requests are looked
+	// up in the awaiting-accept registry (O(1) per entry); requests still
+	// parked in the queue itself need one pre-pass so early data from the
+	// same peer survives until the request is claimed. One walk over the
+	// queue, map lookups per entry — the old implementation re-walked
+	// every listener's backlog handles for every queue entry.
+	var parkedReq map[ethernet.Addr]bool
+	for _, e := range s.EP.UnexpectedSnapshot() {
+		if e.Tag < listenTagBase {
+			continue
+		}
+		if _, ok := s.listeners[int(e.Tag&^listenTagBase)]; ok {
+			if parkedReq == nil {
+				parkedReq = make(map[ethernet.Addr]bool)
+			}
+			parkedReq[e.Src] = true
+		}
+	}
 	s.EP.PurgeUnexpected(func(src ethernet.Addr, tag emp.Tag) bool {
 		if tag >= listenTagBase {
 			_, ok := s.listeners[int(tag&^listenTagBase)]
@@ -202,12 +364,10 @@ func (s *Substrate) purgeStaleUQ() {
 		// announced by a still-queued connection request — or from a
 		// peer whose request itself is still parked here — will exist
 		// as soon as Accept runs and must survive the purge.
-		for _, l := range s.listeners {
-			if l.announces(src, tag) || s.EP.PeekUnexpected(src, listenTag(l.port)) {
-				return true
-			}
+		if _, ok := s.awaiting[chanKey{src, tag}]; ok {
+			return true
 		}
-		return false
+		return parkedReq[src]
 	})
 }
 
@@ -331,15 +491,6 @@ func (s *Substrate) dialOnce(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, 
 	return c, nil
 }
 
-// Select implements sock.Network. It is a level-triggered compatibility
-// shim over the readiness poller: one user-level library call charged at
-// entry, then an ephemeral registration on each item's notification
-// source — no kernel involvement, and no wakeups from unrelated sockets.
-func (s *Substrate) Select(p *sim.Proc, items []sock.Waitable, timeout sim.Duration) []int {
-	p.Sleep(s.Opts.LibCall)
-	return sock.PollSelect(p, s.Eng, items, timeout)
-}
-
 // Shutdown stops the underlying endpoint's firmware (end of simulation).
 func (s *Substrate) Shutdown() { s.EP.Shutdown() }
 
@@ -347,6 +498,114 @@ func (s *Substrate) Shutdown() { s.EP.Shutdown() }
 // that no longer exist (exported for fault-injection tests asserting
 // zero resource leaks after connection churn and failures).
 func (s *Substrate) PurgeStale() { s.purgeStaleUQ() }
+
+// AuditResources walks this substrate's resource pools and reports every
+// invariant violation through add — the host side of the descriptor-leak
+// auditor (package audit). It is meant to run at quiescence (no blocked
+// reads or in-flight operations, stale UQ entries purged): transient
+// descriptors held by a blocked proc would otherwise be reported as
+// orphans. The §5.3 contract it checks: every posted descriptor is owned
+// by a live socket, every staged byte is attributable, credit counters
+// stay within their windows, and nothing addressed to a dead channel
+// lingers in the unexpected queue.
+func (s *Substrate) AuditResources(add func(kind, detail string)) {
+	if s.dead {
+		// A killed endpoint cancelled every descriptor and cleared its
+		// queues; only gauge drift is worth checking.
+		if n := s.EP.DescriptorsInUse(); n != 0 {
+			add("desc-gauge", fmt.Sprintf("dead substrate still accounts %d descriptors", n))
+		}
+		return
+	}
+	// Every posted receive descriptor must be owned by a live connection
+	// or listener ("used or unposted", Section 5.3).
+	owned := make(map[*emp.RecvHandle]bool)
+	for c := range s.active {
+		for _, h := range c.dataHandles {
+			owned[h] = true
+		}
+		for _, h := range c.ackHandles {
+			owned[h] = true
+		}
+	}
+	for _, l := range s.listeners {
+		for _, h := range l.handles {
+			owned[h] = true
+		}
+	}
+	posted := s.EP.PostedRecvs()
+	for _, h := range posted {
+		if !owned[h] {
+			src, tag := h.Match()
+			add("orphan-descriptor", fmt.Sprintf("posted receive (src %v, tag %#x) owned by no socket", src, tag))
+		}
+	}
+	// Connection-table hygiene and credit-window bounds.
+	staged := 0
+	for c := range s.active {
+		if c.cleaned {
+			add("cleaned-conn", fmt.Sprintf("conn %d:%d -> %d:%d cleaned up but still in the active table",
+				s.addr, c.localPort, c.peer, c.remotePort))
+		}
+		if c.opts.Mode != DataStreaming {
+			continue
+		}
+		if c.credits < 0 || c.credits > c.opts.Credits {
+			add("credit-bounds", fmt.Sprintf("conn %d:%d -> %d:%d holds %d send credits (window %d)",
+				s.addr, c.localPort, c.peer, c.remotePort, c.credits, c.opts.Credits))
+		}
+		if c.pendingCredits < 0 || c.pendingCredits > c.opts.Credits {
+			add("credit-bounds", fmt.Sprintf("conn %d:%d -> %d:%d owes %d pending credits (window %d)",
+				s.addr, c.localPort, c.peer, c.remotePort, c.pendingCredits, c.opts.Credits))
+		}
+		if c.deferredDesc < 0 || c.deferredDesc > c.opts.Credits {
+			add("eager-deferral", fmt.Sprintf("conn %d:%d -> %d:%d defers %d reposts (window %d)",
+				s.addr, c.localPort, c.peer, c.remotePort, c.deferredDesc, c.opts.Credits))
+		}
+		if c.rcv != nil {
+			staged += c.rcv.Len()
+		}
+	}
+	// The eager-pool gauge must equal the staged bytes it claims to track.
+	if staged != s.eagerBytes {
+		add("eager-gauge", fmt.Sprintf("eager pool accounts %d bytes but connections stage %d", s.eagerBytes, staged))
+	}
+	// The descriptor gauge counts posted receives plus live send records;
+	// it can never be smaller than the receives alone.
+	if n := s.EP.DescriptorsInUse(); n < len(posted) {
+		add("desc-gauge", fmt.Sprintf("endpoint accounts %d descriptors but %d receives are posted", n, len(posted)))
+	}
+	// Unexpected-queue entries must be addressed to something that still
+	// exists: a live listener's port, a live channel, a channel awaiting
+	// accept, or early data from a peer whose request is still parked.
+	parkedReq := make(map[ethernet.Addr]bool)
+	for _, e := range s.EP.UnexpectedSnapshot() {
+		if e.Tag >= listenTagBase {
+			if _, ok := s.listeners[int(e.Tag&^listenTagBase)]; ok {
+				parkedReq[e.Src] = true
+			}
+		}
+	}
+	for _, e := range s.EP.UnexpectedSnapshot() {
+		if e.Tag >= listenTagBase {
+			if _, ok := s.listeners[int(e.Tag&^listenTagBase)]; !ok {
+				add("uq-stale", fmt.Sprintf("parked request from %v for port %d, which has no listener", e.Src, int(e.Tag&^listenTagBase)))
+			}
+			continue
+		}
+		k := chanKey{e.Src, e.Tag}
+		if _, ok := s.chans[k]; ok {
+			continue
+		}
+		if _, ok := s.awaiting[k]; ok {
+			continue
+		}
+		if parkedReq[e.Src] {
+			continue
+		}
+		add("uq-stale", fmt.Sprintf("%d parked bytes from %v on tag %#x, addressed to no live channel", e.Len, e.Src, e.Tag))
+	}
+}
 
 // Listener is a substrate passive socket: backlog pre-posted connection
 // request descriptors, FIFO accepted.
@@ -378,10 +637,21 @@ func (l *Listener) Notify() {
 	l.src.Fire(uint32(sock.PollIn | sock.PollErr))
 }
 
-// post adds one backlog descriptor.
+// post adds one backlog descriptor. Its completion hook registers the
+// request's announced channels in the awaiting-accept registry the
+// moment the request lands, so early data for the not-yet-accepted
+// connection survives staleness purges.
 func (l *Listener) post(p *sim.Proc) {
 	h := l.sub.EP.PostRecv(p, emp.AnySource, listenTag(l.port), connReqBytes, emp.KeyNone)
 	h.SetNotify(l)
+	h.SetOnComplete(func(m emp.Message, st emp.Status) {
+		if st != emp.StatusOK {
+			return
+		}
+		if hdr, ok := m.Data.(*header); ok && hdr.Kind == kindConnReq && hdr.Req != nil {
+			l.sub.noteAwaiting(l, hdr.Req)
+		}
+	})
 	l.handles = append(l.handles, h)
 	l.headKnown = false
 }
@@ -407,28 +677,6 @@ func (l *Listener) Acceptable() bool {
 
 // Ready implements sock.Waitable.
 func (l *Listener) Ready() bool { return l.Acceptable() }
-
-// announces reports whether a completed but not-yet-accepted connection
-// request in this listener's backlog names (src, tag) as a channel the
-// server will receive on. Early data arrivals for such channels park in
-// the unexpected queue and must survive staleness purges until Accept
-// posts the connection's descriptors.
-func (l *Listener) announces(src ethernet.Addr, tag emp.Tag) bool {
-	for _, h := range l.handles {
-		m, st, done := l.sub.EP.TryRecv(h)
-		if !done || st != emp.StatusOK || m.Src != src {
-			continue
-		}
-		hdr, ok := m.Data.(*header)
-		if !ok || hdr.Kind != kindConnReq || hdr.Req == nil {
-			continue
-		}
-		if hdr.Req.ServerDataTag == tag || hdr.Req.ServerAckTag == tag {
-			return true
-		}
-	}
-	return false
-}
 
 // PollState implements sock.Pollable.
 func (l *Listener) PollState() sock.PollEvents {
@@ -469,6 +717,7 @@ func (l *Listener) Accept(p *sim.Proc) (sock.Conn, error) {
 		return nil, sock.ErrReset
 	}
 	l.sub.ConnsAccepted.Inc()
+	l.sub.doneAwaiting(hdr.Req)
 	l.sub.Eng.Tracef("substrate", "accept %d <- %d:%d", l.sub.addr, hdr.Req.ClientAddr, hdr.Req.ClientPort)
 	c := newConn(l.sub, hdr.Req.ClientAddr, hdr.Req, false)
 	c.postInitialDescriptors(p)
@@ -480,10 +729,13 @@ func (l *Listener) Accept(p *sim.Proc) (sock.Conn, error) {
 }
 
 // Close implements sock.Listener: unpost every backlog descriptor (EMP
-// has no garbage collection — Section 5.3). Only procs registered on
-// this listener wake: each unpost cancels its descriptor, whose
-// completion notifies the listener — unrelated blocked sockets on the
-// host see nothing (no more host-wide broadcast).
+// has no garbage collection — Section 5.3) and refuse every connection
+// request the listener will now never accept — completed requests
+// sitting in the backlog and requests still parked in the unexpected
+// queue — so their dialers fail fast with sock.ErrRefused instead of
+// waiting out a timeout. Only procs registered on this listener wake:
+// each unpost cancels its descriptor, whose completion notifies the
+// listener — unrelated blocked sockets on the host see nothing.
 func (l *Listener) Close(p *sim.Proc) error {
 	p.Sleep(l.sub.Opts.LibCall)
 	if l.closed {
@@ -491,10 +743,43 @@ func (l *Listener) Close(p *sim.Proc) error {
 	}
 	l.closed = true
 	delete(l.sub.listeners, l.port)
+	refuse := func(m emp.Message) {
+		if hdr, ok := m.Data.(*header); ok && hdr.Kind == kindConnReq && hdr.Req != nil {
+			l.sub.doneAwaiting(hdr.Req)
+			if !l.sub.dead {
+				l.sub.refuseReq(p, hdr.Req)
+			}
+		}
+	}
 	for _, h := range l.handles {
-		l.sub.EP.Unpost(p, h)
+		if m, st, done := l.sub.EP.TryRecv(h); done {
+			if st == emp.StatusOK {
+				refuse(m)
+			}
+			continue
+		}
+		if !l.sub.EP.Unpost(p, h) {
+			// The unpost lost the race with an arriving request: the
+			// claim completed the descriptor, so refuse that one too.
+			if m, st, done := l.sub.EP.TryRecv(h); done && st == emp.StatusOK {
+				refuse(m)
+			}
+		}
 	}
 	l.handles = nil
+	l.sub.dropAwaiting(l)
+	// Requests parked in the unexpected queue behind the backlog get an
+	// explicit refusal as well; the purge then reclaims whatever's left.
+	for !l.sub.dead {
+		m, ok := l.sub.EP.PollUnexpected(p, emp.AnySource, listenTag(l.port), connReqBytes)
+		if !ok {
+			break
+		}
+		refuse(m)
+	}
+	if !l.sub.dead {
+		l.sub.purgeStaleUQ()
+	}
 	l.Notify()
 	return nil
 }

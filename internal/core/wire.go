@@ -22,6 +22,12 @@ const (
 	// crashed peer is detected by retry-budget exhaustion even when the
 	// application has no data to send.
 	kindKeepalive
+	// kindConnRefused is the substrate's RST: sent to a dialer's ack
+	// channel when its connection request overflows the listener's
+	// backlog slack, targets a port nobody listens on, or is still
+	// queued when the listener closes. The dialer fails with
+	// sock.ErrRefused instead of hanging until a timeout.
+	kindConnRefused
 )
 
 func (k msgKind) String() string {
@@ -42,6 +48,8 @@ func (k msgKind) String() string {
 		return "rend-ack"
 	case kindKeepalive:
 		return "keepalive"
+	case kindConnRefused:
+		return "conn-refused"
 	}
 	return "?"
 }

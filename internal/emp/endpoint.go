@@ -37,6 +37,19 @@ type Config struct {
 	// zero disables it (unmatched messages are dropped and later
 	// retransmitted by the sender).
 	UnexpectedSlots int
+	// UnexpectedBytes caps the total payload bytes parked in the
+	// unexpected queue; zero means unlimited. When a newly parked
+	// message pushes the queue over the cap, the oldest entry the setup
+	// classifier (SetUnexpectedSetupClass) does not protect is dropped —
+	// a deliberate lossy overload policy: the sender's NIC has already
+	// acknowledged the message, so a dropped entry is lost, exactly like
+	// datagram overflow in conventional stacks.
+	UnexpectedBytes int
+	// MaxDescriptors bounds descriptors in use — posted receive
+	// descriptors plus send transmission records — so a flood cannot
+	// grow NIC-resident state without limit. Zero means unlimited.
+	// PostSend/PostRecv over budget fail fast with StatusNoDescriptors.
+	MaxDescriptors int
 }
 
 // DefaultEndpointConfig returns the standard calibration.
@@ -48,6 +61,7 @@ func DefaultEndpointConfig() Config {
 		HostPostCPU:     300 * sim.Nanosecond,
 		TCacheCap:       1024,
 		UnexpectedSlots: 0,
+		MaxDescriptors:  8192,
 	}
 }
 
@@ -71,12 +85,48 @@ type Endpoint struct {
 	tcache     map[BufKey]struct{}
 	tcacheFIFO []BufKey
 
+	// Descriptor-budget accounting (Config.MaxDescriptors): posted
+	// receive descriptors plus live send transmission records.
+	descInUse int
+	descHW    int
+
 	// Stats.
 	CacheHits   sim.Counter
 	CacheMisses sim.Counter
 	SendsPosted sim.Counter
 	RecvsPosted sim.Counter
+	DescDenied  sim.Counter
 }
+
+// descAcquire claims one descriptor-budget slot, reporting false when
+// the budget is exhausted. The gauge is maintained even with the budget
+// disabled so it can be audited.
+func (ep *Endpoint) descAcquire() bool {
+	if ep.Cfg.MaxDescriptors > 0 && ep.descInUse >= ep.Cfg.MaxDescriptors {
+		ep.DescDenied.Inc()
+		return false
+	}
+	ep.descInUse++
+	if ep.descInUse > ep.descHW {
+		ep.descHW = ep.descInUse
+	}
+	return true
+}
+
+func (ep *Endpoint) descRelease() {
+	ep.descInUse--
+	if ep.descInUse < 0 {
+		panic("emp: descriptor accounting underflow")
+	}
+}
+
+// DescriptorsInUse reports the current descriptor-budget gauge: posted
+// receive descriptors (including posts still in mailbox flight) plus
+// send transmission records not yet retired by the reliability layer.
+func (ep *Endpoint) DescriptorsInUse() int { return ep.descInUse }
+
+// DescriptorHighWater reports the maximum the gauge ever reached.
+func (ep *Endpoint) DescriptorHighWater() int { return ep.descHW }
 
 // NewEndpoint creates an endpoint, installs the EMP firmware on the NIC,
 // and spawns the firmware's send and receive processors. The NIC must
@@ -191,13 +241,19 @@ func (ep *Endpoint) PostSend(p *sim.Proc, dst ethernet.Addr, tag Tag, length int
 		h.complete(StatusFailed)
 		return h
 	}
+	if !ep.descAcquire() {
+		// Fail fast, before any post cost: nothing reaches the NIC.
+		h.complete(StatusNoDescriptors)
+		return h
+	}
 	p.Sleep(ep.Cfg.HostPostCPU)
 	ep.translate(p, key)
 	ep.Host.MMIO(p)
 	post := &txPost{h: h, data: data}
 	ep.Eng.After(ep.NIC.Cfg.MailboxLatency, func() {
 		if !ep.fw.txWork.TryPut(txOp{post: post}) {
-			post.h.complete(StatusFailed) // endpoint died before pickup
+			ep.descRelease() // no record was created
+			post.h.complete(StatusFailed)
 		}
 	})
 	return h
@@ -222,6 +278,10 @@ type RecvHandle struct {
 	msg    Message
 	notify sim.Notifiable
 
+	ep         *Endpoint
+	counted    bool
+	onComplete func(Message, Status)
+
 	src    ethernet.Addr
 	tag    Tag
 	maxLen int
@@ -232,6 +292,23 @@ type RecvHandle struct {
 // the sockets substrate points this at the owning connection or
 // listener so only procs registered on that object wake.
 func (h *RecvHandle) SetNotify(n sim.Notifiable) { h.notify = n }
+
+// SetOnComplete registers a callback invoked exactly once when the
+// handle completes, before waiters are woken. It runs in event context
+// and must not block; the sockets substrate uses it to register
+// connection-setup state the moment a request message lands. If the
+// handle already completed (PostRecv can satisfy a descriptor from the
+// unexpected queue before returning), the callback fires immediately.
+func (h *RecvHandle) SetOnComplete(fn func(Message, Status)) {
+	h.onComplete = fn
+	if h.status != StatusPending && fn != nil {
+		fn(h.msg, h.status)
+	}
+}
+
+// Match reports the (source, tag) pair the descriptor was posted for;
+// the leak auditor uses it to describe orphaned descriptors.
+func (h *RecvHandle) Match() (ethernet.Addr, Tag) { return h.src, h.tag }
 
 // Status reports the handle's current state.
 func (h *RecvHandle) Status() Status { return h.status }
@@ -246,6 +323,13 @@ func (h *RecvHandle) complete(s Status, m Message) {
 	}
 	h.status = s
 	h.msg = m
+	if h.counted {
+		h.counted = false
+		h.ep.descRelease()
+	}
+	if h.onComplete != nil {
+		h.onComplete(m, s)
+	}
 	h.cond.Broadcast()
 	if h.notify != nil {
 		h.notify.Notify()
@@ -263,6 +347,7 @@ func (ep *Endpoint) PostRecv(p *sim.Proc, src ethernet.Addr, tag Tag, maxLen int
 	h := &RecvHandle{
 		status: StatusPending,
 		cond:   sim.NewCond(ep.Eng, "emp.recv"),
+		ep:     ep,
 		src:    src,
 		tag:    tag,
 		maxLen: maxLen,
@@ -279,6 +364,12 @@ func (ep *Endpoint) PostRecv(p *sim.Proc, src ethernet.Addr, tag Tag, maxLen int
 		h.complete(StatusOK, m)
 		return h
 	}
+	// A queue hit needed no descriptor; an actual post does.
+	if !ep.descAcquire() {
+		h.complete(StatusNoDescriptors, Message{})
+		return h
+	}
+	h.counted = true
 	ep.translate(p, key)
 	ep.Host.MMIO(p)
 	ep.Eng.After(ep.NIC.Cfg.MailboxLatency, func() {
@@ -348,6 +439,7 @@ func (ep *Endpoint) PurgeUnexpected(keep func(src ethernet.Addr, tag Tag) bool) 
 		if keep(e.msg.Src, e.msg.Tag) {
 			kept = append(kept, e)
 		} else {
+			ep.fw.uqBytes -= e.msg.Len
 			purged++
 		}
 	}
@@ -371,6 +463,56 @@ func (ep *Endpoint) PeekUnexpected(src ethernet.Addr, tag Tag) bool {
 		}
 	}
 	return false
+}
+
+// CountUnexpected counts matching messages waiting in the host-visible
+// unexpected queue (src may be AnySource), without claiming anything or
+// charging time.
+func (ep *Endpoint) CountUnexpected(src ethernet.Addr, tag Tag) int {
+	n := 0
+	for _, e := range ep.fw.uqEntries {
+		if tag == e.msg.Tag && (src == AnySource || src == e.msg.Src) {
+			n++
+		}
+	}
+	return n
+}
+
+// SetUnexpectedSetupClass registers a classifier marking tags whose
+// unexpected-queue entries must never be dropped by the byte-cap
+// eviction (Config.UnexpectedBytes) — the sockets substrate protects
+// connection-setup requests, which carry state that cannot be
+// retransmitted once the NIC has acknowledged them.
+func (ep *Endpoint) SetUnexpectedSetupClass(fn func(tag Tag) bool) { ep.fw.uqSetup = fn }
+
+// UnexpectedInfo describes one parked unexpected-queue entry for
+// auditing and purge planning.
+type UnexpectedInfo struct {
+	Src ethernet.Addr
+	Tag Tag
+	Len int
+}
+
+// UnexpectedSnapshot lists the parked unexpected-queue entries in
+// arrival order. The leak auditor and the substrate's purge use it; it
+// charges no simulated time.
+func (ep *Endpoint) UnexpectedSnapshot() []UnexpectedInfo {
+	out := make([]UnexpectedInfo, 0, len(ep.fw.uqEntries))
+	for _, e := range ep.fw.uqEntries {
+		out = append(out, UnexpectedInfo{Src: e.msg.Src, Tag: e.msg.Tag, Len: e.msg.Len})
+	}
+	return out
+}
+
+// PostedRecvs lists the receive handles currently in the NIC's
+// pre-posted descriptor list, for the leak auditor's ownership walk. It
+// excludes posts still in mailbox flight and charges no simulated time.
+func (ep *Endpoint) PostedRecvs() []*RecvHandle {
+	out := make([]*RecvHandle, 0, len(ep.fw.preposted))
+	for _, d := range ep.fw.preposted {
+		out = append(out, d.h)
+	}
+	return out
 }
 
 // Unpost withdraws a still-unmatched receive descriptor. It reports
@@ -402,7 +544,8 @@ func (ep *Endpoint) Unpost(p *sim.Proc, h *RecvHandle) bool {
 	return h.status == StatusCancelled
 }
 
-// Stats is a snapshot of the endpoint's protocol counters.
+// Stats is a snapshot of the endpoint's protocol counters and
+// resource-pool gauges.
 type Stats struct {
 	SendsPosted, RecvsPosted     int64
 	CacheHits, CacheMisses       int64
@@ -411,6 +554,11 @@ type Stats struct {
 	AcksSent, NacksSent          int64
 	SendsFailed                  int64
 	Truncated                    int64
+	// Pool gauges (Config.MaxDescriptors / Config.UnexpectedBytes).
+	DescInUse, DescHighWater int64
+	DescDenied               int64
+	UQEntries, UQBytes       int64
+	UQPeakEntries, UQDropped int64
 }
 
 // Stats returns the current counter snapshot.
@@ -428,6 +576,13 @@ func (ep *Endpoint) Stats() Stats {
 		NacksSent:     ep.fw.nacksSent.Value,
 		SendsFailed:   ep.fw.sendsFailed.Value,
 		Truncated:     ep.fw.truncated.Value,
+		DescInUse:     int64(ep.descInUse),
+		DescHighWater: int64(ep.descHW),
+		DescDenied:    ep.DescDenied.Value,
+		UQEntries:     int64(len(ep.fw.uqEntries)),
+		UQBytes:       int64(ep.fw.uqBytes),
+		UQPeakEntries: int64(ep.fw.uqPeakEntries),
+		UQDropped:     ep.fw.uqDropped.Value,
 	}
 }
 
@@ -446,3 +601,11 @@ func (ep *Endpoint) PrepostedDescriptors() int { return len(ep.fw.preposted) }
 // UnexpectedQueued reports completed messages waiting in the unexpected
 // queue.
 func (ep *Endpoint) UnexpectedQueued() int { return len(ep.fw.uqEntries) }
+
+// UnexpectedBytes reports the payload bytes currently parked in the
+// unexpected queue.
+func (ep *Endpoint) UnexpectedBytes() int { return ep.fw.uqBytes }
+
+// UnexpectedPeakEntries reports the most entries the unexpected queue
+// ever held — the occupancy high-water mark overload tests assert on.
+func (ep *Endpoint) UnexpectedPeakEntries() int { return ep.fw.uqPeakEntries }

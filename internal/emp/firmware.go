@@ -102,16 +102,23 @@ type firmware struct {
 	// keeps a fast sender from swamping the receiver NIC's frame
 	// processing (which runs slightly slower than wire rate).
 	destInflight map[ethernet.Addr]int
-	txWindow     *sim.Cond
-	uqSlots      int
-	uqEntries    []*uqEntry
-	reasm        map[reasmKey]*reassembly
-	records      map[uint64]*txRecord
+	txWindow *sim.Cond
+	uqSlots  int
+	// uqBytes / uqPeakEntries account the unexpected queue's occupancy
+	// for the byte cap (Config.UnexpectedBytes) and the pool gauges.
+	uqBytes       int
+	uqPeakEntries int
+	uqEntries     []*uqEntry
+	reasm         map[reasmKey]*reassembly
+	records       map[uint64]*txRecord
 
 	completed     map[reasmKey]bool
 	completedRing []reasmKey
 	uqNotify      sim.Notifiable
 	uqRoute       func(src ethernet.Addr, tag Tag)
+	// uqSetup marks tags whose entries the byte-cap eviction must keep
+	// (connection-setup requests).
+	uqSetup func(tag Tag) bool
 
 	sendProc *sim.Proc
 	recvProc *sim.Proc
@@ -125,6 +132,7 @@ type firmware struct {
 	nacksSent     sim.Counter
 	sendsFailed   sim.Counter
 	truncated     sim.Counter
+	uqDropped     sim.Counter
 }
 
 // maxFrag is the per-fragment payload this NIC's MTU allows.
@@ -171,6 +179,7 @@ func (fw *firmware) kill() {
 		rec.failed = true
 		rec.timer.Cancel()
 		rec.cond.Broadcast()
+		fw.ep.descRelease()
 	}
 	fw.records = make(map[uint64]*txRecord)
 	fw.destInflight = make(map[ethernet.Addr]int)
@@ -186,6 +195,7 @@ func (fw *firmware) kill() {
 	}
 	fw.reasm = make(map[reasmKey]*reassembly)
 	fw.uqEntries = nil
+	fw.uqBytes = 0
 	if fw.uqNotify != nil {
 		fw.uqNotify.Notify()
 	}
@@ -224,6 +234,7 @@ func (fw *firmware) handleSendPost(p *sim.Proc, post *txPost) {
 	p.Sleep(fw.n.Cfg.TxPostHandle)
 	h := post.h
 	if fw.ep.dead {
+		fw.ep.descRelease() // no record will be created
 		h.complete(StatusFailed)
 		return
 	}
@@ -339,9 +350,16 @@ func (fw *firmware) armTimer(rec *txRecord) {
 	rec.timer = fw.eng.After(rec.rto, func() { fw.scheduleResend(id) })
 }
 
+// retire releases a transmission record and its descriptor-budget slot;
+// the slot is held from PostSend until the reliability layer is done
+// with the message, so unacknowledged sends to an unreachable peer
+// count against the budget for their whole retry lifetime.
 func (fw *firmware) retire(rec *txRecord) {
 	rec.timer.Cancel()
-	delete(fw.records, rec.msgID)
+	if _, live := fw.records[rec.msgID]; live {
+		delete(fw.records, rec.msgID)
+		fw.ep.descRelease()
+	}
 }
 
 // --- Receive processor --------------------------------------------------
@@ -556,12 +574,44 @@ func (fw *firmware) finish(r *reassembly) {
 			return
 		}
 		fw.uqEntries = append(fw.uqEntries, &uqEntry{msg: msg})
+		fw.uqBytes += msg.Len
+		if len(fw.uqEntries) > fw.uqPeakEntries {
+			fw.uqPeakEntries = len(fw.uqEntries)
+		}
+		fw.enforceUQBytes()
 		if fw.uqNotify != nil {
 			fw.uqNotify.Notify()
 		}
 		if fw.uqRoute != nil {
 			fw.uqRoute(msg.Src, msg.Tag)
 		}
+	}
+}
+
+// enforceUQBytes applies the unexpected-queue byte cap: while over
+// budget, the oldest entry not protected by the setup classifier is
+// dropped and its NIC slot freed. Entries the classifier protects are
+// never evicted, even if that leaves the queue over budget — setup
+// requests are bounded separately by the substrate's refusal policy.
+func (fw *firmware) enforceUQBytes() {
+	limit := fw.ep.Cfg.UnexpectedBytes
+	for limit > 0 && fw.uqBytes > limit {
+		victim := -1
+		for i, e := range fw.uqEntries {
+			if fw.uqSetup == nil || !fw.uqSetup(e.msg.Tag) {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		e := fw.uqEntries[victim]
+		fw.eng.Tracef(fw.n.Name, "UQ DROP src=%d tag=%d len=%d (byte cap %d)", e.msg.Src, e.msg.Tag, e.msg.Len, limit)
+		fw.uqEntries = append(fw.uqEntries[:victim], fw.uqEntries[victim+1:]...)
+		fw.uqBytes -= e.msg.Len
+		fw.uqSlots++
+		fw.uqDropped.Inc()
 	}
 }
 
@@ -603,6 +653,7 @@ func (fw *firmware) handleRecvPost(p *sim.Proc, h *RecvHandle) {
 		m := e.msg
 		if h.tag == m.Tag && (h.src == AnySource || h.src == m.Src) && h.maxLen >= m.Len {
 			fw.uqEntries = append(fw.uqEntries[:i], fw.uqEntries[i+1:]...)
+			fw.uqBytes -= m.Len
 			fw.uqSlots++
 			fw.unexpectedHit.Inc()
 			fw.msgsDelivered.Inc()
@@ -637,6 +688,7 @@ func (fw *firmware) claimUnexpected(src ethernet.Addr, tag Tag, maxLen int) (Mes
 		m := e.msg
 		if tag == m.Tag && (src == AnySource || src == m.Src) && maxLen >= m.Len {
 			fw.uqEntries = append(fw.uqEntries[:i], fw.uqEntries[i+1:]...)
+			fw.uqBytes -= m.Len
 			fw.unexpectedHit.Inc()
 			fw.msgsDelivered.Inc()
 			// Tell the NIC to free the slot.

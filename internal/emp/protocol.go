@@ -7,6 +7,8 @@
 package emp
 
 import (
+	"errors"
+
 	"repro/internal/ethernet"
 	"repro/internal/sim"
 )
@@ -143,6 +145,11 @@ const (
 	// StatusTruncated means an arriving message exceeded the posted
 	// buffer and was dropped by the receive firmware.
 	StatusTruncated
+	// StatusNoDescriptors means the post was refused because the
+	// endpoint's descriptor budget (Config.MaxDescriptors) is exhausted.
+	// Nothing was posted; the caller may retry after completing or
+	// unposting outstanding work.
+	StatusNoDescriptors
 )
 
 func (s Status) String() string {
@@ -157,9 +164,17 @@ func (s Status) String() string {
 		return "cancelled"
 	case StatusTruncated:
 		return "truncated"
+	case StatusNoDescriptors:
+		return "no-descriptors"
 	}
 	return "?"
 }
+
+// ErrNoDescriptors is the error face of StatusNoDescriptors: a post was
+// refused up front because the endpoint's descriptor budget is
+// exhausted. Layered protocols translate it into their own
+// out-of-resources error rather than treating it as a peer failure.
+var ErrNoDescriptors = errors.New("emp: descriptor budget exhausted")
 
 // ReliabilityConfig tunes the sender-side retransmission machinery.
 type ReliabilityConfig struct {

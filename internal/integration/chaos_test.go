@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/ethernet"
 	"repro/internal/faults"
@@ -23,7 +24,8 @@ const chaosFailureBound = 500 * sim.Millisecond
 // checkSubstrateLeaks asserts that every surviving substrate node has
 // drained its socket table, unposted every descriptor (§5.3), and —
 // after purging stale unexpected-queue entries — holds no orphaned
-// messages.
+// messages. The host-wide resource auditor then cross-checks every pool
+// gauge and attribution it knows about.
 func checkSubstrateLeaks(t *testing.T, c *cluster.Cluster) {
 	t.Helper()
 	for i, n := range c.Nodes {
@@ -40,6 +42,9 @@ func checkSubstrateLeaks(t *testing.T, c *cluster.Cluster) {
 		if k := n.Sub.EP.UnexpectedQueued(); k != 0 {
 			t.Errorf("node %d leaked %d unexpected-queue entries", i, k)
 		}
+	}
+	if rep := audit.Cluster(c); !rep.Clean() {
+		t.Errorf("resource audit:\n%s", rep)
 	}
 }
 

@@ -182,9 +182,11 @@ func TestKVStoreOverLossyTCP(t *testing.T) {
 	}
 }
 
-// TestSelectUnderChurnDoesNotMissWakeups hammers select with many
-// short-lived readable events.
-func TestSelectUnderChurnDoesNotMissWakeups(t *testing.T) {
+// TestPollerUnderChurnDoesNotMissWakeups hammers the edge-triggered
+// poller with many short-lived readable events: every arrival edge must
+// produce a wakeup, and the drain-until-not-readable discipline must
+// never strand bytes.
+func TestPollerUnderChurnDoesNotMissWakeups(t *testing.T) {
 	c := cluster.NewSubstrate(2, nil)
 	served := 0
 	const rounds = 40
@@ -199,16 +201,24 @@ func TestSelectUnderChurnDoesNotMissWakeups(t *testing.T) {
 			t.Errorf("accept: %v", err)
 			return
 		}
-		items := []sock.Waitable{conn}
-		for served < rounds {
-			ready := c.Nodes[0].Net.Select(p, items, 100*sim.Millisecond)
-			if len(ready) == 0 {
+		po := sock.NewPoller(c.Eng, "churn")
+		defer po.Close()
+		po.Register(conn.(sock.Pollable), sock.PollIn|sock.PollErr, nil)
+		got := 0
+		for got < rounds*100 {
+			if evs := po.Wait(p, 100*sim.Millisecond); len(evs) == 0 {
 				return // timed out: a wakeup was missed
 			}
-			if n, _, _ := conn.Read(p, 4096); n > 0 {
-				served++
+			// Edge-triggered: drain until the socket stops being readable.
+			for conn.Readable() {
+				n, _, err := conn.Read(p, 4096)
+				if err != nil || n == 0 {
+					return
+				}
+				got += n
 			}
 		}
+		served = got / 100
 	})
 	c.Eng.Spawn("client", func(p *sim.Proc) {
 		p.Sleep(10 * sim.Microsecond)

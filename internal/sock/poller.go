@@ -8,7 +8,11 @@
 // which is what lets one proc multiplex hundreds of connections.
 package sock
 
-import "repro/internal/sim"
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
 
 // PollEvents is a bitmask of readiness classes, mirroring epoll's
 // EPOLLIN/EPOLLOUT/EPOLLERR triple.
@@ -84,6 +88,12 @@ type Poller struct {
 	regs  map[uint64]*pollReg
 	items map[Pollable]uint64
 	next  uint64
+	// cursor is the token of the last event delivered: each Wait starts
+	// delivery just past it (round-robin over registration order), so a
+	// hot object that refires on every Wait cannot permanently occupy
+	// the front of the ready list and starve consumers that only handle
+	// a prefix of each batch.
+	cursor uint64
 
 	// WaitCost, if set, is charged once per Wait call before blocking
 	// (e.g. a library-call or syscall entry cost).
@@ -183,8 +193,14 @@ func (po *Poller) Wait(p *sim.Proc, timeout sim.Duration) []PollEvent {
 				}
 			}
 		}
+		toks := po.sink.Drain()
+		// Round-robin fairness: deliver in token (registration) order,
+		// starting just past the last token served by the previous Wait.
+		sort.Slice(toks, func(i, j int) bool { return toks[i] < toks[j] })
+		start := sort.Search(len(toks), func(i int) bool { return toks[i] > po.cursor })
 		var out []PollEvent
-		for _, tok := range po.sink.Drain() {
+		for i := 0; i < len(toks); i++ {
+			tok := toks[(start+i)%len(toks)]
 			reg, ok := po.regs[tok]
 			if !ok {
 				continue
@@ -197,6 +213,7 @@ func (po *Poller) Wait(p *sim.Proc, timeout sim.Duration) []PollEvent {
 			out = append(out, PollEvent{Item: reg.item, Events: ev, Data: reg.data})
 		}
 		if len(out) > 0 {
+			po.cursor = po.items[out[0].Item]
 			po.Waits++
 			po.Delivered += int64(len(out))
 			return out
@@ -216,64 +233,4 @@ func (po *Poller) Close() {
 	po.sink.Drain()
 	po.regs = make(map[uint64]*pollReg)
 	po.items = make(map[Pollable]uint64)
-}
-
-// PollSelect implements the legacy level-triggered Select contract over
-// an ephemeral poller: scan once, and if nothing is ready, register
-// everything, block for one readiness edge, and rescan. Entry-cost
-// charging is the caller's: transports charge their library-call or
-// syscall cost before calling. Items that do not implement Pollable
-// are treated as always-ready-never-notifying (matching the old
-// re-scan-on-any-activity semantics only for ready items; all current
-// transports implement Pollable).
-func PollSelect(p *sim.Proc, eng *sim.Engine, items []Waitable, timeout sim.Duration) []int {
-	scan := func() []int {
-		var ready []int
-		for i, it := range items {
-			if it != nil && it.Ready() {
-				ready = append(ready, i)
-			}
-		}
-		return ready
-	}
-	if ready := scan(); len(ready) > 0 || timeout == 0 {
-		return ready
-	}
-	po := NewPoller(eng, "select")
-	defer po.Close()
-	registered := false
-	for _, it := range items {
-		if pl, ok := it.(Pollable); ok && pl != nil {
-			po.Register(pl, PollIn|PollErr, nil)
-			registered = true
-		}
-	}
-	if !registered {
-		// Nothing can ever signal; honor the timeout.
-		if timeout > 0 {
-			p.Sleep(timeout)
-		}
-		return scan()
-	}
-	deadline := sim.Time(0)
-	if timeout > 0 {
-		deadline = p.Now().Add(timeout)
-	}
-	for {
-		remain := sim.Duration(-1)
-		if timeout > 0 {
-			remain = deadline.Sub(p.Now())
-			if remain <= 0 {
-				return scan()
-			}
-		}
-		if evs := po.Wait(p, remain); evs == nil {
-			return scan()
-		}
-		if ready := scan(); len(ready) > 0 {
-			return ready
-		}
-		// A transition fired but levels say not ready (e.g. another
-		// proc consumed the data); keep waiting.
-	}
 }

@@ -74,17 +74,32 @@ type Waitable interface {
 }
 
 // Network is one host's socket layer: the entry point applications use.
+// Readiness multiplexing is the Poller's job (or, at the POSIX layer,
+// fdtable's select()); transports only provide pollable objects.
 type Network interface {
 	// Listen binds and listens on a port with the given backlog.
 	Listen(p *sim.Proc, port, backlog int) (Listener, error)
 	// Dial connects to addr:port.
 	Dial(p *sim.Proc, addr Addr, port int) (Conn, error)
-	// Select blocks until at least one waitable is ready or the timeout
-	// elapses, returning the indices of ready entries (empty slice on
-	// timeout). A negative timeout waits forever.
-	Select(p *sim.Proc, items []Waitable, timeout sim.Duration) []int
 	// Addr reports this host's address.
 	Addr() Addr
+}
+
+// Deadliner is the optional deadline face of a Conn: both transports
+// implement it. A deadline is an absolute simulated time after which
+// blocked reads (respectively writes) give up with ErrTimeout; the zero
+// time means no deadline. Deadlines are consulted when an operation
+// blocks — setting one does not interrupt an operation already in
+// flight — and persist until changed, so every subsequent operation on
+// the socket observes them. A timed-out socket remains usable: the
+// operation failed, not the connection.
+type Deadliner interface {
+	// SetDeadline sets both the read and the write deadline.
+	SetDeadline(t sim.Time)
+	// SetReadDeadline bounds blocked Reads (and datagram receives).
+	SetReadDeadline(t sim.Time)
+	// SetWriteDeadline bounds blocked Writes (credit or buffer waits).
+	SetWriteDeadline(t sim.Time)
 }
 
 // ReadFull reads exactly n bytes from c, accumulating payload objects.

@@ -83,10 +83,39 @@ type Conn struct {
 	// (TCP_NODELAY), which latency-sensitive servers set to avoid the
 	// Nagle/delayed-ack interaction on partial final segments.
 	noDelay bool
+
+	// rdl/wdl are the absolute read/write deadlines (sock.Deadliner,
+	// the model's SO_RCVTIMEO/SO_SNDTIMEO); zero means none. Consulted
+	// when an operation blocks.
+	rdl, wdl sim.Time
 }
 
 // SetNoDelay toggles TCP_NODELAY on the connection.
 func (c *Conn) SetNoDelay(v bool) { c.noDelay = v }
+
+// SetDeadline implements sock.Deadliner.
+func (c *Conn) SetDeadline(t sim.Time) { c.rdl, c.wdl = t, t }
+
+// SetReadDeadline implements sock.Deadliner.
+func (c *Conn) SetReadDeadline(t sim.Time) { c.rdl = t }
+
+// SetWriteDeadline implements sock.Deadliner.
+func (c *Conn) SetWriteDeadline(t sim.Time) { c.wdl = t }
+
+// waitDeadline blocks on cond until pred holds or the deadline dl passes
+// (zero = none). Reports false on expiry; an already-expired deadline
+// still gives pred one non-blocking check.
+func (c *Conn) waitDeadline(p *sim.Proc, cond *sim.Cond, dl sim.Time, pred func() bool) bool {
+	if dl == 0 {
+		cond.WaitFor(p, pred)
+		return true
+	}
+	remain := dl.Sub(p.Now())
+	if remain <= 0 {
+		return pred()
+	}
+	return cond.WaitForTimeout(p, remain, pred)
+}
 
 func newConn(st *Stack, lport int, raddr ethernet.Addr, rport int) *Conn {
 	st.nextISS += 1 << 16
@@ -630,9 +659,11 @@ func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 		return 0, nil, sock.ErrClosed
 	}
 	blocked := c.rcvbuf.Len() == 0 && !c.eof && c.err == nil
-	c.rcvReady.WaitFor(p, func() bool {
+	if !c.waitDeadline(p, c.rcvReady, c.rdl, func() bool {
 		return c.rcvbuf.Len() > 0 || c.eof || c.err != nil
-	})
+	}) {
+		return 0, nil, sock.ErrTimeout
+	}
 	if blocked {
 		p.Sleep(c.st.Host.Wakeup())
 	}
@@ -677,9 +708,11 @@ func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 	written := 0
 	for written < n {
 		blocked := c.sndbuf.Len() >= c.st.Cfg.SndBuf && c.err == nil && c.state != stateClosed
-		c.sndReady.WaitFor(p, func() bool {
+		if !c.waitDeadline(p, c.sndReady, c.wdl, func() bool {
 			return c.sndbuf.Len() < c.st.Cfg.SndBuf || c.err != nil || c.state == stateClosed
-		})
+		}) {
+			return written, sock.ErrTimeout
+		}
 		if blocked {
 			p.Sleep(c.st.Host.Wakeup())
 		}

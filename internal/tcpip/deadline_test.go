@@ -1,0 +1,137 @@
+package tcpip
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// Kernel-stack deadline tests: the SO_RCVTIMEO / SO_SNDTIMEO analogues.
+// Semantics mirror the substrate's — ErrTimeout fails the operation, the
+// connection survives.
+
+func tcpPair(t *testing.T, b *bed, body func(p *sim.Proc, server, client sock.Conn)) {
+	t.Helper()
+	var accepted sock.Conn
+	b.eng.Spawn("server", func(p *sim.Proc) {
+		l, err := b.stacks[0].Listen(p, 80, 4)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		c, err := l.Accept(p)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		accepted = c
+	})
+	b.eng.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		c, err := b.stacks[1].Dial(p, b.stacks[0].Addr(), 80)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		for accepted == nil {
+			p.Sleep(10 * sim.Microsecond)
+		}
+		body(p, accepted, c)
+	})
+	b.eng.RunUntil(sim.Time(30 * sim.Second))
+}
+
+func TestTCPReadDeadlineTimesOutAndSocketSurvives(t *testing.T) {
+	b := defaultBed(2)
+	done := false
+	tcpPair(t, b, func(p *sim.Proc, server, client sock.Conn) {
+		srv := server.(sock.Deadliner)
+		srv.SetReadDeadline(p.Now().Add(sim.Millisecond))
+		start := p.Now()
+		n, _, err := server.Read(p, 4096)
+		if err != sock.ErrTimeout || n != 0 {
+			t.Errorf("read on silent peer = %d, %v; want 0, ErrTimeout", n, err)
+		}
+		if waited := p.Now().Sub(start); waited < sim.Millisecond {
+			t.Errorf("returned after %v, before the deadline", waited)
+		}
+		srv.SetReadDeadline(0)
+		if _, err := client.Write(p, 2000, "late"); err != nil {
+			t.Errorf("write after peer timeout: %v", err)
+		}
+		got := 0
+		for got < 2000 {
+			n, _, err := server.Read(p, 4096)
+			if err != nil || n == 0 {
+				t.Errorf("read after deadline clear: %d, %v", n, err)
+				return
+			}
+			got += n
+		}
+		done = true
+	})
+	if !done {
+		t.Fatal("test body did not finish")
+	}
+}
+
+func TestTCPWriteDeadlineOnFullBuffers(t *testing.T) {
+	b := defaultBed(2)
+	done := false
+	tcpPair(t, b, func(p *sim.Proc, server, client sock.Conn) {
+		cl := client.(sock.Deadliner)
+		cl.SetWriteDeadline(p.Now().Add(5 * sim.Millisecond))
+		// The server never reads: its receive buffer fills, the window
+		// closes, the client's send buffer fills, and the blocked write
+		// must give up at the deadline with a partial count.
+		total, written := 0, 0
+		var err error
+		for total < 256<<10 {
+			var n int
+			n, err = client.Write(p, 16<<10, nil)
+			written += n
+			if err != nil {
+				break
+			}
+			total += 16 << 10
+		}
+		if err != sock.ErrTimeout {
+			t.Errorf("write into closed window = %v after %d bytes, want ErrTimeout", err, written)
+		}
+		// Drain the server; the same socket finishes a write afterwards.
+		got := 0
+		for got < written {
+			n, _, err := server.Read(p, 64<<10)
+			if err != nil || n == 0 {
+				t.Errorf("drain after %d/%d bytes: %v", got, written, err)
+				return
+			}
+			got += n
+		}
+		cl.SetWriteDeadline(0)
+		if _, err := client.Write(p, 1000, "after"); err != nil {
+			t.Errorf("write after drain: %v", err)
+		}
+		done = true
+	})
+	if !done {
+		t.Fatal("test body did not finish")
+	}
+}
+
+func TestTCPSetDeadlineCoversBothDirections(t *testing.T) {
+	b := defaultBed(2)
+	done := false
+	tcpPair(t, b, func(p *sim.Proc, server, client sock.Conn) {
+		srv := server.(sock.Deadliner)
+		srv.SetDeadline(p.Now().Add(500 * sim.Microsecond))
+		if _, _, err := server.Read(p, 4096); err != sock.ErrTimeout {
+			t.Errorf("read = %v, want ErrTimeout", err)
+		}
+		done = true
+	})
+	if !done {
+		t.Fatal("test body did not finish")
+	}
+}

@@ -271,14 +271,29 @@ func (st *Stack) Dial(p *sim.Proc, addr ethernet.Addr, port int) (sock.Conn, err
 	return c, nil
 }
 
-// Select implements sock.Network over this stack's sockets. It is a
-// level-triggered compatibility shim over the readiness poller: one
-// syscall charged at entry, then an ephemeral registration on each
-// item's notification source — wakeups come only from the polled
-// sockets, not from every socket on the host.
-func (st *Stack) Select(p *sim.Proc, items []sock.Waitable, timeout sim.Duration) []int {
-	st.Host.Syscall(p)
-	return sock.PollSelect(p, st.Eng, items, timeout)
+// AuditResources reports kernel-stack resource leaks through add — the
+// tcpip side of the descriptor-leak auditor (package audit). Meant to
+// run at quiescence: closed-state sockets still occupying the
+// demultiplexing tables are the kernel analogue of the substrate's
+// unposted-descriptor leaks.
+func (st *Stack) AuditResources(add func(kind, detail string)) {
+	for key, c := range st.conns {
+		if c.state == stateClosed {
+			add("closed-conn", fmt.Sprintf("closed connection %d:%d -> %d:%d still in the demux table",
+				st.addr, key.lport, key.raddr, key.rport))
+		}
+	}
+	for port, l := range st.listeners {
+		if l.closed {
+			add("closed-listener", fmt.Sprintf("closed listener on port %d still in the demux table", port))
+		}
+	}
+	if st.dead {
+		if len(st.rxRing) != 0 {
+			add("rx-ring", fmt.Sprintf("dead stack still holds %d frames in its receive ring", len(st.rxRing)))
+		}
+		return
+	}
 }
 
 func (st *Stack) String() string {

@@ -1,6 +1,7 @@
 package tcpip
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/ethernet"
@@ -8,6 +9,24 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sock"
 )
+
+// selectWait emulates the retired level-triggered Select call over an
+// ephemeral Poller: register everything (registration queues an event
+// for already-ready items), wait once, and report the ready indices in
+// ascending order.
+func selectWait(p *sim.Proc, eng *sim.Engine, items []sock.Waitable, timeout sim.Duration) []int {
+	po := sock.NewPoller(eng, "test.select")
+	defer po.Close()
+	for i, it := range items {
+		po.Register(it.(sock.Pollable), sock.PollIn|sock.PollErr, i)
+	}
+	var out []int
+	for _, ev := range po.Wait(p, timeout) {
+		out = append(out, ev.Data.(int))
+	}
+	sort.Ints(out)
+	return out
+}
 
 type bed struct {
 	eng    *sim.Engine
@@ -323,7 +342,7 @@ func TestSelectAcrossConnections(t *testing.T) {
 		conns := []sock.Conn{c1, c2}
 		items := []sock.Waitable{c1, c2}
 		for len(readyOrder) < 2 {
-			ready := b.stacks[0].Select(p, items, -1)
+			ready := selectWait(p, b.eng, items, -1)
 			for _, idx := range ready {
 				conns[idx].Read(p, 4096)
 				readyOrder = append(readyOrder, idx)
@@ -356,7 +375,7 @@ func TestSelectTimeout(t *testing.T) {
 	b.eng.Spawn("server", func(p *sim.Proc) {
 		l, _ := b.stacks[0].Listen(p, 80, 5)
 		start := p.Now()
-		ready = b.stacks[0].Select(p, []sock.Waitable{l}, 500*sim.Microsecond)
+		ready = selectWait(p, b.eng, []sock.Waitable{l}, 500*sim.Microsecond)
 		elapsed = p.Now().Sub(start)
 	})
 	b.eng.RunUntil(sim.Time(sim.Second))
@@ -373,7 +392,7 @@ func TestSelectOnListener(t *testing.T) {
 	accepted := false
 	b.eng.Spawn("server", func(p *sim.Proc) {
 		l, _ := b.stacks[0].Listen(p, 80, 5)
-		ready := b.stacks[0].Select(p, []sock.Waitable{l}, -1)
+		ready := selectWait(p, b.eng, []sock.Waitable{l}, -1)
 		if len(ready) == 1 && ready[0] == 0 {
 			l.Accept(p)
 			accepted = true
