@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench bench-smoke reproduce ablations chaos overload audit examples verify
+.PHONY: test race bench bench-smoke reproduce ablations chaos overload audit drain examples verify
 
 test:
 	go vet ./...
@@ -38,10 +38,17 @@ chaos:
 overload:
 	go test -race -run 'Overload|Deadline|Budget|UQByte|Refus|Starv' ./...
 
-# audit runs every workload and a connect flood, then the host-wide
-# descriptor-leak auditor; any finding fails the target.
+# audit runs every workload, a connect flood, and the teardown matrix,
+# then the host-wide descriptor-leak auditor; any finding fails the
+# target.
 audit:
 	go run ./cmd/reproduce -audit
+
+# drain runs the graceful-teardown suite under the race detector:
+# half-close, lingering close, dial deadlines, double-close, and the
+# host-wide quiesce scenarios.
+drain:
+	go test -race -run 'Teardown|HalfClose|Linger|Drain|DoubleClose|DialDeadline' ./...
 
 examples:
 	go run ./examples/quickstart

@@ -59,8 +59,10 @@ func main() {
 
 	if *connscale {
 		counts := bench.DefaultConnScaleCounts()
+		activeCounts := bench.DefaultConnScaleActiveCounts()
 		if *quick {
 			counts = []int{8, 128}
+			activeCounts = []int{8, 64}
 		}
 		pts := bench.ConnScaleSweep(counts)
 		fmt.Printf("%12s  %8s  %8s  %10s  %10s  %14s  %12s\n",
@@ -74,6 +76,20 @@ func main() {
 				pt.Transport, pt.Conns, pt.Waits, pt.Delivered, pt.Scanned,
 				pt.ScannedPerWait, pt.Elapsed.Seconds()*1e3)
 		}
+		active := bench.ConnScaleActiveSweep(activeCounts)
+		fmt.Printf("\nall-active variant (every connection pacing):\n")
+		fmt.Printf("%12s  %8s  %8s  %14s  %12s  %12s\n",
+			"transport", "conns", "reqs", "scanned/wait", "req/s", "sim-ms")
+		for _, pt := range active {
+			if pt.Err != "" {
+				fmt.Fprintf(os.Stderr, "reproduce: connscale-active %s/%d: %s\n", pt.Transport, pt.Conns, pt.Err)
+				os.Exit(1)
+			}
+			fmt.Printf("%12s  %8d  %8d  %14.2f  %12.0f  %12.3f\n",
+				pt.Transport, pt.Conns, pt.Requests, pt.ScannedPerWait,
+				pt.ReqPerSec, pt.Elapsed.Seconds()*1e3)
+		}
+		pts = append(pts, active...)
 		blob, err := json.MarshalIndent(pts, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*connscaleOut, append(blob, '\n'), 0o644)

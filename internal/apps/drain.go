@@ -1,0 +1,21 @@
+package apps
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// defaultDrainTimeout bounds an application-requested host quiesce when
+// the config leaves the deadline unset.
+const defaultDrainTimeout = 50 * sim.Millisecond
+
+// drainNode gracefully quiesces a server node's transport after its
+// workload completes: late connects are refused, live sockets drain
+// through the linger path, and the post-drain resource audit's findings
+// come back as the error.
+func drainNode(p *sim.Proc, node *cluster.Node, timeout sim.Duration) error {
+	if timeout <= 0 {
+		timeout = defaultDrainTimeout
+	}
+	return node.Drain(p, p.Now().Add(timeout))
+}

@@ -59,6 +59,12 @@ type KVConfig struct {
 	// by a readiness poller instead of one handler process per
 	// connection. Off by default so the measured workload is unchanged.
 	EventLoop bool
+	// Drain makes the server gracefully quiesce its host transport
+	// after the last client disconnects. Off by default so the measured
+	// workload is unchanged.
+	Drain bool
+	// DrainTimeout bounds the quiesce; zero uses a 50 ms default.
+	DrainTimeout sim.Duration
 }
 
 // DefaultKVConfig returns a read-heavy data-center mix.
@@ -93,9 +99,20 @@ func (r KVResult) OpsPerSec() float64 {
 // kvServer serves totalConns persistent connections, each handled by
 // its own process, until every client disconnects.
 func kvServer(p *sim.Proc, node *cluster.Node, cfg KVConfig, totalConns int) error {
+	var err error
 	if cfg.EventLoop {
-		return kvServerEvented(p, node, cfg, totalConns)
+		err = kvServerEvented(p, node, cfg, totalConns)
+	} else {
+		err = kvServerForked(p, node, cfg, totalConns)
 	}
+	if err == nil && cfg.Drain {
+		err = drainNode(p, node, cfg.DrainTimeout)
+	}
+	return err
+}
+
+// kvServerForked is the handler-process-per-connection server.
+func kvServerForked(p *sim.Proc, node *cluster.Node, cfg KVConfig, totalConns int) error {
 	l, err := node.Net.Listen(p, cfg.Port, totalConns)
 	if err != nil {
 		return err

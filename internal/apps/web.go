@@ -43,6 +43,13 @@ type WebConfig struct {
 	// with the fork-per-connection server, and the default keeps their
 	// outputs bit-for-bit unchanged.
 	EventLoop bool
+	// Drain makes the server gracefully quiesce its host transport
+	// after the last handler finishes (refusing late connects, draining
+	// live sockets, auditing for leaks). Off by default so the paper's
+	// figures stay bit-for-bit unchanged.
+	Drain bool
+	// DrainTimeout bounds the quiesce; zero uses a 50 ms default.
+	DrainTimeout sim.Duration
 }
 
 // DefaultWebConfig returns the paper's setup for a given response size.
@@ -74,9 +81,20 @@ func webServer(p *sim.Proc, node *cluster.Node, cfg WebConfig, totalConns int) e
 	if cfg.FileBacked {
 		node.FS.Create("index.html", cfg.ResponseBytes, "document")
 	}
+	var err error
 	if cfg.EventLoop {
-		return webServerEvented(p, node, cfg, totalConns)
+		err = webServerEvented(p, node, cfg, totalConns)
+	} else {
+		err = webServerForked(p, node, cfg, totalConns)
 	}
+	if err == nil && cfg.Drain {
+		err = drainNode(p, node, cfg.DrainTimeout)
+	}
+	return err
+}
+
+// webServerForked is the fork-per-connection server.
+func webServerForked(p *sim.Proc, node *cluster.Node, cfg WebConfig, totalConns int) error {
 	l, err := node.Net.Listen(p, cfg.Port, 16)
 	if err != nil {
 		return err

@@ -89,7 +89,112 @@ func AuditSweep(quick bool) []AuditRun {
 		}
 	}
 	runs = append(runs, auditFlood())
+	for _, tr := range []cluster.Transport{cluster.TransportSubstrate, cluster.TransportTCP} {
+		runs = append(runs, auditDrain(tr, quick))
+	}
 	return runs
+}
+
+// auditDrain is the teardown scenario of the matrix: a server holding
+// live connections — every one mid-conversation with a blocked reader —
+// is drained while late dialers keep arriving. The drain must terminate
+// within its deadline, every late dial must resolve with a typed
+// refusal, and the post-drain audit must come back clean.
+func auditDrain(tr cluster.Transport, quick bool) AuditRun {
+	r := AuditRun{Workload: "drain", Transport: tr, OK: true}
+	conns := 32
+	if quick {
+		conns = 16
+	}
+	cfg := cluster.Config{Nodes: 3, Transport: tr, Seed: 5}
+	if tr == cluster.TransportSubstrate {
+		opts := core.DefaultOptions()
+		opts.SyncConnect = true
+		opts.DialRetries = 0
+		cfg.Substrate = &opts
+	}
+	c := cluster.New(cfg)
+	const port = 80
+	accepted := 0
+	var drainErr error
+	drainDone := false
+	c.Eng.Spawn("server", func(p *sim.Proc) {
+		l, err := c.Nodes[0].Net.Listen(p, port, conns)
+		if err != nil {
+			r.OK, r.Detail = false, err.Error()
+			return
+		}
+		for i := 0; i < conns; i++ {
+			cn, err := l.Accept(p)
+			if err != nil {
+				break
+			}
+			accepted++
+			c.Eng.Spawn("drain-handler", func(hp *sim.Proc) {
+				for {
+					n, _, err := cn.Read(hp, 64<<10)
+					if err != nil || n == 0 {
+						break
+					}
+				}
+				cn.Close(hp)
+			})
+		}
+	})
+	for i := 0; i < conns; i++ {
+		i := i
+		c.Eng.Spawn("drain-client", func(p *sim.Proc) {
+			p.Sleep(sim.Duration(10+20*i) * sim.Microsecond)
+			cn, err := c.Nodes[1+i%2].Net.Dial(p, c.Addr(0), port)
+			if err != nil {
+				return
+			}
+			cn.Write(p, 256, nil)
+			// Block reading until the drain's shutdown delivers EOF.
+			for {
+				n, _, err := cn.Read(p, 64<<10)
+				if err != nil || n == 0 {
+					break
+				}
+			}
+			cn.Close(p)
+		})
+	}
+	c.Eng.Spawn("drainer", func(p *sim.Proc) {
+		p.Sleep(20 * sim.Millisecond)
+		drainErr = c.Nodes[0].Drain(p, p.Now().Add(100*sim.Millisecond))
+		drainDone = true
+	})
+	lateRefused, lateBad := 0, 0
+	c.Eng.Spawn("late-dialer", func(p *sim.Proc) {
+		p.Sleep(25 * sim.Millisecond)
+		for i := 0; i < 4; i++ {
+			_, err := c.Nodes[2].Net.Dial(p, c.Addr(0), port)
+			switch err {
+			case sock.ErrRefused, sock.ErrTimeout, sock.ErrClosed:
+				lateRefused++
+			case nil:
+				lateBad++
+			default:
+				lateBad++
+			}
+		}
+	})
+	c.Run(10 * sim.Second)
+	switch {
+	case accepted != conns:
+		r.OK, r.Detail = false, fmt.Sprintf("%d/%d connections accepted", accepted, conns)
+	case !drainDone:
+		r.OK, r.Detail = false, "drain never completed"
+	case drainErr != nil:
+		r.OK, r.Detail = false, "drain: "+drainErr.Error()
+	case lateBad > 0:
+		r.OK, r.Detail = false, fmt.Sprintf("%d late dials resolved without a typed refusal", lateBad)
+	default:
+		r.Detail = fmt.Sprintf("%d conns drained, %d late dials refused", conns, lateRefused)
+	}
+	auditAfter(c, &r)
+	return r
 }
 
 // auditFlood is the overload scenario: 128 synchronous dialers against a

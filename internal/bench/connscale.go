@@ -30,24 +30,39 @@ const connScalePacers = 8
 // connScaleReqs is the echo round trips each pacer performs.
 const connScaleReqs = 16
 
+// connScaleActiveReqs is the round-trip count per connection in the
+// all-active variant: smaller, because every connection paces.
+const connScaleActiveReqs = 4
+
 // ConnScalePoint is one measurement of the sweep.
 type ConnScalePoint struct {
 	Transport string `json:"transport"`
 	Conns     int    `json:"conns"`
-	Requests  int    `json:"requests"`
-	Waits     int64  `json:"waits"`
-	Delivered int64  `json:"delivered"`
-	Scanned   int64  `json:"scanned"`
+	// Active marks the all-active variant: every registered connection
+	// paces requests, measuring dispatch throughput rather than the
+	// idle-population scan cost.
+	Active    bool  `json:"active,omitempty"`
+	Requests  int   `json:"requests"`
+	Waits     int64 `json:"waits"`
+	Delivered int64 `json:"delivered"`
+	Scanned   int64 `json:"scanned"`
 	// ScannedPerWait is the per-Wait readiness work: the number of
 	// registered objects whose state the poller re-checked, averaged
 	// over every Wait. Flat across N is the scalability claim.
 	ScannedPerWait float64      `json:"scanned_per_wait"`
 	Elapsed        sim.Duration `json:"elapsed_ns"`
-	Err            string       `json:"err,omitempty"`
+	// ReqPerSec is the served request rate (all-active variant's
+	// dispatch-throughput measure).
+	ReqPerSec float64 `json:"req_per_sec,omitempty"`
+	Err       string  `json:"err,omitempty"`
 }
 
 // DefaultConnScaleCounts is the sweep the acceptance run uses.
 func DefaultConnScaleCounts() []int { return []int{8, 64, 256, 1024} }
+
+// DefaultConnScaleActiveCounts is the all-active sweep; it stops below
+// the idle sweep's top end because every connection carries traffic.
+func DefaultConnScaleActiveCounts() []int { return []int{8, 64, 256} }
 
 // connScaleState is one server-side connection's request progress.
 type connScaleState struct {
@@ -59,8 +74,19 @@ type connScaleState struct {
 // to a single-process evented echo server, connScalePacers of them
 // active. It reports the server poller's counters.
 func ConnScale(transport cluster.Transport, conns int) ConnScalePoint {
-	pt := ConnScalePoint{Transport: transport.String(), Conns: conns}
-	pacers := connScalePacers
+	return connScaleRun(transport, conns, connScalePacers, connScaleReqs, false)
+}
+
+// ConnScaleActive runs the all-active variant: every registered
+// connection paces requests, so the point measures the poller's
+// dispatch throughput instead of the idle scan cost.
+func ConnScaleActive(transport cluster.Transport, conns int) ConnScalePoint {
+	return connScaleRun(transport, conns, conns, connScaleActiveReqs, true)
+}
+
+// connScaleRun is the shared harness behind both variants.
+func connScaleRun(transport cluster.Transport, conns, pacers, reqs int, active bool) ConnScalePoint {
+	pt := ConnScalePoint{Transport: transport.String(), Conns: conns, Active: active}
 	if pacers > conns {
 		pacers = conns
 	}
@@ -164,7 +190,7 @@ func ConnScale(transport cluster.Transport, conns int) ConnScalePoint {
 			}
 			if i < pacers {
 				dialed.Wait(p) // full register population first
-				for r := 0; r < connScaleReqs; r++ {
+				for r := 0; r < reqs; r++ {
 					if _, err := cn.Write(p, connScaleReqBytes, "ping"); err != nil {
 						fail(err)
 						break
@@ -183,11 +209,14 @@ func ConnScale(transport cluster.Transport, conns int) ConnScalePoint {
 	}
 	c.Run(600 * sim.Second)
 	pt.Requests = done
-	if pt.Err == "" && done != pacers*connScaleReqs {
-		pt.Err = fmt.Sprintf("connscale: %d of %d echoes", done, pacers*connScaleReqs)
+	if pt.Err == "" && done != pacers*reqs {
+		pt.Err = fmt.Sprintf("connscale: %d of %d echoes", done, pacers*reqs)
 	}
 	if pt.Waits > 0 {
 		pt.ScannedPerWait = float64(pt.Scanned) / float64(pt.Waits)
+	}
+	if active && pt.Elapsed > 0 {
+		pt.ReqPerSec = float64(pt.Requests) / pt.Elapsed.Seconds()
 	}
 	return pt
 }
@@ -198,6 +227,17 @@ func ConnScaleSweep(counts []int) []ConnScalePoint {
 	for _, tr := range []cluster.Transport{cluster.TransportSubstrate, cluster.TransportTCP} {
 		for _, n := range counts {
 			out = append(out, ConnScale(tr, n))
+		}
+	}
+	return out
+}
+
+// ConnScaleActiveSweep runs the all-active variant on both stacks.
+func ConnScaleActiveSweep(counts []int) []ConnScalePoint {
+	var out []ConnScalePoint
+	for _, tr := range []cluster.Transport{cluster.TransportSubstrate, cluster.TransportTCP} {
+		for _, n := range counts {
+			out = append(out, ConnScaleActive(tr, n))
 		}
 	}
 	return out

@@ -154,6 +154,19 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
+// Drain gracefully quiesces this node's transport: new connects are
+// refused, live sockets drain out bounded by deadline, and the
+// post-drain resource audit's findings (if any) come back as the error.
+func (n *Node) Drain(p *sim.Proc, deadline sim.Time) error {
+	if n.Sub != nil {
+		return n.Sub.Drain(p, deadline)
+	}
+	if n.Stack != nil {
+		return n.Stack.Drain(p, deadline)
+	}
+	return nil
+}
+
 // Kill crashes node i: its protocol state dies instantly (no farewell
 // messages) and its NIC stops accepting frames, as with a power loss.
 // Out of range is a no-op; killing twice is harmless.

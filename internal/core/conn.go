@@ -36,6 +36,10 @@ type Conn struct {
 	dataBufKey  emp.BufKey
 	rcv         *stream.Buffer
 	dgq         []dgMsg
+	// dgPending is the single in-flight zero-copy descriptor a Datagram
+	// read (or rendezvous receive) has posted with the user's buffer;
+	// cleanup unposts it so a host drain cannot strand it past the audit.
+	dgPending *emp.RecvHandle
 	// Sequence-ordered delivery: descriptors can complete out of
 	// posting order (an unexpected-queue claim completes the descriptor
 	// being posted, not the oldest), so arriving headers park in
@@ -48,6 +52,11 @@ type Conn struct {
 	// threshold.
 	pendingCredits int
 	eof            bool
+	// eofSeen: a read has returned the 0-length end-of-stream. The read
+	// side can never produce anything new after that, so the readable
+	// edge is spent — PollIn stops asserting and a poller does not storm
+	// on a half-closed connection the application already drained.
+	eofSeen bool
 
 	// Send side.
 	credits    int
@@ -61,6 +70,15 @@ type Conn struct {
 	peerClosed  bool
 	cleaned     bool
 	err         error
+	// shutSent: we sent kindShutdown (CloseWrite); writes fail, reads
+	// keep draining. peerShut: the peer's shutdown arrived; we see EOF
+	// after draining but our writes still flow. rdShut: CloseRead was
+	// called — reads return EOF and late arrivals are discarded (with
+	// their descriptors recycled and credits returned, so the peer's
+	// writer is not wedged).
+	shutSent bool
+	peerShut bool
+	rdShut   bool
 
 	// deferredDesc counts temp-buffer descriptor reposts (each with its
 	// credit return) withheld while the substrate's eager pool is over
@@ -242,12 +260,22 @@ func (c *Conn) postInitialDescriptors(p *sim.Proc) {
 }
 
 func (c *Conn) postDataDesc(p *sim.Proc) {
+	// A cleaned connection reposts nothing: cleanup unposts the handle
+	// lists it snapshot, and a repost racing it (a crossing close
+	// processed while cleanup blocks in an unpost mailbox round trip)
+	// would orphan a descriptor forever.
+	if c.cleaned {
+		return
+	}
 	h := c.sub.EP.PostRecv(p, c.peer, c.dataInTag, headerBytes+c.opts.BufSize, c.dataBufKey)
 	h.SetNotify(c)
 	c.dataHandles = append(c.dataHandles, h)
 }
 
 func (c *Conn) postAckDesc(p *sim.Proc) {
+	if c.cleaned {
+		return
+	}
 	h := c.sub.EP.PostRecv(p, c.peer, c.ackInTag, headerBytes, emp.KeyNone)
 	h.SetNotify(c)
 	c.ackHandles = append(c.ackHandles, h)
@@ -271,7 +299,10 @@ func (c *Conn) RemotePort() int { return c.remotePort }
 // Readable implements sock.Conn: user-level check of buffered data and
 // completion flags.
 func (c *Conn) Readable() bool {
-	if c.eof || c.err != nil {
+	if c.err != nil || c.cleaned {
+		return true
+	}
+	if (c.eof || c.rdShut) && !c.eofSeen {
 		return true
 	}
 	if c.opts.Mode == DataStreaming {
@@ -295,7 +326,7 @@ func (c *Conn) Ready() bool { return c.Readable() }
 // stall: a send credit is in hand, the mode has no credit flow control
 // (Datagram), or Write would return immediately with an error.
 func (c *Conn) Writable() bool {
-	if c.err != nil || c.cleaned || c.closeSent || c.peerClosed {
+	if c.err != nil || c.cleaned || c.closeSent || c.peerClosed || c.shutSent {
 		return true
 	}
 	if c.opts.Mode == Datagram {
@@ -425,10 +456,21 @@ func (c *Conn) waitAckEvent(p *sim.Proc, deadline sim.Time) bool {
 	return c.waitControlEvent(p, deadline, nil)
 }
 
+// ackThresholdNow is the effective delayed-ack threshold: once the
+// peer's shutdown has arrived it is draining toward close, so nothing
+// is withheld — every consumed message is acknowledged at once, which
+// is what lets the peer's lingering close observe its credits home.
+func (c *Conn) ackThresholdNow() int {
+	if c.peerShut {
+		return 1
+	}
+	return c.opts.ackThreshold()
+}
+
 // returnCredits accounts consumed messages and sends the explicit
 // credit acknowledgment at the delayed-ack threshold (Section 6.3).
 func (c *Conn) returnCredits(p *sim.Proc) {
-	if c.pendingCredits >= c.opts.ackThreshold() && !c.peerClosed {
+	if c.pendingCredits >= c.ackThresholdNow() && !c.peerClosed {
 		c.sub.ExplicitAcks.Inc()
 		n := c.pendingCredits
 		c.pendingCredits = 0
@@ -442,8 +484,14 @@ func (c *Conn) returnCredits(p *sim.Proc) {
 	}
 }
 
-// takeCredit blocks until a send credit is available.
-func (c *Conn) takeCredit(p *sim.Proc) error {
+// takeCredit blocks until a send credit is available, bounded by the
+// write deadline.
+func (c *Conn) takeCredit(p *sim.Proc) error { return c.takeCreditDeadline(p, c.wdl) }
+
+// takeCreditDeadline is takeCredit with an explicit deadline (zero =
+// none): the half-close and linger paths bound their credit takes by
+// their own deadlines rather than the socket's write deadline.
+func (c *Conn) takeCreditDeadline(p *sim.Proc, dl sim.Time) error {
 	if c.credits == 0 {
 		c.sub.CreditStalls.Inc()
 	}
@@ -451,7 +499,7 @@ func (c *Conn) takeCredit(p *sim.Proc) error {
 		if c.err != nil {
 			return c.err
 		}
-		if c.peerClosed {
+		if c.peerClosed || c.cleaned {
 			return sock.ErrClosed
 		}
 		// With unexpected-queue acks there are no standing ack
@@ -464,9 +512,9 @@ func (c *Conn) takeCredit(p *sim.Proc) error {
 				// Descriptor budget exhausted: fall back to watching the
 				// unexpected queue directly — a claim from it needs no
 				// descriptor — instead of spinning on failed posts.
-				if !c.waitDeadline(p, c.wdl, func() bool {
+				if !c.waitDeadline(p, dl, func() bool {
 					return c.sub.EP.PeekUnexpected(c.peer, c.ackInTag) ||
-						c.err != nil || c.peerClosed
+						c.err != nil || c.peerClosed || c.cleaned
 				}) {
 					return sock.ErrTimeout
 				}
@@ -477,8 +525,9 @@ func (c *Conn) takeCredit(p *sim.Proc) error {
 			// Wake on completion OR connection failure: a descriptor on
 			// a failed connection never completes, and the §5.3 rule
 			// says it must then be unposted, not abandoned.
-			expired := !c.waitDeadline(p, c.wdl, func() bool {
-				return h.Status() != emp.StatusPending || c.err != nil || c.peerClosed
+			expired := !c.waitDeadline(p, dl, func() bool {
+				return h.Status() != emp.StatusPending || c.err != nil ||
+					c.peerClosed || c.cleaned
 			})
 			if h.Status() != emp.StatusPending {
 				m, st := c.sub.EP.WaitRecv(p, h) // immediate; charges the poll gap
@@ -511,8 +560,9 @@ func (c *Conn) takeCredit(p *sim.Proc) error {
 		if len(c.ackHandles) == 0 {
 			return sock.ErrClosed
 		}
-		if !c.waitDeadline(p, c.wdl, func() bool {
-			return c.anyAckCompleted() || c.credits > 0 || c.err != nil || c.peerClosed
+		if !c.waitDeadline(p, dl, func() bool {
+			return c.anyAckCompleted() || c.credits > 0 || c.err != nil ||
+				c.peerClosed || c.cleaned
 		}) {
 			return sock.ErrTimeout
 		}
@@ -540,6 +590,15 @@ func (c *Conn) applyDS(p *sim.Proc, hdr *header) {
 	switch hdr.Kind {
 	case kindData:
 		p.Sleep(c.opts.StreamRecvCost)
+		if c.rdShut {
+			// CloseRead discards the payload but still recycles the
+			// descriptor and returns the credit: the read side is gone,
+			// not the flow control the peer's writer depends on.
+			c.postDataDesc(p)
+			c.pendingCredits++
+			c.returnCredits(p)
+			break
+		}
 		c.rcv.Append(hdr.Len, hdr.Obj)
 		c.sub.eagerAdd(hdr.Len)
 		if c.sub.eagerOver() {
@@ -557,6 +616,19 @@ func (c *Conn) applyDS(p *sim.Proc, hdr *header) {
 			c.pendingCredits++
 			c.returnCredits(p)
 		}
+	case kindShutdown:
+		// The peer's write-side FIN: everything it sent before this point
+		// has been applied (the message rides the sequenced data channel),
+		// so mark end-of-stream while our own writes keep flowing. Recycle
+		// the descriptor this message consumed and acknowledge everything
+		// pending at once — ackThresholdNow drops to 1 under peerShut —
+		// so a peer lingering on its close sees its credits come home.
+		c.peerShut = true
+		c.eof = true
+		c.postDataDesc(p)
+		c.pendingCredits++
+		c.returnCredits(p)
+		c.Notify()
 	case kindClose:
 		c.peerClosed = true
 		c.eof = true
@@ -632,9 +704,17 @@ func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 	if c.cleaned {
 		return 0, nil, sock.ErrClosed
 	}
+	if c.rdShut {
+		c.eofSeen = true
+		return 0, nil, nil // shutdown(SHUT_RD): reads see EOF
+	}
 	c.lastIO = p.Now()
 	if c.opts.Mode == Datagram {
-		return c.readDG(p, max)
+		n, objs, err := c.readDG(p, max)
+		if n == 0 && err == nil {
+			c.eofSeen = true
+		}
+		return n, objs, err
 	}
 	c.pollAcks(p)
 	for c.rcv.Len() == 0 && !c.eof && c.err == nil {
@@ -651,6 +731,7 @@ func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 	}
 	c.pumpDS(p, false) // opportunistic drain
 	if c.rcv.Len() == 0 {
+		c.eofSeen = true
 		return 0, nil, nil // EOF
 	}
 	n := c.rcv.Len()
@@ -660,7 +741,11 @@ func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 	// The data-streaming copy: temp buffer to user buffer.
 	c.sub.Host.Copy(p, n)
 	n, objs := c.rcv.Read(n)
-	c.sub.eagerRelease(p, n)
+	if !c.cleaned {
+		// A teardown during the copy (host drain) already returned the
+		// staged bytes to the pool in cleanup.
+		c.sub.eagerRelease(p, n)
+	}
 	return n, objs, nil
 }
 
@@ -672,7 +757,7 @@ func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 		c.abort(p)
 		return 0, c.err
 	}
-	if c.closeSent || c.cleaned {
+	if c.closeSent || c.cleaned || c.shutSent {
 		return 0, sock.ErrClosed
 	}
 	if c.peerClosed {
@@ -734,14 +819,161 @@ func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 	return written, nil
 }
 
+// Conn implements the optional half-close face.
+var _ sock.Closer = (*Conn)(nil)
+
+// shutdownWrite emits the kindShutdown message on the data channel,
+// bounded by deadline. In Data Streaming mode the shutdown consumes a
+// credit like any data-channel message; in Datagram mode sends are
+// synchronous and no credit exists to take.
+func (c *Conn) shutdownWrite(p *sim.Proc, deadline sim.Time) error {
+	if c.opts.Mode == DataStreaming {
+		if err := c.takeCreditDeadline(p, deadline); err != nil {
+			return err
+		}
+	}
+	c.shutSent = true
+	seq := uint64(0)
+	if c.opts.Mode == DataStreaming {
+		seq = c.txSeq
+		c.txSeq++
+	}
+	c.sub.Eng.Tracef("substrate", "shutdown %d -> %d", c.sub.addr, c.peer)
+	st := c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes,
+		&header{Kind: kindShutdown, Seq: seq}, emp.KeyNone)
+	if st != emp.StatusOK && st != emp.StatusNoDescriptors && c.err == nil {
+		c.fail(sock.ErrReset)
+		return c.err
+	}
+	return nil
+}
+
+// CloseWrite implements sock.Closer: shutdown(SHUT_WR). The peer drains
+// every data message sent before the shutdown (it rides the
+// sequence-ordered data channel) and then observes end-of-stream;
+// subsequent Writes here return sock.ErrClosed while Reads keep
+// draining the reverse direction.
+func (c *Conn) CloseWrite(p *sim.Proc) error {
+	p.Sleep(c.opts.LibCall)
+	if c.err != nil {
+		return c.err
+	}
+	if c.cleaned || c.closeSent {
+		return sock.ErrClosed
+	}
+	if c.shutSent {
+		return nil
+	}
+	if c.peerClosed {
+		// Peer already tore down: nothing to notify, but the local write
+		// direction is shut all the same.
+		c.shutSent = true
+		return nil
+	}
+	return c.shutdownWrite(p, p.Now().Add(c.opts.CloseTimeout))
+}
+
+// CloseRead implements sock.Closer: shutdown(SHUT_RD). Local only — the
+// peer is not told — but staged bytes are discarded and later arrivals
+// are consumed-and-dropped with their credits returned, so a peer
+// mid-write is never wedged by our disinterest.
+func (c *Conn) CloseRead(p *sim.Proc) error {
+	p.Sleep(c.opts.LibCall)
+	if c.cleaned || c.closeSent {
+		return sock.ErrClosed
+	}
+	if c.rdShut {
+		return nil
+	}
+	c.rdShut = true
+	if c.rcv != nil && c.rcv.Len() > 0 {
+		n := c.rcv.Len()
+		c.rcv.Read(n)
+		c.sub.eagerRelease(p, n)
+	}
+	c.dgq = nil
+	c.Notify()
+	return nil
+}
+
+// waitDrained blocks until every credit has come home — proof the peer
+// consumed all our data — or the connection resolves another way (peer
+// closed, failure) or the deadline passes. Datagram-mode sends are
+// synchronous (direct send or completed rendezvous), so a datagram
+// connection is drained by construction.
+func (c *Conn) waitDrained(p *sim.Proc, deadline sim.Time) bool {
+	if c.opts.Mode == Datagram {
+		return true
+	}
+	for {
+		c.pollAcks(p)
+		c.collectDS(p)
+		if c.err != nil || c.peerClosed || c.cleaned {
+			return true
+		}
+		if c.credits == c.opts.Credits {
+			return true
+		}
+		if !c.waitControlEvent(p, deadline, func() bool {
+			return c.credits == c.opts.Credits || c.anyDataCompleted() || c.cleaned
+		}) {
+			return false
+		}
+	}
+}
+
+// closeLinger is the draining close: shutdown the write side, wait for
+// the credits to come home within the deadline, then run the normal
+// Section 5.3 close. If the drain cannot be proven by the deadline the
+// connection is aborted and sock.ErrTimeout reported — the caller knows
+// delivery of the tail is unconfirmed, and the auditor stays clean
+// because abort unposts everything.
+func (c *Conn) closeLinger(p *sim.Proc, deadline sim.Time) error {
+	if !c.shutSent && c.err == nil && !c.peerClosed {
+		// Best effort: a failed shutdown send degrades to the abort
+		// outcome below rather than failing the close outright.
+		_ = c.shutdownWrite(p, deadline)
+	}
+	drained := c.waitDrained(p, deadline)
+	if !drained && c.err == nil && !c.peerClosed {
+		c.sub.LingerExpired.Inc()
+		c.abort(p)
+		return sock.ErrTimeout
+	}
+	return c.closeNow(p)
+}
+
+// drainClose is Close via the linger path regardless of Options.Linger,
+// bounded by an explicit deadline: the host-wide quiesce path.
+func (c *Conn) drainClose(p *sim.Proc, deadline sim.Time) error {
+	p.Sleep(c.opts.LibCall)
+	if c.cleaned || c.closeSent {
+		return nil
+	}
+	return c.closeLinger(p, deadline)
+}
+
 // Close implements sock.Conn: the Section 5.3 protocol — send the
 // "closed" message to the connected node, then clean up all associated
 // descriptors and leave the active-socket table. The close is one-way:
 // the peer sees end-of-stream when it reads the message; data it still
 // has in flight toward us is abandoned (dropped at the NIC and retried
-// until the sender NIC gives up), as with a reset in TCP.
+// until the sender NIC gives up), as with a reset in TCP. With
+// Options.Linger set, Close first drains via closeLinger so the tail is
+// confirmed delivered before the closed message goes out.
 func (c *Conn) Close(p *sim.Proc) error {
 	p.Sleep(c.opts.LibCall)
+	if c.cleaned || c.closeSent {
+		return nil
+	}
+	if c.opts.Linger > 0 {
+		return c.closeLinger(p, p.Now().Add(c.opts.Linger))
+	}
+	return c.closeNow(p)
+}
+
+// closeNow is the immediate Section 5.3 close (no drain).
+func (c *Conn) closeNow(p *sim.Proc) error {
 	if c.cleaned || c.closeSent {
 		return nil
 	}
@@ -783,14 +1015,25 @@ func (c *Conn) cleanup(p *sim.Proc) {
 		return
 	}
 	c.cleaned = true
-	for _, h := range c.dataHandles {
-		c.sub.EP.Unpost(p, h)
-	}
+	// Copy the handle lists and detach them before the first blocking
+	// unpost: Unpost parks in a mailbox round trip, and a reader woken
+	// mid-teardown runs collectDS, whose removals shift the shared
+	// backing array under a live range — skipping one handle (leaked
+	// forever) and re-visiting a stale tail slot.
+	dataHandles := append([]*emp.RecvHandle(nil), c.dataHandles...)
+	ackHandles := append([]*emp.RecvHandle(nil), c.ackHandles...)
 	c.dataHandles = nil
-	for _, h := range c.ackHandles {
+	c.ackHandles = nil
+	for _, h := range dataHandles {
 		c.sub.EP.Unpost(p, h)
 	}
-	c.ackHandles = nil
+	for _, h := range ackHandles {
+		c.sub.EP.Unpost(p, h)
+	}
+	if h := c.dgPending; h != nil {
+		c.dgPending = nil
+		c.sub.EP.Unpost(p, h)
+	}
 	// Return staged-but-unread bytes to the eager pool and drop any
 	// withheld reposts: a closing connection releases its share of the
 	// budget so deferred peers can resume.

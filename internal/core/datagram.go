@@ -89,6 +89,9 @@ func (c *Conn) takeRendAck(tag emp.Tag) *header {
 
 func (c *Conn) readDG(p *sim.Proc, max int) (int, []any, error) {
 	for {
+		if c.cleaned {
+			return 0, nil, nil
+		}
 		// Queued whole messages first (claimed earlier).
 		if len(c.dgq) > 0 {
 			m := c.dgq[0]
@@ -110,20 +113,26 @@ func (c *Conn) readDG(p *sim.Proc, max int) (int, []any, error) {
 		// Post the receive with the user's buffer: the zero-copy path.
 		h := c.sub.EP.PostRecv(p, c.peer, c.dataInTag, headerBytes+max, c.userKey)
 		h.SetNotify(c)
+		c.dgPending = h
 		// Wake on completion OR connection failure: a read blocked
 		// against a dead peer must return, and its descriptor must be
 		// unposted rather than abandoned (§5.3). The read deadline
 		// bounds the wait; an expired descriptor is likewise unposted.
 		expired := !c.waitDeadline(p, c.rdl, func() bool {
-			return h.Status() != emp.StatusPending || c.err != nil
+			return h.Status() != emp.StatusPending || c.err != nil || c.cleaned
 		})
+		c.dgPending = nil
 		if h.Status() == emp.StatusPending {
 			if c.sub.EP.Unpost(p, h) {
-				if expired && c.err == nil {
+				if expired && c.err == nil && !c.cleaned {
 					return 0, nil, sock.ErrTimeout
 				}
-				c.abort(p)
-				return 0, nil, c.err
+				if c.err != nil {
+					c.abort(p)
+					return 0, nil, c.err
+				}
+				// Torn down underneath us (host drain): end-of-stream.
+				return 0, nil, nil
 			}
 			// An arrival consumed the descriptor while the unpost was in
 			// flight; fall through and process it.
@@ -141,6 +150,10 @@ func (c *Conn) readDG(p *sim.Proc, max int) (int, []any, error) {
 			c.sub.DGramTruncated.Inc()
 			return 0, nil, sock.ErrMessageTruncated
 		case emp.StatusCancelled:
+			if c.cleaned && c.err == nil {
+				// Torn down underneath us (host drain): end-of-stream.
+				return 0, nil, nil
+			}
 			c.abort(p)
 			if c.err != nil {
 				return 0, nil, c.err
@@ -174,6 +187,13 @@ func (c *Conn) processDGMessage(p *sim.Proc, m emp.Message, max int) (int, []any
 		c.eof = true
 		c.Notify()
 		return 0, nil, nil, true
+	case kindShutdown:
+		// Write-side shutdown from the peer: end-of-stream for our reads,
+		// but the connection is still open — our writes keep flowing.
+		c.peerShut = true
+		c.eof = true
+		c.Notify()
+		return 0, nil, nil, true
 	case kindRendReq:
 		n, objs, err := c.receiveRendezvous(p, hdr, max)
 		return n, objs, err, true
@@ -202,11 +222,13 @@ func (c *Conn) deliverDG(n int, obj any, max int) (int, []any, error) {
 func (c *Conn) receiveRendezvous(p *sim.Proc, req *header, max int) (int, []any, error) {
 	h := c.sub.EP.PostRecv(p, c.peer, req.RendTag, req.RendLen, c.userKey)
 	h.SetNotify(c)
+	c.dgPending = h
 	c.sub.EP.Send(p, c.peer, c.ackOutTag, headerBytes,
 		&header{Kind: kindRendAck, RendTag: req.RendTag}, emp.KeyNone)
 	c.ready.WaitFor(p, func() bool {
-		return h.Status() != emp.StatusPending || c.err != nil
+		return h.Status() != emp.StatusPending || c.err != nil || c.cleaned
 	})
+	c.dgPending = nil
 	if h.Status() == emp.StatusPending {
 		if c.sub.EP.Unpost(p, h) {
 			c.abort(p)
@@ -214,6 +236,10 @@ func (c *Conn) receiveRendezvous(p *sim.Proc, req *header, max int) (int, []any,
 		}
 	}
 	m, st := c.sub.EP.WaitRecv(p, h)
+	if st == emp.StatusCancelled && c.cleaned && c.err == nil {
+		// Torn down underneath us (host drain): end-of-stream.
+		return 0, nil, nil
+	}
 	if st != emp.StatusOK {
 		c.fail(sock.ErrReset)
 		c.abort(p)
@@ -239,6 +265,9 @@ func (c *Conn) drainDGControl(p *sim.Proc) {
 			switch hdr.Kind {
 			case kindClose:
 				c.peerClosed = true
+				c.eof = true
+			case kindShutdown:
+				c.peerShut = true
 				c.eof = true
 			case kindData:
 				// Discard in-flight data while closing.

@@ -119,6 +119,17 @@ type Options struct {
 	// DialBackoff is the delay before the first connect retry; it
 	// doubles on each subsequent attempt.
 	DialBackoff sim.Duration
+	// DialDeadline bounds the whole connect() — every attempt plus the
+	// backoff between attempts — surfacing sock.ErrTimeout on expiry.
+	// Zero keeps the retry-budget-only bound.
+	DialDeadline sim.Duration
+	// Linger, when positive, makes Close first drain the connection —
+	// send the shutdown message and wait for every credit to come home,
+	// proving the peer consumed all our data — before emitting the
+	// Section 5.3 closed message. Past the deadline Close falls back to
+	// the abort path and returns sock.ErrTimeout. Zero keeps the
+	// immediate close.
+	Linger sim.Duration
 	// EagerBudget bounds the bytes staged in Data Streaming receive
 	// buffers across all of a substrate's connections. Over budget, the
 	// substrate defers temp-buffer descriptor reposts (and the credit
@@ -198,6 +209,12 @@ func (o Options) normalize() Options {
 	}
 	if o.KeepaliveIdle < 0 {
 		o.KeepaliveIdle = 0
+	}
+	if o.DialDeadline < 0 {
+		o.DialDeadline = 0
+	}
+	if o.Linger < 0 {
+		o.Linger = 0
 	}
 	if o.EagerBudget < 0 {
 		o.EagerBudget = 0

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/emp"
 	"repro/internal/ethernet"
@@ -54,6 +56,10 @@ type Substrate struct {
 	// completion hooks, consumed by Accept, cleared by Listener.Close.
 	awaiting map[chanKey]*Listener
 	dead     bool
+	// draining is set by Drain: new connects are refused, new listens
+	// rejected, and arriving connection requests answered with the
+	// substrate's refusal message while the live sockets drain out.
+	draining bool
 
 	// Eager-pool accounting (Options.EagerBudget): bytes staged in Data
 	// Streaming receive buffers across all connections, and the FIFO of
@@ -78,6 +84,9 @@ type Substrate struct {
 	DialRetries    sim.Counter
 	RefusedConns   sim.Counter
 	EagerDeferrals sim.Counter
+	// LingerExpired counts lingering closes that hit their deadline and
+	// fell back to the abort path (tail delivery unconfirmed).
+	LingerExpired sim.Counter
 }
 
 // New creates a substrate on the given host and NIC. The NIC must be
@@ -118,7 +127,12 @@ func New(e *sim.Engine, host *kernel.Host, n *nic.NIC, opts Options) *Substrate 
 			if !ok {
 				// Nobody listens on this port. There is no kernel to send a
 				// reset on EMP — the request parks in the unexpected queue
-				// until the dialer's own timeout or a purge reclaims it.
+				// until the dialer's own timeout or a purge reclaims it. A
+				// draining host answers explicitly so concurrent dialers
+				// fail fast with sock.ErrRefused instead of timing out.
+				if s.draining {
+					s.refuseParked(src, tag)
+				}
 				return
 			}
 			l.Notify()
@@ -383,7 +397,7 @@ func (s *Substrate) allocKey() emp.BufKey {
 // management).
 func (s *Substrate) Listen(p *sim.Proc, port, backlog int) (sock.Listener, error) {
 	p.Sleep(s.Opts.LibCall)
-	if s.dead {
+	if s.dead || s.draining {
 		return nil, sock.ErrClosed
 	}
 	if port == 0 {
@@ -423,9 +437,18 @@ func (s *Substrate) ephemeralPort() int {
 // the unexpected queue) covering the race with the server's accept.
 func (s *Substrate) Dial(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, error) {
 	p.Sleep(s.Opts.LibCall)
+	if s.draining {
+		return nil, sock.ErrRefused
+	}
+	// DialDeadline bounds the whole connect: every attempt plus the
+	// backoff between attempts. Zero means retry-budget-only.
+	var deadline sim.Time
+	if s.Opts.DialDeadline > 0 {
+		deadline = p.Now().Add(s.Opts.DialDeadline)
+	}
 	backoff := s.Opts.DialBackoff
 	for attempt := 0; ; attempt++ {
-		c, err := s.dialOnce(p, addr, port)
+		c, err := s.dialOnce(p, addr, port, deadline)
 		if err == nil {
 			return c, nil
 		}
@@ -435,6 +458,9 @@ func (s *Substrate) Dial(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, erro
 		if attempt >= s.Opts.DialRetries || (err != sock.ErrTimeout && err != sock.ErrReset) {
 			return nil, err
 		}
+		if deadline != 0 && p.Now().Add(backoff) >= deadline {
+			return nil, sock.ErrTimeout
+		}
 		s.DialRetries.Inc()
 		s.Eng.Tracef("substrate", "connect %d -> %d:%d retry %d after %v", s.addr, addr, port, attempt+1, backoff)
 		p.Sleep(backoff)
@@ -442,8 +468,9 @@ func (s *Substrate) Dial(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, erro
 	}
 }
 
-// dialOnce runs one connection attempt.
-func (s *Substrate) dialOnce(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, error) {
+// dialOnce runs one connection attempt; a non-zero deadline tightens
+// the synchronous-connect wait below the default CloseTimeout bound.
+func (s *Substrate) dialOnce(p *sim.Proc, addr sock.Addr, port int, deadline sim.Time) (sock.Conn, error) {
 	if s.dead {
 		return nil, sock.ErrClosed
 	}
@@ -475,9 +502,12 @@ func (s *Substrate) dialOnce(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, 
 		return nil, sock.ErrRefused
 	}
 	if s.Opts.SyncConnect {
-		deadline := p.Now().Add(s.Opts.CloseTimeout)
+		dl := p.Now().Add(s.Opts.CloseTimeout)
+		if deadline != 0 && deadline < dl {
+			dl = deadline
+		}
 		for !c.connReplied && c.err == nil {
-			if !c.waitAckEvent(p, deadline) {
+			if !c.waitAckEvent(p, dl) {
 				c.cleanup(p)
 				return nil, sock.ErrTimeout
 			}
@@ -490,6 +520,59 @@ func (s *Substrate) dialOnce(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, 
 	}
 	return c, nil
 }
+
+// Drain quiesces the host: refuse new connects (sock.ErrRefused at the
+// dialers), close every listener, drain every active connection through
+// the linger path bounded by deadline, and finish with a mandatory
+// resource audit. A connection that cannot prove its drain by the
+// deadline is aborted — "used or unposted" holds on both outcomes — so
+// Drain always terminates and the audit must come back clean.
+func (s *Substrate) Drain(p *sim.Proc, deadline sim.Time) error {
+	p.Sleep(s.Opts.LibCall)
+	if s.dead {
+		return nil
+	}
+	s.draining = true
+	ls := make([]*Listener, 0, len(s.listeners))
+	for _, l := range s.listeners {
+		ls = append(ls, l)
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].port < ls[j].port })
+	for _, l := range ls {
+		l.Close(p)
+	}
+	// Snapshot and order the active table: map iteration order must not
+	// leak into simulated time.
+	conns := make([]*Conn, 0, len(s.active))
+	for c := range s.active {
+		conns = append(conns, c)
+	}
+	sort.Slice(conns, func(i, j int) bool {
+		a, b := conns[i], conns[j]
+		if a.peer != b.peer {
+			return a.peer < b.peer
+		}
+		if a.localPort != b.localPort {
+			return a.localPort < b.localPort
+		}
+		return a.remotePort < b.remotePort
+	})
+	for _, c := range conns {
+		c.drainClose(p, deadline)
+	}
+	s.purgeStaleUQ()
+	var findings []string
+	s.AuditResources(func(kind, detail string) {
+		findings = append(findings, kind+": "+detail)
+	})
+	if len(findings) > 0 {
+		return fmt.Errorf("core: post-drain audit: %s", strings.Join(findings, "; "))
+	}
+	return nil
+}
+
+// Draining reports whether Drain has been called.
+func (s *Substrate) Draining() bool { return s.draining }
 
 // Shutdown stops the underlying endpoint's firmware (end of simulation).
 func (s *Substrate) Shutdown() { s.EP.Shutdown() }
@@ -545,6 +628,10 @@ func (s *Substrate) AuditResources(add func(kind, detail string)) {
 	for c := range s.active {
 		if c.cleaned {
 			add("cleaned-conn", fmt.Sprintf("conn %d:%d -> %d:%d cleaned up but still in the active table",
+				s.addr, c.localPort, c.peer, c.remotePort))
+		}
+		if c.closeSent && !c.cleaned {
+			add("half-closed", fmt.Sprintf("conn %d:%d -> %d:%d sent its closed message but never cleaned up",
 				s.addr, c.localPort, c.peer, c.remotePort))
 		}
 		if c.opts.Mode != DataStreaming {

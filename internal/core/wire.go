@@ -28,6 +28,15 @@ const (
 	// queued when the listener closes. The dialer fails with
 	// sock.ErrRefused instead of hanging until a timeout.
 	kindConnRefused
+	// kindShutdown is the write-side FIN equivalent (shutdown(SHUT_WR)):
+	// it rides the sequence-ordered data channel so the receiver applies
+	// it only after every data message sent before it, then observes
+	// end-of-stream while its own write direction keeps flowing. In Data
+	// Streaming mode it consumes a credit like any data-channel message;
+	// the receiver returns that credit (and flushes any withheld delayed
+	// acks) immediately, which is what lets a lingering close on the
+	// sending side converge.
+	kindShutdown
 )
 
 func (k msgKind) String() string {
@@ -50,6 +59,8 @@ func (k msgKind) String() string {
 		return "keepalive"
 	case kindConnRefused:
 		return "conn-refused"
+	case kindShutdown:
+		return "shutdown"
 	}
 	return "?"
 }

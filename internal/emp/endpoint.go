@@ -96,6 +96,9 @@ type Endpoint struct {
 	SendsPosted sim.Counter
 	RecvsPosted sim.Counter
 	DescDenied  sim.Counter
+	// Unposts counts descriptors reclaimed by Unpost — the teardown and
+	// drain paths' "used or unposted" accounting (Section 5.3).
+	Unposts sim.Counter
 }
 
 // descAcquire claims one descriptor-budget slot, reporting false when
@@ -528,6 +531,7 @@ func (ep *Endpoint) Unpost(p *sim.Proc, h *RecvHandle) bool {
 		// The descriptor list died with the NIC; no mailbox round trip
 		// (which could never complete) is needed.
 		h.complete(StatusCancelled, Message{})
+		ep.Unposts.Inc()
 		return true
 	}
 	p.Sleep(ep.Cfg.HostPostCPU)
@@ -541,7 +545,18 @@ func (ep *Endpoint) Unpost(p *sim.Proc, h *RecvHandle) bool {
 		op.done.Broadcast()
 	})
 	op.done.WaitFor(p, func() bool { return op.processed })
-	return h.status == StatusCancelled
+	if h.status == StatusCancelled {
+		ep.Unposts.Inc()
+		return true
+	}
+	return false
+}
+
+// Quiescent reports whether the endpoint holds no resources at all: no
+// descriptors in use, nothing preposted at the NIC, nothing parked in
+// the unexpected queue. The post-drain state the auditor expects.
+func (ep *Endpoint) Quiescent() bool {
+	return ep.descInUse == 0 && len(ep.fw.preposted) == 0 && len(ep.fw.uqEntries) == 0
 }
 
 // Stats is a snapshot of the endpoint's protocol counters and
@@ -554,6 +569,7 @@ type Stats struct {
 	AcksSent, NacksSent          int64
 	SendsFailed                  int64
 	Truncated                    int64
+	Unposts                      int64
 	// Pool gauges (Config.MaxDescriptors / Config.UnexpectedBytes).
 	DescInUse, DescHighWater int64
 	DescDenied               int64
@@ -576,6 +592,7 @@ func (ep *Endpoint) Stats() Stats {
 		NacksSent:     ep.fw.nacksSent.Value,
 		SendsFailed:   ep.fw.sendsFailed.Value,
 		Truncated:     ep.fw.truncated.Value,
+		Unposts:       ep.Unposts.Value,
 		DescInUse:     int64(ep.descInUse),
 		DescHighWater: int64(ep.descHW),
 		DescDenied:    ep.DescDenied.Value,

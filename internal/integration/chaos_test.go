@@ -6,6 +6,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/audit"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/ethernet"
 	"repro/internal/faults"
 	"repro/internal/sim"
@@ -156,6 +157,134 @@ func TestChaosWebSurvivesLinkFlaps(t *testing.T) {
 		}
 		if c.Switch.FaultStats().PartitionDrops == 0 {
 			t.Fatalf("seed %d: flap windows never dropped a frame", seed)
+		}
+		checkSubstrateLeaks(t, c)
+	}
+}
+
+// TestChaosCloseDuringFaults is the close-during-fault matrix: under an
+// independent randomized fault plan per seed (loss, duplication,
+// corruption, reordering), a client linger-closes mid-plan and a second
+// pair runs the half-close handshake. Acked data is never lost — the
+// server's byte count matches what the writer sent — the close resolves
+// within the linger bound, and nothing leaks.
+func TestChaosCloseDuringFaults(t *testing.T) {
+	const payload = 128 << 10
+	const linger = 2 * sim.Second
+	for seed := uint64(1); seed <= chaosSeeds; seed++ {
+		pl := faults.RandomPlan(seed, 2, 2*sim.Second)
+		opts := core.DefaultOptions()
+		opts.Linger = linger
+		c := cluster.New(cluster.Config{
+			Nodes:     2,
+			Transport: cluster.TransportSubstrate,
+			Seed:      seed,
+			Faults:    pl,
+			Substrate: &opts,
+		})
+		lingerGot, halfGot, echoGot := 0, 0, 0
+		var closeErr error
+		var closeTook sim.Duration
+		c.Eng.Spawn("server", func(p *sim.Proc) {
+			l, err := c.Nodes[0].Net.Listen(p, 80, 4)
+			if err != nil {
+				t.Errorf("seed %d: listen: %v", seed, err)
+				return
+			}
+			for k := 0; k < 2; k++ {
+				conn, err := l.Accept(p)
+				if err != nil {
+					t.Errorf("seed %d: accept: %v", seed, err)
+					return
+				}
+				c.Eng.Spawn("chaos-close-handler", func(hp *sim.Proc) {
+					got := 0
+					for {
+						n, _, err := conn.Read(hp, 64<<10)
+						if err != nil {
+							t.Errorf("seed %d: server read: %v", seed, err)
+							break
+						}
+						if n == 0 {
+							break
+						}
+						got += n
+					}
+					// The half-close client sends half the payload and
+					// expects it echoed; the linger client sends it all
+					// and expects nothing back.
+					if got == payload/2 {
+						halfGot = got
+						if _, err := conn.Write(hp, got, "echo"); err != nil {
+							t.Errorf("seed %d: echo write: %v", seed, err)
+						}
+					} else {
+						lingerGot = got
+					}
+					conn.Close(hp)
+				})
+			}
+			l.Close(p)
+		})
+		c.Eng.Spawn("linger-client", func(p *sim.Proc) {
+			p.Sleep(10 * sim.Microsecond)
+			conn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+			if err != nil {
+				t.Errorf("seed %d: dial: %v", seed, err)
+				return
+			}
+			for sent := 0; sent < payload; sent += 8 << 10 {
+				if _, err := conn.Write(p, 8<<10, nil); err != nil {
+					t.Errorf("seed %d: write: %v", seed, err)
+					return
+				}
+			}
+			start := p.Now()
+			closeErr = conn.Close(p)
+			closeTook = p.Now().Sub(start)
+		})
+		c.Eng.Spawn("halfclose-client", func(p *sim.Proc) {
+			p.Sleep(40 * sim.Microsecond)
+			conn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), 80)
+			if err != nil {
+				t.Errorf("seed %d: dial: %v", seed, err)
+				return
+			}
+			for sent := 0; sent < payload/2; sent += 8 << 10 {
+				if _, err := conn.Write(p, 8<<10, nil); err != nil {
+					t.Errorf("seed %d: write: %v", seed, err)
+					return
+				}
+			}
+			if err := conn.(sock.Closer).CloseWrite(p); err != nil {
+				t.Errorf("seed %d: CloseWrite under faults: %v", seed, err)
+			}
+			for {
+				n, _, err := conn.Read(p, 64<<10)
+				if err != nil {
+					t.Errorf("seed %d: client read: %v", seed, err)
+					break
+				}
+				if n == 0 {
+					break
+				}
+				echoGot += n
+			}
+			conn.Close(p)
+		})
+		c.Run(30 * sim.Second)
+		if closeErr != nil {
+			t.Fatalf("seed %d: linger close under faults: %v", seed, closeErr)
+		}
+		if closeTook > linger+chaosFailureBound {
+			t.Fatalf("seed %d: close took %v, bound %v", seed, closeTook, linger+chaosFailureBound)
+		}
+		if lingerGot != payload {
+			t.Fatalf("seed %d: linger stream delivered %d of %d bytes", seed, lingerGot, payload)
+		}
+		if halfGot != payload/2 || echoGot != payload/2 {
+			t.Fatalf("seed %d: half-close pair moved %d/%d bytes, want %d each",
+				seed, halfGot, echoGot, payload/2)
 		}
 		checkSubstrateLeaks(t, c)
 	}

@@ -102,6 +102,24 @@ type Deadliner interface {
 	SetWriteDeadline(t sim.Time)
 }
 
+// Closer is the optional half-close face of a Conn: both transports
+// implement it, mirroring shutdown(2).
+//
+// CloseWrite signals end-of-stream to the peer (the substrate's
+// shutdown message, TCP's FIN) while reads keep draining whatever the
+// peer still sends; writes after CloseWrite return ErrClosed. The peer
+// drains any bytes already in flight and then observes EOF.
+//
+// CloseRead is local only: subsequent Reads return EOF and data
+// arriving afterwards is discarded, but the connection's flow-control
+// resources keep cycling so the peer is not wedged mid-write.
+//
+// Both are idempotent; calling either after Close returns ErrClosed.
+type Closer interface {
+	CloseRead(p *sim.Proc) error
+	CloseWrite(p *sim.Proc) error
+}
+
 // ReadFull reads exactly n bytes from c, accumulating payload objects.
 // It returns an error if the stream ends early.
 func ReadFull(p *sim.Proc, c Conn, n int) (int, []any, error) {

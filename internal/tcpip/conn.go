@@ -42,17 +42,25 @@ type Conn struct {
 	finSent   bool
 	finAcked  bool
 	closeUser bool
+	// rdShut: shutdown(SHUT_RD) — reads return EOF, buffered and later
+	// arrivals are discarded (but still acked, keeping the window open so
+	// the peer's writer is not wedged).
+	rdShut bool
 
 	// Receive side. rcvbuf.End() is RCV.NXT (in-order only; out-of-order
 	// segments are dropped and recovered by retransmission). advEdge is
 	// the highest RCV.NXT+window ever advertised: data below it was
 	// promised buffer space and must be accepted even if later
 	// advertisements shrank the window.
-	rcvbuf      *stream.Buffer
-	rcvBufCap   int
-	advEdge     int64
-	peerFinSeq  int64 // -1 until the peer's FIN arrives
-	eof         bool
+	rcvbuf     *stream.Buffer
+	rcvBufCap  int
+	advEdge    int64
+	peerFinSeq int64 // -1 until the peer's FIN arrives
+	eof        bool
+	// eofSeen: a read has returned the 0-length end-of-stream; the
+	// readable edge is spent, so PollIn stops asserting (see the
+	// substrate Conn for the poller-storm rationale).
+	eofSeen     bool
 	pendingAcks int
 	delAck      sim.Event
 
@@ -152,7 +160,7 @@ func (c *Conn) RemoteAddr() sock.Addr { return c.raddr }
 
 // Readable implements sock.Waitable: data buffered, EOF, or error.
 func (c *Conn) Readable() bool {
-	return c.rcvbuf != nil && (c.rcvbuf.Len() > 0 || c.eof || c.err != nil)
+	return c.rcvbuf != nil && (c.rcvbuf.Len() > 0 || c.err != nil || (c.eof && !c.eofSeen))
 }
 
 // Ready implements sock.Waitable.
@@ -245,7 +253,13 @@ func (c *Conn) sendSYN(p *sim.Proc, synAck bool) {
 // completion time.
 func (c *Conn) input(seg *Segment) {
 	if seg.Flags&flagRST != 0 {
-		c.fail(sock.ErrReset)
+		// A reset answering our SYN is a refusal (nobody home on that
+		// port), not a reset of an established conversation.
+		if c.state == stateSynSent {
+			c.fail(sock.ErrRefused)
+		} else {
+			c.fail(sock.ErrReset)
+		}
 		return
 	}
 	switch c.state {
@@ -324,6 +338,9 @@ func (c *Conn) input(seg *Segment) {
 			case stateLastAck:
 				c.teardown()
 			}
+			// A lingering Close blocks on sndReady until the FIN is acked.
+			c.sndReady.Broadcast()
+			c.src.Fire(uint32(sock.PollOut))
 		}
 		if c.inflight() == 0 && !(c.finSent && !c.finAcked) {
 			c.rtoTimer.Cancel()
@@ -345,6 +362,12 @@ func (c *Conn) input(seg *Segment) {
 				off = so.End
 			}
 			c.rcvbuf.Append(seg.Len-off, nil)
+			if c.rdShut {
+				// shutdown(SHUT_RD): ack and discard, so the peer's writer
+				// keeps its window instead of stalling against a reader
+				// that will never come.
+				c.rcvbuf.Read(c.rcvbuf.Len())
+			}
 			c.scheduleAck(seg.Flags&flagPSH != 0)
 			c.rcvReady.Broadcast()
 			c.src.Fire(uint32(sock.PollIn))
@@ -658,9 +681,13 @@ func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 	if c.rcvbuf == nil {
 		return 0, nil, sock.ErrClosed
 	}
+	if c.rdShut {
+		c.eofSeen = true
+		return 0, nil, nil // shutdown(SHUT_RD): reads see EOF
+	}
 	blocked := c.rcvbuf.Len() == 0 && !c.eof && c.err == nil
 	if !c.waitDeadline(p, c.rcvReady, c.rdl, func() bool {
-		return c.rcvbuf.Len() > 0 || c.eof || c.err != nil
+		return c.rcvbuf.Len() > 0 || c.eof || c.err != nil || c.rdShut
 	}) {
 		return 0, nil, sock.ErrTimeout
 	}
@@ -671,6 +698,7 @@ func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 		return 0, nil, c.err
 	}
 	if c.rcvbuf.Len() == 0 {
+		c.eofSeen = true
 		return 0, nil, nil // EOF
 	}
 	n := c.rcvbuf.Len()
@@ -738,26 +766,112 @@ func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 	return written, nil
 }
 
-// Close implements sock.Conn: send FIN after draining; returns without
-// lingering (the kernel completes the close in the background).
+// Conn implements the optional half-close face.
+var _ sock.Closer = (*Conn)(nil)
+
+// CloseWrite implements sock.Closer: shutdown(SHUT_WR) — queue the FIN
+// behind everything already written; the peer drains and then sees EOF
+// while our reads keep flowing.
+func (c *Conn) CloseWrite(p *sim.Proc) error {
+	c.st.Host.Syscall(p)
+	if c.closeUser {
+		return sock.ErrClosed
+	}
+	if c.finSeq >= 0 {
+		return nil
+	}
+	switch c.state {
+	case stateEstablished:
+		c.state = stateFinWait1
+	case stateCloseWait:
+		c.state = stateLastAck
+	default:
+		return sock.ErrClosed
+	}
+	c.finSeq = c.sndbuf.End()
+	c.output(p)
+	return nil
+}
+
+// CloseRead implements sock.Closer: shutdown(SHUT_RD) — local only.
+// Buffered bytes are discarded and later arrivals acked-and-dropped, so
+// the peer is never wedged against a reader that has left.
+func (c *Conn) CloseRead(p *sim.Proc) error {
+	c.st.Host.Syscall(p)
+	if c.closeUser {
+		return sock.ErrClosed
+	}
+	if c.rdShut {
+		return nil
+	}
+	c.rdShut = true
+	if c.rcvbuf != nil && c.rcvbuf.Len() > 0 {
+		c.rcvbuf.Read(c.rcvbuf.Len())
+	}
+	c.rcvReady.Broadcast()
+	c.src.Fire(uint32(sock.PollIn))
+	return nil
+}
+
+// abort resets the connection: emit a RST so the peer's blocked callers
+// wake, then fail locally. The model's SO_LINGER expiry path.
+func (c *Conn) abort(p *sim.Proc) {
+	if c.state == stateClosed {
+		return
+	}
+	done := c.reserveEmit(p)
+	c.st.transmitAt(done, &Segment{
+		Src: c.st.addr, Dst: c.raddr,
+		SrcPort: c.lport, DstPort: c.rport,
+		Flags: flagRST | flagACK, Seq: c.sndNxt, Ack: c.peerAck(),
+	})
+	c.fail(sock.ErrReset)
+}
+
+// lingerWait blocks until our FIN (and therefore everything queued
+// before it) is acknowledged, the connection fails, or the deadline
+// passes — in which case the close degrades to a reset and reports
+// sock.ErrTimeout, telling the caller tail delivery is unconfirmed.
+func (c *Conn) lingerWait(p *sim.Proc, deadline sim.Time) error {
+	c.waitDeadline(p, c.sndReady, deadline, func() bool {
+		return c.finAcked || c.err != nil || c.state == stateClosed
+	})
+	if !c.finAcked && c.err == nil && c.state != stateClosed {
+		c.st.LingerExpired.Inc()
+		c.abort(p)
+		return sock.ErrTimeout
+	}
+	return nil
+}
+
+// Close implements sock.Conn: send FIN after draining. Without
+// Cfg.Linger the call returns at once and the kernel completes the
+// close in the background; with it, Close blocks until the FIN is
+// acknowledged (drain proven) or the linger deadline expires (reset,
+// sock.ErrTimeout) — SO_LINGER-with-timeout semantics.
 func (c *Conn) Close(p *sim.Proc) error {
 	c.st.Host.Syscall(p)
 	if c.closeUser {
 		return nil
 	}
 	c.closeUser = true
-	switch c.state {
-	case stateEstablished:
-		c.state = stateFinWait1
-	case stateCloseWait:
-		c.state = stateLastAck
-	case stateSynSent, stateSynRcvd:
-		c.fail(sock.ErrClosed)
-		return nil
-	default:
-		return nil
+	if c.finSeq < 0 {
+		switch c.state {
+		case stateEstablished:
+			c.state = stateFinWait1
+		case stateCloseWait:
+			c.state = stateLastAck
+		case stateSynSent, stateSynRcvd:
+			c.fail(sock.ErrClosed)
+			return nil
+		default:
+			return nil
+		}
+		c.finSeq = c.sndbuf.End()
+		c.output(p)
 	}
-	c.finSeq = c.sndbuf.End()
-	c.output(p)
+	if c.st.Cfg.Linger > 0 && c.state != stateClosed && c.err == nil {
+		return c.lingerWait(p, p.Now().Add(c.st.Cfg.Linger))
+	}
 	return nil
 }

@@ -135,6 +135,15 @@ type StackConfig struct {
 	// connection before it is failed with a reset error (Linux 2.4's
 	// tcp_retries2 behavior, default 15). Zero disables the bound.
 	MaxRexmits int
+	// Linger gives Close SO_LINGER-with-timeout semantics: it blocks
+	// until the FIN is acknowledged (every queued byte proven delivered)
+	// or the deadline expires, in which case the connection is reset and
+	// Close reports sock.ErrTimeout. Zero keeps the background close.
+	Linger sim.Duration
+	// DialTimeout bounds the whole connect() — handshake plus SYN
+	// retries — surfacing sock.ErrTimeout. Zero keeps the
+	// SynRetries-only bound.
+	DialTimeout sim.Duration
 }
 
 // DefaultStackConfig returns the Linux 2.4.18 / Acenic calibration with

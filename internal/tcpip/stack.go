@@ -2,6 +2,8 @@ package tcpip
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/ethernet"
 	"repro/internal/kernel"
@@ -36,6 +38,9 @@ type Stack struct {
 	nextISS   int64
 	nextDgram uint64
 	dead      bool
+	// draining is set by Drain: new connects are refused while the live
+	// connections run out their FIN handshakes.
+	draining bool
 
 	// Receive interrupt coalescing state.
 	rxRing  []*ethernet.Frame
@@ -51,6 +56,9 @@ type Stack struct {
 	DroppedNoListener sim.Counter
 	DroppedSegs       sim.Counter
 	ChecksumDrops     sim.Counter
+	// LingerExpired counts lingering closes that hit their deadline and
+	// degraded to a reset (tail delivery unconfirmed).
+	LingerExpired sim.Counter
 }
 
 // NewStack creates a stack on host and attaches it to sw.
@@ -245,13 +253,36 @@ func (st *Stack) Listen(p *sim.Proc, port, backlog int) (sock.Listener, error) {
 // handshake (the connection cost the paper measures at 200-250 us).
 func (st *Stack) Dial(p *sim.Proc, addr ethernet.Addr, port int) (sock.Conn, error) {
 	st.Host.Syscall(p) // socket()+connect()
+	if st.draining {
+		return nil, sock.ErrRefused
+	}
+	// DialTimeout bounds the whole handshake, SYN retries included.
+	var deadline sim.Time
+	if st.Cfg.DialTimeout > 0 {
+		deadline = p.Now().Add(st.Cfg.DialTimeout)
+	}
 	c := newConn(st, st.ephemeralPort(), addr, port)
 	st.conns[c.key()] = c
 	c.state = stateSynSent
 	c.sendSYN(p, false)
 	// Block until established or refused, retrying the SYN.
 	for tries := 0; c.state == stateSynSent; {
-		if !c.established.WaitForTimeout(p, st.Cfg.RTO, func() bool { return c.state != stateSynSent }) {
+		wait := st.Cfg.RTO
+		if deadline != 0 {
+			remain := deadline.Sub(p.Now())
+			if remain <= 0 {
+				delete(st.conns, c.key())
+				return nil, sock.ErrTimeout
+			}
+			if remain < wait {
+				wait = remain
+			}
+		}
+		if !c.established.WaitForTimeout(p, wait, func() bool { return c.state != stateSynSent }) {
+			if deadline != 0 && p.Now() >= deadline {
+				delete(st.conns, c.key())
+				return nil, sock.ErrTimeout
+			}
 			tries++
 			if tries > st.Cfg.SynRetries {
 				delete(st.conns, c.key())
@@ -270,6 +301,106 @@ func (st *Stack) Dial(p *sim.Proc, addr ethernet.Addr, port int) (sock.Conn, err
 	p.Sleep(st.Host.Wakeup())
 	return c, nil
 }
+
+// Drain quiesces the host: refuse new connects (sock.ErrRefused at the
+// dialers), close every listener and UDP socket, half-close every
+// connection in both directions so the FIN handshakes run out in
+// parallel, and wait — bounded by deadline — for the demux table to
+// empty. Stragglers (a peer that never closes its side) are reset so
+// Drain always terminates; a mandatory audit pass closes it out.
+func (st *Stack) Drain(p *sim.Proc, deadline sim.Time) error {
+	st.Host.Syscall(p)
+	if st.dead {
+		return nil
+	}
+	st.draining = true
+	// Snapshot and sort everything first: map iteration order must not
+	// leak into simulated time.
+	lports := make([]int, 0, len(st.listeners))
+	for port := range st.listeners {
+		lports = append(lports, port)
+	}
+	sort.Ints(lports)
+	for _, port := range lports {
+		st.listeners[port].Close(p)
+	}
+	uports := make([]int, 0, len(st.udps))
+	for port := range st.udps {
+		uports = append(uports, port)
+	}
+	sort.Ints(uports)
+	for _, port := range uports {
+		st.udps[port].Close(p)
+	}
+	keys := make([]connKey, 0, len(st.conns))
+	for key := range st.conns {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.lport != b.lport {
+			return a.lport < b.lport
+		}
+		if a.raddr != b.raddr {
+			return a.raddr < b.raddr
+		}
+		return a.rport < b.rport
+	})
+	for _, key := range keys {
+		c, ok := st.conns[key]
+		if !ok {
+			continue
+		}
+		c.CloseRead(p)
+		// CloseWrite (not Close) so every FIN handshake runs in parallel
+		// under the single Drain deadline instead of serializing one
+		// linger wait per connection.
+		if c.CloseWrite(p) != nil {
+			c.Close(p)
+		}
+	}
+	for len(st.conns) > 0 && p.Now() < deadline {
+		wait := 200 * sim.Microsecond
+		if remain := deadline.Sub(p.Now()); remain < wait {
+			wait = remain
+		}
+		p.Sleep(wait)
+	}
+	// Past the deadline: reset whatever is left (a peer holding its half
+	// open forever must not hold the host's shutdown hostage).
+	if len(st.conns) > 0 {
+		keys = keys[:0]
+		for key := range st.conns {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.lport != b.lport {
+				return a.lport < b.lport
+			}
+			if a.raddr != b.raddr {
+				return a.raddr < b.raddr
+			}
+			return a.rport < b.rport
+		})
+		for _, key := range keys {
+			if c, ok := st.conns[key]; ok {
+				c.abort(p)
+			}
+		}
+	}
+	var findings []string
+	st.AuditResources(func(kind, detail string) {
+		findings = append(findings, kind+": "+detail)
+	})
+	if len(findings) > 0 {
+		return fmt.Errorf("tcpip: post-drain audit: %s", strings.Join(findings, "; "))
+	}
+	return nil
+}
+
+// Draining reports whether Drain has been called.
+func (st *Stack) Draining() bool { return st.draining }
 
 // AuditResources reports kernel-stack resource leaks through add — the
 // tcpip side of the descriptor-leak auditor (package audit). Meant to

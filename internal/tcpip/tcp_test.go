@@ -83,8 +83,8 @@ func TestConnectionRefusedWithoutListener(t *testing.T) {
 		_, err = b.stacks[1].Dial(p, b.stacks[0].Addr(), 9999)
 	})
 	b.eng.RunUntil(sim.Time(10 * sim.Second))
-	if err != sock.ErrReset {
-		t.Fatalf("dial error = %v, want reset (RST)", err)
+	if err != sock.ErrRefused {
+		t.Fatalf("dial error = %v, want refused (RST answering SYN)", err)
 	}
 }
 
