@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench bench-smoke reproduce ablations chaos overload audit drain examples verify
+.PHONY: test race bench bench-smoke reproduce ablations chaos overload audit drain metrics examples verify
 
 test:
 	go vet ./...
@@ -43,6 +43,13 @@ overload:
 # target.
 audit:
 	go run ./cmd/reproduce -audit
+
+# metrics prints the hot-path latency decomposition (per-stage span
+# histograms for the eager, rendezvous, and TCP paths) and writes the
+# machine-readable snapshot to BENCH_metrics.json; the telescoping
+# stage-sum check fails the target on any mismatch.
+metrics:
+	go run ./cmd/reproduce -metrics
 
 # drain runs the graceful-teardown suite under the race detector:
 # half-close, lingering close, dial deadlines, double-close, and the

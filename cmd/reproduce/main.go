@@ -28,6 +28,8 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos suite instead")
 	chaosSeeds := flag.Int("chaos-seeds", 5, "randomized fault plans per chaos workload")
 	auditFlag := flag.Bool("audit", false, "run the descriptor-leak audit sweep instead")
+	metrics := flag.Bool("metrics", false, "run the hot-path latency decomposition instead")
+	metricsOut := flag.String("metrics-out", "BENCH_metrics.json", "machine-readable output for -metrics")
 	connscale := flag.Bool("connscale", false, "run the connection-scaling poller study instead")
 	connscaleOut := flag.String("connscale-out", "BENCH_connscale.json", "machine-readable output for -connscale")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
@@ -99,6 +101,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", *connscaleOut)
+		return
+	}
+
+	if *metrics {
+		rep := bench.RunMetrics(*quick)
+		bench.FprintMetrics(os.Stdout, rep)
+		if err := bench.VerifyDecomposition(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsOut, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
 		return
 	}
 

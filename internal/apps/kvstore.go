@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/sim"
 	"repro/internal/sock"
+	"repro/internal/telemetry"
 )
 
 // Key-value store: the paper's stated future work is "utilizing and
@@ -202,6 +203,7 @@ func kvServerEvented(p *sim.Proc, node *cluster.Node, cfg KVConfig, totalConns i
 	store := make(map[string]*kvResponse, cfg.Keys)
 	po := sock.NewPoller(p.Engine(), "kv.evented")
 	defer po.Close()
+	node.Tel.RegisterSource("poller", po.TelemetryStats)
 	po.Register(lp, sock.PollIn|sock.PollErr, nil)
 	accepted, finished := 0, 0
 	var loopErr error
@@ -301,7 +303,7 @@ func kvServerEvented(p *sim.Proc, node *cluster.Node, cfg KVConfig, totalConns i
 }
 
 // kvClient issues the configured mix over one persistent connection.
-func kvClient(p *sim.Proc, node *cluster.Node, server sock.Addr, cfg KVConfig, id int, lat *sim.Sample) error {
+func kvClient(p *sim.Proc, node *cluster.Node, server sock.Addr, cfg KVConfig, id int, lat *telemetry.Histogram) error {
 	c, err := node.Net.Dial(p, server, cfg.Port)
 	if err != nil {
 		return err
@@ -346,7 +348,7 @@ func kvClient(p *sim.Proc, node *cluster.Node, server sock.Addr, cfg KVConfig, i
 		if req.Op == kvGet && !resp.OK && i >= cfg.Keys {
 			return fmt.Errorf("kv: get miss on a primed key %q", key)
 		}
-		lat.AddDuration(p.Now().Sub(start))
+		lat.ObserveDuration(p.Now().Sub(start))
 	}
 	return nil
 }
@@ -357,7 +359,10 @@ func RunKVStore(c *cluster.Cluster, cfg KVConfig) KVResult {
 	if len(c.Nodes) < cfg.Clients+1 {
 		return KVResult{Err: fmt.Errorf("kv: need %d nodes, have %d", cfg.Clients+1, len(c.Nodes))}
 	}
-	lat := sim.NewSample()
+	// Bounded histogram, not sim.Sample: the run can absorb an
+	// arbitrary number of operations without retaining one value each.
+	// Registered so the cluster telemetry snapshot carries it too.
+	lat := c.Nodes[0].Tel.Histogram("apps", "kv_latency_ns", telemetry.LatencyBounds())
 	var srvErr error
 	cliErrs := make([]error, cfg.Clients)
 	var start, end sim.Time
@@ -380,9 +385,9 @@ func RunKVStore(c *cluster.Cluster, cfg KVConfig) KVResult {
 	}
 	c.Run(600 * sim.Second)
 	res := KVResult{
-		Ops:        lat.Count(),
-		AvgLatency: sim.Duration(lat.Mean() * 1e3),
-		P99Latency: sim.Duration(lat.Percentile(99) * 1e3),
+		Ops:        int(lat.Count()),
+		AvgLatency: sim.Duration(lat.Mean()),
+		P99Latency: sim.Duration(lat.Percentile(99)),
 		Elapsed:    end.Sub(start),
 		Err:        srvErr,
 	}

@@ -120,6 +120,7 @@ func matmulMaster(p *sim.Proc, node *cluster.Node, port, n, workers int) (sim.Du
 	// reading the full result.
 	po := sock.NewPoller(p.Engine(), "matmul.gather")
 	defer po.Close()
+	node.Tel.RegisterSource("poller", po.TelemetryStats)
 	pending := workers
 	for idx, c := range conns {
 		cp, ok := c.(sock.Pollable)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/sim"
 	"repro/internal/sock"
+	"repro/internal/telemetry"
 )
 
 // Web server (Section 7.4): one server, three clients. Each client
@@ -166,6 +167,7 @@ func webServerEvented(p *sim.Proc, node *cluster.Node, cfg WebConfig, totalConns
 	}
 	po := sock.NewPoller(p.Engine(), "web.evented")
 	defer po.Close()
+	node.Tel.RegisterSource("poller", po.TelemetryStats)
 	po.Register(lp, sock.PollIn|sock.PollErr, nil)
 	accepted, finished := 0, 0
 	var loopErr error
@@ -244,7 +246,7 @@ func webServerEvented(p *sim.Proc, node *cluster.Node, cfg WebConfig, totalConns
 // client-observed response time of each (connection establishment is
 // charged to the first request of each connection, as a browser user
 // would experience it).
-func webClient(p *sim.Proc, node *cluster.Node, server sock.Addr, cfg WebConfig, lat *sim.Sample) error {
+func webClient(p *sim.Proc, node *cluster.Node, server sock.Addr, cfg WebConfig, lat *telemetry.Histogram) error {
 	issued := 0
 	for issued < cfg.RequestsPerClient {
 		start := p.Now()
@@ -264,7 +266,7 @@ func webClient(p *sim.Proc, node *cluster.Node, server sock.Addr, cfg WebConfig,
 				c.Close(p)
 				return err
 			}
-			lat.AddDuration(p.Now().Sub(start))
+			lat.ObserveDuration(p.Now().Sub(start))
 			issued++
 		}
 		c.Close(p)
@@ -281,7 +283,9 @@ func RunWeb(c *cluster.Cluster, cfg WebConfig) WebResult {
 	}
 	total := cfg.Clients * cfg.RequestsPerClient
 	connsPerClient := (cfg.RequestsPerClient + cfg.RequestsPerConn - 1) / cfg.RequestsPerConn
-	lat := sim.NewSample()
+	// Bounded histogram, not sim.Sample: response collection is the
+	// long-running path, so memory must not scale with request count.
+	lat := c.Nodes[0].Tel.Histogram("apps", "web_response_ns", telemetry.LatencyBounds())
 	var srvErr error
 	cliErrs := make([]error, cfg.Clients)
 	c.Eng.Spawn("web-server", func(p *sim.Proc) {
@@ -296,11 +300,11 @@ func RunWeb(c *cluster.Cluster, cfg WebConfig) WebResult {
 	}
 	c.Run(600 * sim.Second)
 	res := WebResult{
-		Requests:    lat.Count(),
-		AvgResponse: sim.Duration(lat.Mean() * 1e3),
-		P50Response: sim.Duration(lat.Percentile(50) * 1e3),
-		P99Response: sim.Duration(lat.Percentile(99) * 1e3),
-		MaxResponse: sim.Duration(lat.Max() * 1e3),
+		Requests:    int(lat.Count()),
+		AvgResponse: sim.Duration(lat.Mean()),
+		P50Response: sim.Duration(lat.Percentile(50)),
+		P99Response: sim.Duration(lat.Percentile(99)),
+		MaxResponse: sim.Duration(lat.Max()),
 		Err:         srvErr,
 	}
 	for _, e := range cliErrs {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/sock"
+	"repro/internal/telemetry"
 )
 
 // Descriptor-leak audit sweep (cmd/reproduce -audit): run every
@@ -27,6 +28,9 @@ type AuditRun struct {
 	OK        bool
 	Detail    string
 	Report    *audit.Report
+	// FlightDumps carries flight-recorder rings captured when the audit
+	// found leaks (plus any reset-triggered dumps from the run itself).
+	FlightDumps []telemetry.Dump
 }
 
 // auditAfter purges residual control traffic and audits the cluster.
@@ -40,7 +44,13 @@ func auditAfter(c *cluster.Cluster, r *AuditRun) {
 	if !r.Report.Clean() {
 		r.OK = false
 		r.Detail += fmt.Sprintf("; %d finding(s)", len(r.Report.Findings))
+		// Leak findings rarely name the guilty connection: capture every
+		// live ring as the failure artifact.
+		for _, n := range c.Nodes {
+			n.Tel.DumpAllFlights("audit-leak")
+		}
 	}
+	r.FlightDumps = c.FlightDumps()
 }
 
 // AuditSweep runs the workload matrix and the overload flood, auditing
@@ -270,6 +280,9 @@ func FprintAudit(w io.Writer, runs []AuditRun) {
 		if !r.Report.Clean() {
 			for _, f := range r.Report.Findings {
 				fmt.Fprintf(w, "    %s\n", f)
+			}
+			for _, d := range r.FlightDumps {
+				telemetry.FprintDump(w, d)
 			}
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/sock"
+	"repro/internal/telemetry"
 )
 
 // Chaos is the fault-injection counterpart of the figure harness: every
@@ -38,6 +39,11 @@ type ChaosRun struct {
 	// Leaks counts resource-audit findings after the run; any nonzero
 	// value fails the run even when the workload itself succeeded.
 	Leaks int
+	// FlightDumps carries the per-connection flight-recorder rings
+	// captured when connections died (sock.ErrReset) or the audit found
+	// leaks: the failure artifact that says what the connection was
+	// doing when it went wrong.
+	FlightDumps []telemetry.Dump
 }
 
 // chaosCounters sums the per-node fault and recovery counters, then
@@ -62,7 +68,13 @@ func chaosCounters(c *cluster.Cluster, r *ChaosRun) {
 		r.Leaks = len(rep.Findings)
 		r.OK = false
 		r.Detail += fmt.Sprintf("; %d audit finding(s): %s", r.Leaks, rep.Findings[0])
+		// The auditor cannot always name the guilty connection: capture
+		// every live ring as context.
+		for _, n := range c.Nodes {
+			n.Tel.DumpAllFlights("audit-leak")
+		}
 	}
+	r.FlightDumps = c.FlightDumps()
 }
 
 // Chaos runs the matrix of workloads × transports × seeds and the crash
@@ -235,6 +247,14 @@ func FprintChaos(w io.Writer, runs []ChaosRun) {
 		fmt.Fprintf(w, "%-8s  %-10s  %4d  %-4s  %7d  %8d  %8d  %s\n",
 			r.Workload, r.Transport, r.Seed, status,
 			r.Rexmits, r.FCSDrops, r.Faults.Total(), r.Detail)
+		// Flight recordings are the post-mortem detail: print them for
+		// failed runs and for the crash scenario (whose reset is the
+		// expected outcome under test).
+		if !r.OK || r.Workload == "crash" {
+			for _, d := range r.FlightDumps {
+				telemetry.FprintDump(w, d)
+			}
+		}
 		total.Add(r.Faults)
 	}
 	fmt.Fprintf(w, "runs: %d/%d survived; injected totals: %v\n\n", ok, len(runs), total)

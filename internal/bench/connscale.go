@@ -115,6 +115,7 @@ func connScaleRun(transport cluster.Transport, conns, pacers, reqs int, active b
 		}
 		lp := l.(sock.Pollable)
 		po := sock.NewPoller(p.Engine(), "connscale")
+		c.Nodes[0].Tel.RegisterSource("poller", po.TelemetryStats)
 		po.Register(lp, sock.PollIn|sock.PollErr, nil)
 		accepted, finished := 0, 0
 		for finished < conns && pt.Err == "" {

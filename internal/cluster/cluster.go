@@ -18,6 +18,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sock"
 	"repro/internal/tcpip"
+	"repro/internal/telemetry"
 )
 
 // Transport selects a node's socket layer.
@@ -81,6 +82,10 @@ type Node struct {
 	Sub *core.Substrate
 	// Stack is non-nil on TCP transports.
 	Stack *tcpip.Stack
+
+	// Tel is this node's telemetry registry: every layer on the node
+	// (substrate or TCP stack, EMP, pollers) feeds it.
+	Tel *telemetry.Registry
 }
 
 // Cluster is an assembled testbed.
@@ -115,7 +120,7 @@ func New(cfg Config) *Cluster {
 	c := &Cluster{Eng: eng, Switch: sw, Cfg: cfg}
 	for i := 0; i < cfg.Nodes; i++ {
 		host := kernel.NewHost(eng, "host", cfg.Cores, hostCosts)
-		n := &Node{Host: host, FS: ramfs.New(host)}
+		n := &Node{Host: host, FS: ramfs.New(host), Tel: telemetry.New()}
 		switch cfg.Transport {
 		case TransportSubstrate:
 			nicCfg := nic.DefaultConfig()
@@ -129,6 +134,7 @@ func New(cfg Config) *Cluster {
 				opts = *cfg.Substrate
 			}
 			n.Sub = core.New(eng, host, nc, opts)
+			n.Sub.SetTelemetry(n.Tel)
 			n.Net = n.Sub
 		default:
 			stCfg := tcpip.DefaultStackConfig()
@@ -139,6 +145,7 @@ func New(cfg Config) *Cluster {
 				stCfg = *cfg.TCP
 			}
 			n.Stack = tcpip.NewStack(eng, host, sw, stCfg)
+			n.Stack.SetTelemetry(n.Tel)
 			n.Net = n.Stack
 		}
 		n.FD = fdtable.New(n.Net, n.FS)
@@ -152,6 +159,48 @@ func New(cfg Config) *Cluster {
 		}
 	}
 	return c
+}
+
+// TelemetrySnapshot merges every node's registry (in node-index order)
+// with the engine's scheduler counter and the switch's fault-injection
+// counters into one cluster-wide deterministic snapshot.
+func (c *Cluster) TelemetrySnapshot() *telemetry.Snapshot {
+	agg := c.TelemetryAggregate()
+	return agg.Snapshot()
+}
+
+// TelemetryAggregate folds the per-node registries into a fresh
+// cluster-level registry (node order, so the result is deterministic)
+// and adds the cluster-scoped sources: sim wakeups and switch faults.
+func (c *Cluster) TelemetryAggregate() *telemetry.Registry {
+	agg := telemetry.New()
+	for _, n := range c.Nodes {
+		agg.Merge(n.Tel)
+	}
+	agg.RegisterSource("sim", func() []telemetry.Stat {
+		return []telemetry.Stat{{Name: "wakeups", Value: c.Eng.Wakeups()}}
+	})
+	agg.RegisterSource("switch", func() []telemetry.Stat {
+		fs := c.Switch.FaultStats()
+		return []telemetry.Stat{
+			{Name: "fault_drops", Value: fs.Drops},
+			{Name: "fault_partition_drops", Value: fs.PartitionDrops},
+			{Name: "fault_dups", Value: fs.Dups},
+			{Name: "fault_corruptions", Value: fs.Corruptions},
+			{Name: "fault_reorders", Value: fs.Reorders},
+		}
+	})
+	return agg
+}
+
+// FlightDumps collects every captured flight-recorder dump across the
+// cluster, in node-index order.
+func (c *Cluster) FlightDumps() []telemetry.Dump {
+	var out []telemetry.Dump
+	for _, n := range c.Nodes {
+		out = append(out, n.Tel.Dumps()...)
+	}
+	return out
 }
 
 // Drain gracefully quiesces this node's transport: new connects are

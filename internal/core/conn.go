@@ -1,12 +1,22 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/emp"
 	"repro/internal/ethernet"
 	"repro/internal/sim"
 	"repro/internal/sock"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
+
+// stagedSpan queues a latency span against the staged-byte offset its
+// payload ends at; Read retires spans as consumption passes them.
+type stagedSpan struct {
+	end  int64
+	span *telemetry.Span
+}
 
 // dgMsg is one queued Datagram-mode message.
 type dgMsg struct {
@@ -97,6 +107,34 @@ type Conn struct {
 	// lastIO is when the connection last saw application activity; the
 	// keepalive loop probes only connections idle past the interval.
 	lastIO sim.Time
+
+	// spanQ holds latency spans for staged-but-unread bytes, oldest
+	// first, keyed by the absolute staged offset their payload ends at.
+	spanQ []stagedSpan
+}
+
+// id names this connection for telemetry: local addr:port to peer
+// addr:port, stable for the connection's lifetime.
+func (c *Conn) id() string {
+	return fmt.Sprintf("%d:%d-%d:%d", c.sub.addr, c.localPort, c.peer, c.remotePort)
+}
+
+// flight returns the connection's flight recorder (nil-safe no-op when
+// telemetry is off).
+func (c *Conn) flight() *telemetry.Recorder {
+	return c.sub.Tel.Flight(c.id())
+}
+
+// popReadSpans retires latency spans whose payload the reader has fully
+// consumed, marking the read wake instant and folding the decomposition
+// into the host's histograms.
+func (c *Conn) popReadSpans(now sim.Time) {
+	for len(c.spanQ) > 0 && c.spanQ[0].end <= c.rcv.Base() {
+		sp := c.spanQ[0].span
+		c.spanQ = c.spanQ[1:]
+		sp.Mark("read", now)
+		c.sub.Tel.RecordSpan(sp)
+	}
 }
 
 var _ sock.Conn = (*Conn)(nil)
@@ -187,6 +225,13 @@ func newConn(s *Substrate, peer ethernet.Addr, req *connRequest, isClient bool) 
 	if c.opts.KeepaliveIdle > 0 {
 		s.Eng.Spawn("keepalive", c.keepaliveLoop)
 	}
+	if s.Tel != nil {
+		role := "server"
+		if isClient {
+			role = "client"
+		}
+		c.flight().Recordf(s.Eng.Now(), "open", "%s mode=%d credits=%d", role, c.opts.Mode, req.Credits)
+	}
 	return c
 }
 
@@ -201,6 +246,14 @@ func (c *Conn) fail(err error) {
 	c.sub.ConnsFailed.Inc()
 	c.sub.Eng.Tracef("substrate", "conn %d:%d -> %d:%d FAILED: %v",
 		c.sub.addr, c.localPort, c.peer, c.remotePort, err)
+	if c.sub.Tel != nil {
+		c.flight().Recordf(c.sub.Eng.Now(), "fail", "%v", err)
+		if err == sock.ErrReset {
+			// The connection died under the application: capture the
+			// event history as a failure artifact.
+			c.sub.Tel.DumpFlight(c.id(), "reset")
+		}
+	}
 	c.Notify()
 }
 
@@ -360,6 +413,7 @@ func (c *Conn) handleControl(hdr *header) {
 	switch hdr.Kind {
 	case kindCreditAck:
 		c.credits += hdr.Piggy
+		c.flight().Recordf(c.sub.Eng.Now(), "credit-grant", "n=%d have=%d", hdr.Piggy, c.credits)
 	case kindConnReply:
 		c.connReplied = true
 	case kindRendAck:
@@ -373,6 +427,7 @@ func (c *Conn) handleControl(hdr *header) {
 		// port has no listener, or the listener closed with our request
 		// queued. With asynchronous connect the dialer learns here, on
 		// its first blocked operation, that the connection never existed.
+		c.flight().Record(c.sub.Eng.Now(), "refused", "")
 		c.fail(sock.ErrRefused)
 	}
 	c.Notify()
@@ -494,6 +549,7 @@ func (c *Conn) takeCredit(p *sim.Proc) error { return c.takeCreditDeadline(p, c.
 func (c *Conn) takeCreditDeadline(p *sim.Proc, dl sim.Time) error {
 	if c.credits == 0 {
 		c.sub.CreditStalls.Inc()
+		c.flight().Record(c.sub.Eng.Now(), "credit-stall", "")
 	}
 	for c.credits == 0 {
 		if c.err != nil {
@@ -600,6 +656,10 @@ func (c *Conn) applyDS(p *sim.Proc, hdr *header) {
 			break
 		}
 		c.rcv.Append(hdr.Len, hdr.Obj)
+		if hdr.Span != nil {
+			hdr.Span.Mark("stage", p.Now())
+			c.spanQ = append(c.spanQ, stagedSpan{end: c.rcv.End(), span: hdr.Span})
+		}
 		c.sub.eagerAdd(hdr.Len)
 		if c.sub.eagerOver() {
 			// Eager pool over budget: withhold the descriptor repost AND
@@ -625,6 +685,7 @@ func (c *Conn) applyDS(p *sim.Proc, hdr *header) {
 		// so a peer lingering on its close sees its credits come home.
 		c.peerShut = true
 		c.eof = true
+		c.flight().Record(p.Now(), "peer-shutdown", "")
 		c.postDataDesc(p)
 		c.pendingCredits++
 		c.returnCredits(p)
@@ -632,6 +693,7 @@ func (c *Conn) applyDS(p *sim.Proc, hdr *header) {
 	case kindClose:
 		c.peerClosed = true
 		c.eof = true
+		c.flight().Record(p.Now(), "peer-close", "")
 		c.Notify()
 	}
 }
@@ -722,6 +784,7 @@ func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 			return 0, nil, sock.ErrClosed
 		}
 		if !c.pumpDS(p, true) {
+			c.flight().Record(p.Now(), "deadline", "read")
 			return 0, nil, sock.ErrTimeout
 		}
 	}
@@ -741,6 +804,7 @@ func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 	// The data-streaming copy: temp buffer to user buffer.
 	c.sub.Host.Copy(p, n)
 	n, objs := c.rcv.Read(n)
+	c.popReadSpans(p.Now())
 	if !c.cleaned {
 		// A teardown during the copy (host drain) already returned the
 		// staged bytes to the pool in cleanup.
@@ -774,6 +838,7 @@ func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 		if chunk > c.opts.BufSize {
 			chunk = c.opts.BufSize
 		}
+		sp := c.sub.Tel.NewSpan("eager", chunk, "write", p.Now())
 		if err := c.takeCredit(p); err != nil {
 			if c.err != nil {
 				c.abort(p)
@@ -795,7 +860,7 @@ func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 		seq := c.txSeq
 		c.txSeq++
 		st := c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes+chunk,
-			&header{Kind: kindData, Piggy: piggy, Len: chunk, Obj: o, Seq: seq}, c.sendKey)
+			&header{Kind: kindData, Piggy: piggy, Len: chunk, Obj: o, Seq: seq, Span: sp}, c.sendKey)
 		if st == emp.StatusNoDescriptors {
 			// Descriptor-budget exhaustion is an operation failure, not a
 			// connection failure: the message never left, so restore the
@@ -838,6 +903,7 @@ func (c *Conn) shutdownWrite(p *sim.Proc, deadline sim.Time) error {
 		seq = c.txSeq
 		c.txSeq++
 	}
+	c.flight().Record(p.Now(), "shutdown-sent", "")
 	c.sub.Eng.Tracef("substrate", "shutdown %d -> %d", c.sub.addr, c.peer)
 	st := c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes,
 		&header{Kind: kindShutdown, Seq: seq}, emp.KeyNone)
@@ -891,6 +957,7 @@ func (c *Conn) CloseRead(p *sim.Proc) error {
 		c.rcv.Read(n)
 		c.sub.eagerRelease(p, n)
 	}
+	c.spanQ = nil // discarded bytes retire their spans unrecorded
 	c.dgq = nil
 	c.Notify()
 	return nil
@@ -937,6 +1004,7 @@ func (c *Conn) closeLinger(p *sim.Proc, deadline sim.Time) error {
 	drained := c.waitDrained(p, deadline)
 	if !drained && c.err == nil && !c.peerClosed {
 		c.sub.LingerExpired.Inc()
+		c.flight().Record(p.Now(), "linger-expired", "")
 		c.abort(p)
 		return sock.ErrTimeout
 	}
@@ -999,6 +1067,7 @@ func (c *Conn) closeNow(p *sim.Proc) error {
 			c.closeSent = true
 			seq := c.txSeq
 			c.txSeq++
+			c.flight().Record(p.Now(), "close-sent", "")
 			c.sub.Eng.Tracef("substrate", "close %d -> %d", c.sub.addr, c.peer)
 			c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes,
 				&header{Kind: kindClose, Seq: seq}, emp.KeyNone)
@@ -1038,6 +1107,7 @@ func (c *Conn) cleanup(p *sim.Proc) {
 	// withheld reposts: a closing connection releases its share of the
 	// budget so deferred peers can resume.
 	c.deferredDesc = 0
+	c.spanQ = nil
 	if c.rcv != nil && c.rcv.Len() > 0 {
 		c.sub.eagerRelease(p, c.rcv.Len())
 	}

@@ -25,8 +25,9 @@ func (c *Conn) writeDG(p *sim.Proc, n int, obj any) (int, error) {
 		return c.writeRendezvous(p, n, obj)
 	}
 	c.sub.MsgsSent.Inc()
+	sp := c.sub.Tel.NewSpan("eager", n, "write", p.Now())
 	st := c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes+n,
-		&header{Kind: kindData, Len: n, Obj: obj}, c.sendKey)
+		&header{Kind: kindData, Len: n, Obj: obj, Span: sp}, c.sendKey)
 	if st != emp.StatusOK {
 		c.fail(sock.ErrReset)
 		c.abort(p)
@@ -41,6 +42,7 @@ func (c *Conn) writeDG(p *sim.Proc, n int, obj any) (int, error) {
 // user buffer.
 func (c *Conn) writeRendezvous(p *sim.Proc, n int, obj any) (int, error) {
 	c.sub.RendezvousOps.Inc()
+	sp := c.sub.Tel.NewSpan("rend", n, "write", p.Now())
 	tag := c.sub.allocTag()
 	defer c.sub.freeTag(tag)
 	st := c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes,
@@ -55,8 +57,9 @@ func (c *Conn) writeRendezvous(p *sim.Proc, n int, obj any) (int, error) {
 	for c.err == nil && !c.peerClosed {
 		if ack := c.takeRendAck(tag); ack != nil {
 			c.sub.MsgsSent.Inc()
+			sp.Mark("rendack", p.Now())
 			st = c.sub.EP.Send(p, c.peer, tag, n,
-				&header{Kind: kindData, Len: n, Obj: obj}, c.userKey)
+				&header{Kind: kindData, Len: n, Obj: obj, Span: sp}, c.userKey)
 			if st != emp.StatusOK {
 				c.fail(sock.ErrReset)
 				c.abort(p)
@@ -180,11 +183,16 @@ func (c *Conn) processDGMessage(p *sim.Proc, m emp.Message, max int) (int, []any
 	}
 	switch hdr.Kind {
 	case kindData:
+		if hdr.Span != nil {
+			hdr.Span.Mark("read", p.Now())
+			c.sub.Tel.RecordSpan(hdr.Span)
+		}
 		n, objs, err := c.deliverDG(hdr.Len, hdr.Obj, max)
 		return n, objs, err, true
 	case kindClose:
 		c.peerClosed = true
 		c.eof = true
+		c.flight().Record(p.Now(), "peer-close", "")
 		c.Notify()
 		return 0, nil, nil, true
 	case kindShutdown:
@@ -192,6 +200,7 @@ func (c *Conn) processDGMessage(p *sim.Proc, m emp.Message, max int) (int, []any
 		// but the connection is still open — our writes keep flowing.
 		c.peerShut = true
 		c.eof = true
+		c.flight().Record(p.Now(), "peer-shutdown", "")
 		c.Notify()
 		return 0, nil, nil, true
 	case kindRendReq:
@@ -249,6 +258,10 @@ func (c *Conn) receiveRendezvous(p *sim.Proc, req *header, max int) (int, []any,
 	var obj any
 	if hdr != nil {
 		obj = hdr.Obj
+		if hdr.Span != nil {
+			hdr.Span.Mark("read", p.Now())
+			c.sub.Tel.RecordSpan(hdr.Span)
+		}
 	}
 	return c.deliverDG(m.Len, obj, max)
 }

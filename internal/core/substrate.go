@@ -11,6 +11,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/sim"
 	"repro/internal/sock"
+	"repro/internal/telemetry"
 )
 
 // listenTagBase is the tag-space region reserved for per-port connection
@@ -87,6 +88,11 @@ type Substrate struct {
 	// LingerExpired counts lingering closes that hit their deadline and
 	// fell back to the abort path (tail delivery unconfirmed).
 	LingerExpired sim.Counter
+
+	// Tel is the host's telemetry registry: latency-decomposition
+	// histograms and per-connection flight recorders feed it. Nil (the
+	// default outside a cluster) turns all instrumentation into no-ops.
+	Tel *telemetry.Registry
 }
 
 // New creates a substrate on the given host and NIC. The NIC must be
@@ -163,6 +169,46 @@ func New(e *sim.Engine, host *kernel.Host, n *nic.NIC, opts Options) *Substrate 
 		s.peerUnreachable(dst)
 	})
 	return s
+}
+
+// SetTelemetry attaches a telemetry registry to the substrate: the
+// substrate's protocol counters and the EMP endpoint's stats register
+// as pull-through sources, and connections start feeding latency spans
+// and flight recorders. Unexpected-queue evictions are routed to the
+// affected connection's recorder.
+func (s *Substrate) SetTelemetry(tel *telemetry.Registry) {
+	s.Tel = tel
+	if tel == nil {
+		return
+	}
+	tel.RegisterSource("core", func() []telemetry.Stat {
+		return []telemetry.Stat{
+			{Name: "connects_sent", Value: s.ConnectsSent.Value},
+			{Name: "conns_accepted", Value: s.ConnsAccepted.Value},
+			{Name: "msgs_sent", Value: s.MsgsSent.Value},
+			{Name: "explicit_acks", Value: s.ExplicitAcks.Value},
+			{Name: "piggyback_acks", Value: s.PiggybackAcks.Value},
+			{Name: "credit_stalls", Value: s.CreditStalls.Value},
+			{Name: "rendezvous_ops", Value: s.RendezvousOps.Value},
+			{Name: "closes_sent", Value: s.ClosesSent.Value},
+			{Name: "dgram_truncated", Value: s.DGramTruncated.Value},
+			{Name: "conns_failed", Value: s.ConnsFailed.Value},
+			{Name: "keepalives_sent", Value: s.KeepalivesSent.Value},
+			{Name: "dial_retries", Value: s.DialRetries.Value},
+			{Name: "refused_conns", Value: s.RefusedConns.Value},
+			{Name: "eager_deferrals", Value: s.EagerDeferrals.Value},
+			{Name: "linger_expired", Value: s.LingerExpired.Value},
+			{Name: "active_sockets", Value: int64(len(s.active))},
+			{Name: "eager_bytes", Value: int64(s.eagerBytes)},
+			{Name: "eager_high_water", Value: int64(s.eagerHW)},
+		}
+	})
+	tel.RegisterSource("emp", s.EP.TelemetryStats)
+	s.EP.SetUnexpectedEvictNotify(func(src ethernet.Addr, tag emp.Tag, length int) {
+		if c, ok := s.chans[chanKey{src, tag}]; ok {
+			c.flight().Recordf(s.Eng.Now(), "uq-evict", "tag=%d len=%d", tag, length)
+		}
+	})
 }
 
 // refuseParked claims one parked connection request for (src, tag) from
@@ -421,10 +467,17 @@ func (s *Substrate) Listen(p *sim.Proc, port, backlog int) (sock.Listener, error
 	return l, nil
 }
 
+// ephemeralPort allocates dialer-side ports. They ride inside
+// connection requests to distinguish connections from the same client
+// host and never become listen tags, so they live above the listener
+// tag space and wrap within (32768, 65535]. (The old wrap clamped every
+// allocation to 16384, so all dialers from one host shared a port —
+// harmless for tag-based demux but ambiguous everywhere ports name
+// connections, e.g. telemetry connection ids.)
 func (s *Substrate) ephemeralPort() int {
 	s.portNext++
-	if s.portNext > maxListenPort {
-		s.portNext = 16384
+	if s.portNext > 65535 {
+		s.portNext = 32769
 	}
 	return s.portNext
 }

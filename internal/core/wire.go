@@ -4,6 +4,7 @@ import (
 	"repro/internal/emp"
 	"repro/internal/ethernet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // msgKind classifies substrate messages carried inside EMP messages.
@@ -93,7 +94,17 @@ type header struct {
 	// Rendezvous requests/acks.
 	RendTag emp.Tag
 	RendLen int
+
+	// Span carries the message's latency-decomposition marks end to
+	// end: the header object itself travels through EMP (descriptor to
+	// wire frame to completed message), so lower layers stamp the span
+	// via the telemetry.Spanned assertion without importing this
+	// package. Nil when telemetry is off or the message is control-only.
+	Span *telemetry.Span
 }
+
+// TelemetrySpan implements telemetry.Spanned.
+func (h *header) TelemetrySpan() *telemetry.Span { return h.Span }
 
 // connRequest is the payload of the connection request message. The
 // client allocates the tags for both directions of the new connection —

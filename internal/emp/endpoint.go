@@ -7,6 +7,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/nic"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // BufKey identifies a registered host memory area for the pin/translation
@@ -326,6 +327,14 @@ func (h *RecvHandle) complete(s Status, m Message) {
 	}
 	h.status = s
 	h.msg = m
+	if s == StatusOK {
+		// Latency decomposition: this is the instant the message becomes
+		// visible to the host (after the HostNotify delay and, for
+		// unexpected-queue claims, the staging copy).
+		if sp, ok := m.Data.(telemetry.Spanned); ok {
+			sp.TelemetrySpan().MarkOnce("deliver", h.ep.Eng.Now())
+		}
+	}
 	if h.counted {
 		h.counted = false
 		h.ep.descRelease()
@@ -413,6 +422,9 @@ func (ep *Endpoint) PollUnexpected(p *sim.Proc, src ethernet.Addr, tag Tag, maxL
 	m, ok := ep.fw.claimUnexpected(src, tag, maxLen)
 	if ok {
 		ep.Host.Copy(p, m.Len)
+		if sp, ok2 := m.Data.(telemetry.Spanned); ok2 {
+			sp.TelemetrySpan().MarkOnce("deliver", p.Now())
+		}
 	}
 	return m, ok
 }
@@ -601,6 +613,43 @@ func (ep *Endpoint) Stats() Stats {
 		UQPeakEntries: int64(ep.fw.uqPeakEntries),
 		UQDropped:     ep.fw.uqDropped.Value,
 	}
+}
+
+// TelemetryStats exposes the endpoint's counters as a telemetry
+// source: the registry pulls these at snapshot time, so the endpoint
+// stays the single owner of its stats and nothing is double-counted.
+func (ep *Endpoint) TelemetryStats() []telemetry.Stat {
+	s := ep.Stats()
+	return []telemetry.Stat{
+		{Name: "sends_posted", Value: s.SendsPosted},
+		{Name: "recvs_posted", Value: s.RecvsPosted},
+		{Name: "cache_hits", Value: s.CacheHits},
+		{Name: "cache_misses", Value: s.CacheMisses},
+		{Name: "msgs_delivered", Value: s.MsgsDelivered},
+		{Name: "unexpected_hits", Value: s.UnexpectedHit},
+		{Name: "frames_dropped", Value: s.FramesDropped},
+		{Name: "retransmits", Value: s.Retransmits},
+		{Name: "acks_sent", Value: s.AcksSent},
+		{Name: "nacks_sent", Value: s.NacksSent},
+		{Name: "sends_failed", Value: s.SendsFailed},
+		{Name: "truncated", Value: s.Truncated},
+		{Name: "unposts", Value: s.Unposts},
+		{Name: "desc_in_use", Value: s.DescInUse},
+		{Name: "desc_high_water", Value: s.DescHighWater},
+		{Name: "desc_denied", Value: s.DescDenied},
+		{Name: "uq_entries", Value: s.UQEntries},
+		{Name: "uq_bytes", Value: s.UQBytes},
+		{Name: "uq_peak_entries", Value: s.UQPeakEntries},
+		{Name: "uq_dropped", Value: s.UQDropped},
+	}
+}
+
+// SetUnexpectedEvictNotify registers a callback invoked (in event
+// context, must not block) when the unexpected-queue byte cap evicts a
+// parked message; the substrate routes it to the owning connection's
+// flight recorder.
+func (ep *Endpoint) SetUnexpectedEvictNotify(fn func(src ethernet.Addr, tag Tag, length int)) {
+	ep.fw.uqEvict = fn
 }
 
 // String summarizes the stats.

@@ -4,6 +4,7 @@ import (
 	"repro/internal/ethernet"
 	"repro/internal/nic"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // txOp is one unit of work for the send processor.
@@ -116,6 +117,10 @@ type firmware struct {
 	completedRing []reasmKey
 	uqNotify      sim.Notifiable
 	uqRoute       func(src ethernet.Addr, tag Tag)
+	// uqEvict reports byte-cap evictions to the host layer (event
+	// context, must not block) so the owning connection's flight
+	// recorder can log them.
+	uqEvict func(src ethernet.Addr, tag Tag, length int)
 	// uqSetup marks tags whose entries the byte-cap eviction must keep
 	// (connection-setup requests).
 	uqSetup func(tag Tag) bool
@@ -238,6 +243,9 @@ func (fw *firmware) handleSendPost(p *sim.Proc, post *txPost) {
 		h.complete(StatusFailed)
 		return
 	}
+	if sp, ok := post.data.(telemetry.Spanned); ok {
+		sp.TelemetrySpan().MarkOnce("post", p.Now())
+	}
 	rec := &txRecord{
 		msgID:  h.msgID,
 		dst:    h.dst,
@@ -298,6 +306,13 @@ func (fw *firmware) sendFrag(p *sim.Proc, rec *txRecord, seq int) {
 		MsgLen:  rec.length,
 		FragLen: fl,
 		Data:    rec.data,
+	}
+	if seq == 0 {
+		// First fragment on the wire; MarkOnce keeps retransmissions
+		// from moving the instant.
+		if sp, ok := rec.data.(telemetry.Spanned); ok {
+			sp.TelemetrySpan().MarkOnce("wire", p.Now())
+		}
 	}
 	fw.eng.Tracef(fw.n.Name, "tx data dst=%d tag=%d msg=%d frag=%d/%d len=%d", rec.dst, rec.tag, rec.msgID, seq+1, rec.nfrag, fl)
 	fw.n.Transmit(&ethernet.Frame{
@@ -513,6 +528,9 @@ func (fw *firmware) startReassembly(p *sim.Proc, wf *WireFrame, key reasmKey) *r
 		walked = idx + 1
 	}
 	fw.n.TagMatch(p, walked)
+	if sp, ok := wf.Data.(telemetry.Spanned); ok {
+		sp.TelemetrySpan().MarkOnce("match", p.Now())
+	}
 
 	r := &reassembly{
 		key:      key,
@@ -573,6 +591,9 @@ func (fw *firmware) finish(r *reassembly) {
 			fw.eng.After(delay, func() { h.complete(StatusOK, msg) })
 			return
 		}
+		if sp, ok := msg.Data.(telemetry.Spanned); ok {
+			sp.TelemetrySpan().MarkOnce("uq", fw.eng.Now())
+		}
 		fw.uqEntries = append(fw.uqEntries, &uqEntry{msg: msg})
 		fw.uqBytes += msg.Len
 		if len(fw.uqEntries) > fw.uqPeakEntries {
@@ -612,6 +633,9 @@ func (fw *firmware) enforceUQBytes() {
 		fw.uqBytes -= e.msg.Len
 		fw.uqSlots++
 		fw.uqDropped.Inc()
+		if fw.uqEvict != nil {
+			fw.uqEvict(e.msg.Src, e.msg.Tag, e.msg.Len)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // PollEvents is a bitmask of readiness classes, mirroring epoll's
@@ -233,4 +234,15 @@ func (po *Poller) Close() {
 	po.sink.Drain()
 	po.regs = make(map[uint64]*pollReg)
 	po.items = make(map[Pollable]uint64)
+}
+
+// TelemetryStats reports the poller's scalability counters as a
+// telemetry source: stable order, snake-case names. Register with
+// Registry.RegisterSource under a layer like "poller".
+func (po *Poller) TelemetryStats() []telemetry.Stat {
+	return []telemetry.Stat{
+		{Name: "poll_waits", Value: po.Waits},
+		{Name: "poll_delivered", Value: po.Delivered},
+		{Name: "poll_scanned", Value: po.Scanned},
+	}
 }

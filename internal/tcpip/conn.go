@@ -1,11 +1,26 @@
 package tcpip
 
 import (
+	"fmt"
+
 	"repro/internal/ethernet"
 	"repro/internal/sim"
 	"repro/internal/sock"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
+
+// connSpan pins a latency span to the absolute stream offset its write
+// ends at, on both the send side (matched to emitted segments) and the
+// receive side (retired as the reader consumes past it).
+type connSpan struct {
+	end  int64
+	span *telemetry.Span
+}
+
+// maxConnSpans bounds the per-connection span queues; a stalled reader
+// sheds the oldest spans rather than growing without bound.
+const maxConnSpans = 256
 
 // Connection states.
 const (
@@ -96,6 +111,36 @@ type Conn struct {
 	// the model's SO_RCVTIMEO/SO_SNDTIMEO); zero means none. Consulted
 	// when an operation blocks.
 	rdl, wdl sim.Time
+
+	// spanQ holds latency spans for written-but-unacked bytes on the
+	// send side; rcvSpanQ holds spans for delivered-but-unread bytes on
+	// the receive side. Both oldest-first.
+	spanQ    []connSpan
+	rcvSpanQ []connSpan
+}
+
+// id names this connection for telemetry: local addr:port to peer
+// addr:port.
+func (c *Conn) id() string {
+	return fmt.Sprintf("%d:%d-%d:%d", c.st.addr, c.lport, c.raddr, c.rport)
+}
+
+// flight returns the connection's flight recorder (nil-safe no-op when
+// telemetry is off).
+func (c *Conn) flight() *telemetry.Recorder {
+	return c.st.Tel.Flight(c.id())
+}
+
+// popReadSpans retires latency spans whose payload the reader has fully
+// consumed, marking the read wake instant and folding the decomposition
+// into the host's histograms.
+func (c *Conn) popReadSpans(now sim.Time) {
+	for len(c.rcvSpanQ) > 0 && c.rcvSpanQ[0].end <= c.rcvbuf.Base() {
+		sp := c.rcvSpanQ[0].span
+		c.rcvSpanQ = c.rcvSpanQ[1:]
+		sp.Mark("read", now)
+		c.st.Tel.RecordSpan(sp)
+	}
 }
 
 // SetNoDelay toggles TCP_NODELAY on the connection.
@@ -234,6 +279,9 @@ func (c *Conn) sendSYN(p *sim.Proc, synAck bool) {
 	if synAck {
 		flags |= flagACK
 		ack = c.rcvbuf.End()
+		c.flight().Record(c.st.Eng.Now(), "syn-ack", "")
+	} else {
+		c.flight().Record(c.st.Eng.Now(), "syn", "")
 	}
 	seg := &Segment{
 		Src: c.st.addr, Dst: c.raddr,
@@ -255,6 +303,7 @@ func (c *Conn) input(seg *Segment) {
 	if seg.Flags&flagRST != 0 {
 		// A reset answering our SYN is a refusal (nobody home on that
 		// port), not a reset of an established conversation.
+		c.flight().Record(c.st.Eng.Now(), "rst-rcvd", "")
 		if c.state == stateSynSent {
 			c.fail(sock.ErrRefused)
 		} else {
@@ -307,6 +356,9 @@ func (c *Conn) input(seg *Segment) {
 		}
 		if ackBytes > 0 {
 			c.sndbuf.TrimTo(una + ackBytes)
+			for len(c.spanQ) > 0 && c.spanQ[0].end <= c.sndbuf.Base() {
+				c.spanQ = c.spanQ[1:]
+			}
 			c.dupAcks = 0
 			c.rexmits = 0
 			progress = true
@@ -362,6 +414,14 @@ func (c *Conn) input(seg *Segment) {
 				off = so.End
 			}
 			c.rcvbuf.Append(seg.Len-off, nil)
+			// In-order acceptance happens exactly once per byte range, so
+			// the "deliver" mark fires once even under retransmission.
+			for _, ss := range seg.Spans {
+				ss.Span.MarkOnce("deliver", c.st.Eng.Now())
+				if !c.rdShut && len(c.rcvSpanQ) < maxConnSpans {
+					c.rcvSpanQ = append(c.rcvSpanQ, connSpan{end: seg.Seq + int64(ss.End), span: ss.Span})
+				}
+			}
 			if c.rdShut {
 				// shutdown(SHUT_RD): ack and discard, so the peer's writer
 				// keeps its window instead of stalling against a reader
@@ -387,6 +447,7 @@ func (c *Conn) input(seg *Segment) {
 		if c.rcvbuf != nil && finSeq == c.rcvbuf.End() && c.peerFinSeq < 0 {
 			c.peerFinSeq = finSeq
 			c.eof = true
+			c.flight().Record(c.st.Eng.Now(), "peer-fin", "")
 			switch c.state {
 			case stateEstablished:
 				c.state = stateCloseWait
@@ -488,6 +549,7 @@ func (c *Conn) output(p *sim.Proc) {
 	// Emit our FIN once everything (including retransmissions) is out.
 	if c.finSeq >= 0 && !c.finSent && c.sndNxt == c.sndbuf.End() {
 		c.finSent = true
+		c.flight().Record(c.st.Eng.Now(), "fin-sent", "")
 		done := c.reserveEmit(p)
 		c.st.transmitAt(done, &Segment{
 			Src: c.st.addr, Dst: c.raddr,
@@ -553,14 +615,25 @@ func (c *Conn) emit(p *sim.Proc, seq int64, n int, push bool) {
 	for _, o := range c.sndbuf.ObjectsAt(seq, seq+int64(n)) {
 		objs = append(objs, SegObj{End: int(o.End - seq), Obj: o.Obj})
 	}
+	var spans []SegSpan
+	for _, cs := range c.spanQ {
+		if cs.end > seq && cs.end <= seq+int64(n) {
+			spans = append(spans, SegSpan{End: int(cs.end - seq), Span: cs.span})
+		}
+	}
 	done := c.reserveEmit(p)
+	for _, ss := range spans {
+		// First emission stamps the wire time; retransmissions re-carry
+		// the span but MarkOnce keeps the original instant.
+		ss.Span.MarkOnce("wire", done)
+	}
 	c.pendingAcks = 0 // data segments piggyback the ack
 	c.delAck.Cancel()
 	c.st.transmitAt(done, &Segment{
 		Src: c.st.addr, Dst: c.raddr,
 		SrcPort: c.lport, DstPort: c.rport,
 		Flags: flags, Seq: seq, Ack: c.peerAck(), Wnd: c.advertise(),
-		Len: n, Objs: objs,
+		Len: n, Objs: objs, Spans: spans,
 	})
 }
 
@@ -617,6 +690,7 @@ func (c *Conn) onRTO() {
 		return
 	}
 	c.st.Rexmits.Inc()
+	c.flight().Recordf(c.st.Eng.Now(), "rto", "rexmits=%d", c.rexmits)
 	c.rttValid = false // Karn's rule: never time retransmitted data
 	c.ssthresh = c.inflight() / 2
 	if c.ssthresh < 2*MSS {
@@ -632,6 +706,7 @@ func (c *Conn) onRTO() {
 // fastRetransmit resends the first unacked segment on triple-dup-ack.
 func (c *Conn) fastRetransmit() {
 	c.st.FastRetransmits.Inc()
+	c.flight().Record(c.st.Eng.Now(), "fast-rexmit", "")
 	c.ssthresh = c.inflight() / 2
 	if c.ssthresh < 2*MSS {
 		c.ssthresh = 2 * MSS
@@ -650,6 +725,16 @@ func (c *Conn) fail(err error) {
 	if c.err == nil {
 		c.err = err
 	}
+	if c.st.Tel != nil {
+		c.flight().Recordf(c.st.Eng.Now(), "fail", "%v", err)
+		if err == sock.ErrReset {
+			// The connection died under the application: capture the
+			// event history as a failure artifact.
+			c.st.Tel.DumpFlight(c.id(), "reset")
+		}
+	}
+	c.spanQ = nil
+	c.rcvSpanQ = nil
 	c.rtoTimer.Cancel()
 	c.delAck.Cancel()
 	was := c.state
@@ -689,6 +774,7 @@ func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 	if !c.waitDeadline(p, c.rcvReady, c.rdl, func() bool {
 		return c.rcvbuf.Len() > 0 || c.eof || c.err != nil || c.rdShut
 	}) {
+		c.flight().Record(p.Now(), "deadline", "read")
 		return 0, nil, sock.ErrTimeout
 	}
 	if blocked {
@@ -708,6 +794,7 @@ func (c *Conn) Read(p *sim.Proc, max int) (int, []any, error) {
 	wasFull := c.advWindow() < MSS
 	p.Sleep(c.st.copyTime(n))
 	n, objs := c.rcvbuf.Read(n)
+	c.popReadSpans(p.Now())
 	// Window update: if the window was effectively shut and has now
 	// opened, tell the sender (avoids stalls with small buffers).
 	if wasFull && c.advWindow() >= MSS && c.state != stateClosed {
@@ -733,12 +820,19 @@ func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 	if c.state != stateEstablished && c.state != stateCloseWait {
 		return 0, sock.ErrClosed
 	}
+	if sp := c.st.Tel.NewSpan("tcp", n, "write", p.Now()); sp != nil && n > 0 {
+		if len(c.spanQ) >= maxConnSpans {
+			c.spanQ = c.spanQ[1:]
+		}
+		c.spanQ = append(c.spanQ, connSpan{end: c.sndbuf.End() + int64(n), span: sp})
+	}
 	written := 0
 	for written < n {
 		blocked := c.sndbuf.Len() >= c.st.Cfg.SndBuf && c.err == nil && c.state != stateClosed
 		if !c.waitDeadline(p, c.sndReady, c.wdl, func() bool {
 			return c.sndbuf.Len() < c.st.Cfg.SndBuf || c.err != nil || c.state == stateClosed
 		}) {
+			c.flight().Record(p.Now(), "deadline", "write")
 			return written, sock.ErrTimeout
 		}
 		if blocked {
@@ -808,6 +902,7 @@ func (c *Conn) CloseRead(p *sim.Proc) error {
 	if c.rcvbuf != nil && c.rcvbuf.Len() > 0 {
 		c.rcvbuf.Read(c.rcvbuf.Len())
 	}
+	c.rcvSpanQ = nil // discarded bytes retire their spans unrecorded
 	c.rcvReady.Broadcast()
 	c.src.Fire(uint32(sock.PollIn))
 	return nil
@@ -819,6 +914,7 @@ func (c *Conn) abort(p *sim.Proc) {
 	if c.state == stateClosed {
 		return
 	}
+	c.flight().Record(c.st.Eng.Now(), "rst-sent", "")
 	done := c.reserveEmit(p)
 	c.st.transmitAt(done, &Segment{
 		Src: c.st.addr, Dst: c.raddr,
@@ -838,6 +934,7 @@ func (c *Conn) lingerWait(p *sim.Proc, deadline sim.Time) error {
 	})
 	if !c.finAcked && c.err == nil && c.state != stateClosed {
 		c.st.LingerExpired.Inc()
+		c.flight().Record(p.Now(), "linger-expired", "")
 		c.abort(p)
 		return sock.ErrTimeout
 	}

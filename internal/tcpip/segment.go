@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/ethernet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // TCP header flags.
@@ -52,6 +53,17 @@ type Segment struct {
 	// a retransmission that merges adjacent writes must still deliver
 	// every object at its original stream position (see package stream).
 	Objs []SegObj
+	// Spans carries latency-decomposition spans whose write ranges end
+	// within this segment, mirroring Objs: End is relative to Seq, and a
+	// retransmission re-carries the span (its marks dedupe via MarkOnce).
+	Spans []SegSpan
+}
+
+// SegSpan is one latency span riding a segment; End is the offset just
+// past the span's last byte, relative to the segment's Seq.
+type SegSpan struct {
+	End  int
+	Span *telemetry.Span
 }
 
 // SegObj is one application object riding a segment; End is the offset

@@ -9,6 +9,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/sock"
+	"repro/internal/telemetry"
 )
 
 // connKey demultiplexes established connections.
@@ -59,6 +60,33 @@ type Stack struct {
 	// LingerExpired counts lingering closes that hit their deadline and
 	// degraded to a reset (tail delivery unconfirmed).
 	LingerExpired sim.Counter
+
+	// Tel is the host's telemetry registry; nil outside a cluster (all
+	// instrumentation no-ops).
+	Tel *telemetry.Registry
+}
+
+// SetTelemetry attaches the host's registry and registers the stack's
+// counters as a pull-through source under layer "tcp".
+func (st *Stack) SetTelemetry(tel *telemetry.Registry) {
+	st.Tel = tel
+	if tel == nil {
+		return
+	}
+	tel.RegisterSource("tcp", func() []telemetry.Stat {
+		return []telemetry.Stat{
+			{Name: "segs_in", Value: st.SegsIn.Value},
+			{Name: "segs_out", Value: st.SegsOut.Value},
+			{Name: "rexmits", Value: st.Rexmits.Value},
+			{Name: "delayed_acks", Value: st.DelayedAcks.Value},
+			{Name: "interrupts", Value: st.Interrupts.Value},
+			{Name: "fast_rexmits", Value: st.FastRetransmits.Value},
+			{Name: "dropped_no_listener", Value: st.DroppedNoListener.Value},
+			{Name: "dropped_segs", Value: st.DroppedSegs.Value},
+			{Name: "checksum_drops", Value: st.ChecksumDrops.Value},
+			{Name: "linger_expired", Value: st.LingerExpired.Value},
+		}
+	})
 }
 
 // NewStack creates a stack on host and attaches it to sw.

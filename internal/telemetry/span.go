@@ -1,0 +1,102 @@
+package telemetry
+
+import "repro/internal/sim"
+
+// Span is one operation's latency decomposition: an ordered list of
+// named virtual-time marks stamped as the operation crosses layers
+// (write enqueue, EMP fragment post, first frame on the wire,
+// tag match, completion delivery, receive staging, read wake). Spans
+// ride the message payload end to end — the substrate carries one on
+// its wire header, TCP on segment object boundaries — so the receiver
+// can account the whole path without any extra wire state.
+//
+// Marks never charge simulated time; instrumented runs keep the exact
+// timings of uninstrumented ones. All methods are nil-receiver safe, so
+// hot paths mark unconditionally and pay nothing when telemetry is off.
+type Span struct {
+	Path  string // "eager", "rend", or "tcp"
+	Size  int    // operation payload bytes, for size classing
+	Marks []SpanMark
+}
+
+// SpanMark is one named instant inside a span.
+type SpanMark struct {
+	Name string
+	At   sim.Time
+}
+
+// Spanned is implemented by payload objects that carry a latency span,
+// letting lower layers (EMP firmware, TCP segments) stamp marks by type
+// assertion without importing the layer that created the span.
+type Spanned interface {
+	TelemetrySpan() *Span
+}
+
+// NewSpan starts a span on the given path with an initial mark. Returns
+// nil — a valid, free-to-mark span — when the registry is nil.
+func (r *Registry) NewSpan(path string, size int, mark string, at sim.Time) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{Path: path, Size: size}
+	s.Mark(mark, at)
+	return s
+}
+
+// Mark appends a named instant. Safe on a nil receiver.
+func (s *Span) Mark(name string, at sim.Time) {
+	if s == nil {
+		return
+	}
+	s.Marks = append(s.Marks, SpanMark{Name: name, At: at})
+}
+
+// MarkOnce appends the mark only if no mark with that name exists yet;
+// retransmission paths use it so a span records first-transmission
+// instants. Safe on a nil receiver.
+func (s *Span) MarkOnce(name string, at sim.Time) {
+	if s == nil {
+		return
+	}
+	for _, m := range s.Marks {
+		if m.Name == name {
+			return
+		}
+	}
+	s.Marks = append(s.Marks, SpanMark{Name: name, At: at})
+}
+
+// SizeClass buckets a payload size the way the paper's figures do:
+// small control-sized ops, a page-ish midrange, and bulk.
+func SizeClass(n int) string {
+	switch {
+	case n <= 64:
+		return "64B"
+	case n <= 1024:
+		return "1KB"
+	case n <= 16<<10:
+		return "16KB"
+	default:
+		return "big"
+	}
+}
+
+// RecordSpan folds a completed span into the registry's latency
+// histograms: one histogram per adjacent mark pair (the stage
+// decomposition) and one for the end-to-end first-to-last duration,
+// keyed by path and size class. Because stages telescope — each stage's
+// end is the next stage's start — the per-stage sums add up to the
+// end-to-end sum exactly. No-op when the registry or span is nil or the
+// span has fewer than two marks.
+func (r *Registry) RecordSpan(s *Span) {
+	if r == nil || s == nil || len(s.Marks) < 2 {
+		return
+	}
+	prefix := s.Path + "/" + SizeClass(s.Size) + "/"
+	for i := 1; i < len(s.Marks); i++ {
+		d := s.Marks[i].At.Sub(s.Marks[i-1].At)
+		r.Histogram("latency", prefix+s.Marks[i-1].Name+"->"+s.Marks[i].Name, LatencyBounds()).ObserveDuration(d)
+	}
+	e2e := s.Marks[len(s.Marks)-1].At.Sub(s.Marks[0].At)
+	r.Histogram("latency", prefix+"e2e", LatencyBounds()).ObserveDuration(e2e)
+}

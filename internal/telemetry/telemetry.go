@@ -1,0 +1,320 @@
+// Package telemetry is the host-scoped observability layer: a registry
+// of counters, gauges, and fixed-bucket histograms keyed by
+// layer/metric/connection, latency-decomposition spans stamped at layer
+// crossings, and per-connection flight recorders dumped when a
+// connection dies unexpectedly.
+//
+// The registry is deliberately passive: it never schedules events and
+// never charges simulated time, so instrumented and uninstrumented runs
+// produce byte-identical timings. Every method is nil-receiver safe —
+// layers built outside a cluster (unit tests, microbenches) simply carry
+// a nil *Registry and all instrumentation collapses to cheap no-ops.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Key identifies one metric within a registry. Conn is empty for
+// host-wide metrics and carries the connection id for per-connection
+// ones.
+type Key struct {
+	Layer  string
+	Metric string
+	Conn   string
+}
+
+func keyLess(a, b Key) bool {
+	if a.Layer != b.Layer {
+		return a.Layer < b.Layer
+	}
+	if a.Metric != b.Metric {
+		return a.Metric < b.Metric
+	}
+	return a.Conn < b.Conn
+}
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ v int64 }
+
+// Inc adds one to the counter. Safe on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n to the counter. Safe on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value reports the current count. Zero on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous level (queue depth, bytes staged).
+type Gauge struct{ v int64 }
+
+// Set replaces the gauge value. Safe on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v = n
+	}
+}
+
+// Add moves the gauge by n (negative to decrease). Safe on a nil
+// receiver.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v += n
+	}
+}
+
+// Value reports the current level. Zero on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Stat is one named value pulled from an external source at snapshot
+// time. Sources let the scattered pre-existing stat structs
+// (emp.Endpoint.Stats, tcpip.Stack counters, sock.Poller counters,
+// sim.Engine.Wakeups, faults.FaultStats) feed the registry without
+// double-counting: they stay the owners, the registry reads through.
+type Stat struct {
+	Name  string
+	Value int64
+}
+
+type source struct {
+	layer string
+	fn    func() []Stat
+}
+
+// Registry is the per-host metric store. The zero value is not usable;
+// call New. A nil *Registry is a valid "telemetry off" value: every
+// method no-ops.
+type Registry struct {
+	counters map[Key]*Counter
+	gauges   map[Key]*Gauge
+	hists    map[Key]*Histogram
+	sources  []source
+
+	flights  map[string]*Recorder
+	flightLR []string // least-recently-used first
+	dumps    []Dump
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[Key]*Counter),
+		gauges:   make(map[Key]*Gauge),
+		hists:    make(map[Key]*Histogram),
+		flights:  make(map[string]*Recorder),
+	}
+}
+
+// Counter returns the counter for (layer, metric), creating it on first
+// use. Returns nil (a valid no-op counter) on a nil registry.
+func (r *Registry) Counter(layer, metric string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := Key{Layer: layer, Metric: metric}
+	c := r.counters[k]
+	if c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for (layer, metric), creating it on first
+// use. Returns nil (a valid no-op gauge) on a nil registry.
+func (r *Registry) Gauge(layer, metric string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := Key{Layer: layer, Metric: metric}
+	g := r.gauges[k]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for (layer, metric), creating it with
+// the given bucket bounds on first use (later calls reuse the existing
+// bounds). Returns nil (a valid no-op histogram) on a nil registry.
+func (r *Registry) Histogram(layer, metric string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := Key{Layer: layer, Metric: metric}
+	h := r.hists[k]
+	if h == nil {
+		h = NewHistogram(bounds)
+		r.hists[k] = h
+	}
+	return h
+}
+
+// RegisterSource registers a pull-through stat source under the given
+// layer name. fn runs at Snapshot time and must return stats in a
+// deterministic order. No-op on a nil registry.
+func (r *Registry) RegisterSource(layer string, fn func() []Stat) {
+	if r == nil {
+		return
+	}
+	r.sources = append(r.sources, source{layer: layer, fn: fn})
+}
+
+// MetricSnap is one counter or gauge in a snapshot.
+type MetricSnap struct {
+	Layer  string `json:"layer"`
+	Metric string `json:"metric"`
+	Conn   string `json:"conn,omitempty"`
+	Value  int64  `json:"value"`
+}
+
+// HistSnap is one histogram in a snapshot. Quantiles are interpolated;
+// Counts has one extra trailing bucket for observations above the last
+// bound.
+type HistSnap struct {
+	Layer  string    `json:"layer"`
+	Metric string    `json:"metric"`
+	Conn   string    `json:"conn,omitempty"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	P50    float64   `json:"p50"`
+	P99    float64   `json:"p99"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot is the full, deterministic state of a registry: every series
+// sorted by (layer, metric, conn), source stats folded in as counters.
+type Snapshot struct {
+	Counters []MetricSnap `json:"counters"`
+	Gauges   []MetricSnap `json:"gauges,omitempty"`
+	Hists    []HistSnap   `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry. Same seed, same workload — same
+// snapshot, byte for byte, because every series is emitted in sorted
+// key order and sources run in registration order. A nil registry
+// snapshots empty.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{Counters: []MetricSnap{}}
+	if r == nil {
+		return s
+	}
+	merged := make(map[Key]int64, len(r.counters))
+	for k, c := range r.counters {
+		merged[k] = c.Value()
+	}
+	for _, src := range r.sources {
+		for _, st := range src.fn() {
+			merged[Key{Layer: src.layer, Metric: st.Name}] += st.Value
+		}
+	}
+	keys := make([]Key, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		s.Counters = append(s.Counters, MetricSnap{Layer: k.Layer, Metric: k.Metric, Conn: k.Conn, Value: merged[k]})
+	}
+
+	gkeys := make([]Key, 0, len(r.gauges))
+	for k := range r.gauges {
+		gkeys = append(gkeys, k)
+	}
+	sort.Slice(gkeys, func(i, j int) bool { return keyLess(gkeys[i], gkeys[j]) })
+	for _, k := range gkeys {
+		s.Gauges = append(s.Gauges, MetricSnap{Layer: k.Layer, Metric: k.Metric, Conn: k.Conn, Value: r.gauges[k].Value()})
+	}
+
+	hkeys := make([]Key, 0, len(r.hists))
+	for k := range r.hists {
+		hkeys = append(hkeys, k)
+	}
+	sort.Slice(hkeys, func(i, j int) bool { return keyLess(hkeys[i], hkeys[j]) })
+	for _, k := range hkeys {
+		h := r.hists[k]
+		s.Hists = append(s.Hists, HistSnap{
+			Layer: k.Layer, Metric: k.Metric, Conn: k.Conn,
+			Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+			P50: h.Percentile(50), P99: h.Percentile(99),
+			Bounds: h.Bounds(), Counts: h.Counts(),
+		})
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}
+
+// Merge folds other's counters, gauges, histograms, and flight dumps
+// into r (cross-node aggregation for cluster-wide reports). Histograms
+// merge bucket-wise; mismatched bounds are skipped. No-op if either
+// side is nil.
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	for k, c := range other.counters {
+		rc := r.counters[k]
+		if rc == nil {
+			rc = &Counter{}
+			r.counters[k] = rc
+		}
+		rc.Add(c.Value())
+	}
+	for k, g := range other.gauges {
+		rg := r.gauges[k]
+		if rg == nil {
+			rg = &Gauge{}
+			r.gauges[k] = rg
+		}
+		rg.Add(g.Value())
+	}
+	for k, h := range other.hists {
+		rh := r.hists[k]
+		if rh == nil {
+			rh = NewHistogram(h.Bounds())
+			r.hists[k] = rh
+		}
+		rh.Merge(h)
+	}
+	r.dumps = append(r.dumps, other.dumps...)
+	if len(r.dumps) > maxDumps {
+		r.dumps = r.dumps[:maxDumps]
+	}
+	for _, src := range other.sources {
+		r.sources = append(r.sources, src)
+	}
+}

@@ -1,0 +1,322 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(LatencyBounds())
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not zeroed: count=%d sum=%v mean=%v", h.Count(), h.Sum(), h.Mean())
+	}
+	if p := h.Percentile(50); p != 0 {
+		t.Fatalf("empty percentile = %v, want 0", p)
+	}
+	if p := h.Percentile(99); p != 0 {
+		t.Fatalf("empty p99 = %v, want 0", p)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	h.Observe(42)
+	if h.Count() != 1 || h.Sum() != 42 || h.Min() != 42 || h.Max() != 42 {
+		t.Fatalf("single value stats wrong: %+v", h)
+	}
+	// Percentiles clamp to the observed range, so one value reports
+	// itself exactly at every percentile.
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got := h.Percentile(p); got != 42 {
+			t.Fatalf("p%v = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	// No explicit bounds: everything lands in the overflow bucket, and
+	// the histogram still works as a bounded accumulator.
+	h := NewHistogram(nil)
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 10 || h.Sum() != 55 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if c := h.Counts(); len(c) != 1 || c[0] != 10 {
+		t.Fatalf("counts = %v, want [10]", c)
+	}
+	if p := h.Percentile(100); p != 10 {
+		t.Fatalf("p100 = %v, want max 10", p)
+	}
+	if p := h.Percentile(50); p < 1 || p > 10 {
+		t.Fatalf("p50 = %v out of observed range", p)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(1e9) // far beyond the last bound
+	c := h.Counts()
+	if len(c) != 3 || c[0] != 1 || c[1] != 1 || c[2] != 1 {
+		t.Fatalf("counts = %v, want [1 1 1]", c)
+	}
+	if h.Max() != 1e9 {
+		t.Fatalf("max = %v", h.Max())
+	}
+	// The overflow bucket interpolates between the last bound and the
+	// observed max, so percentiles stay finite.
+	if p := h.Percentile(99); p <= 20 || p > 1e9 {
+		t.Fatalf("p99 = %v, want in (20, 1e9]", p)
+	}
+}
+
+func TestHistogramPercentileInterpolation(t *testing.T) {
+	// 100 observations spread uniformly over one bucket (0, 100]:
+	// linear interpolation should land p50 near the bucket midpoint.
+	h := NewHistogram([]float64{100, 200})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	p50 := h.Percentile(50)
+	if math.Abs(p50-50) > 2 {
+		t.Fatalf("p50 = %v, want ~50", p50)
+	}
+	p90 := h.Percentile(90)
+	if math.Abs(p90-90) > 2 {
+		t.Fatalf("p90 = %v, want ~90", p90)
+	}
+	if h.Percentile(100) != 100 {
+		t.Fatalf("p100 = %v, want 100", h.Percentile(100))
+	}
+	// Bucket boundaries: exactly at a bound stays in the lower bucket.
+	h2 := NewHistogram([]float64{10})
+	h2.Observe(10)
+	if c := h2.Counts(); c[0] != 1 || c[1] != 0 {
+		t.Fatalf("bound-inclusive bucketing broken: %v", c)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{10, 100})
+	b := NewHistogram([]float64{10, 100})
+	a.Observe(5)
+	a.Observe(50)
+	b.Observe(500)
+	if !a.Merge(b) {
+		t.Fatal("merge of identical bounds failed")
+	}
+	if a.Count() != 3 || a.Sum() != 555 || a.Min() != 5 || a.Max() != 500 {
+		t.Fatalf("merged stats wrong: count=%d sum=%v min=%v max=%v", a.Count(), a.Sum(), a.Min(), a.Max())
+	}
+	if c := a.Counts(); c[0] != 1 || c[1] != 1 || c[2] != 1 {
+		t.Fatalf("merged counts = %v", c)
+	}
+	// Mismatched bounds refuse to merge and leave the target intact.
+	c := NewHistogram([]float64{1, 2, 3})
+	if c.Merge(a) {
+		t.Fatal("merge across different bounds should fail")
+	}
+	if c.Count() != 0 {
+		t.Fatal("failed merge mutated the target")
+	}
+	// Merging an empty histogram into an empty one keeps both empty.
+	d := NewHistogram([]float64{10, 100})
+	e := NewHistogram([]float64{10, 100})
+	if !d.Merge(e) || d.Count() != 0 {
+		t.Fatalf("empty merge broke: count=%d", d.Count())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	// Every path must be a no-op, not a panic, when telemetry is off.
+	r.Counter("l", "m").Inc()
+	r.Counter("l", "m").Add(3)
+	r.Gauge("l", "m").Set(7)
+	r.Histogram("l", "m", nil).Observe(1)
+	r.RegisterSource("l", func() []Stat { return nil })
+	sp := r.NewSpan("eager", 64, "write", 0)
+	if sp != nil {
+		t.Fatal("nil registry must yield nil span")
+	}
+	sp.Mark("post", 10)
+	sp.MarkOnce("post", 10)
+	r.RecordSpan(sp)
+	r.Flight("c").Record(0, "connect", "")
+	r.Flight("c").Recordf(0, "connect", "try %d", 1)
+	r.DumpFlight("c", "reset")
+	r.DumpAllFlights("audit")
+	if d := r.Dumps(); d != nil {
+		t.Fatalf("nil registry dumps = %v", d)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Percentile(50) != 0 || h.Merge(NewHistogram(nil)) {
+		t.Fatal("nil histogram misbehaved")
+	}
+}
+
+func TestSpanStageSumsMatchEndToEnd(t *testing.T) {
+	r := New()
+	s := r.NewSpan("eager", 512, "write", 100)
+	s.Mark("post", 250)
+	s.Mark("wire", 1000)
+	s.MarkOnce("wire", 2000) // retransmission must not re-mark
+	s.Mark("deliver", 4000)
+	s.Mark("read", 5000)
+	r.RecordSpan(s)
+	snap := r.Snapshot()
+	var stageSum, e2e float64
+	for _, h := range snap.Hists {
+		if h.Metric == "eager/1KB/e2e" {
+			e2e = h.Sum
+		} else {
+			stageSum += h.Sum
+		}
+	}
+	if e2e != 4900 {
+		t.Fatalf("e2e sum = %v, want 4900", e2e)
+	}
+	if stageSum != e2e {
+		t.Fatalf("stage sums %v != e2e %v", stageSum, e2e)
+	}
+}
+
+func TestFlightRingWrapAndLRU(t *testing.T) {
+	r := New()
+	rec := r.Flight("a")
+	for i := 0; i < flightCap+5; i++ {
+		rec.Recordf(sim.Time(i), "ev", "n=%d", i)
+	}
+	evs := rec.Events()
+	if len(evs) != flightCap {
+		t.Fatalf("ring holds %d events, want %d", len(evs), flightCap)
+	}
+	if evs[0].At != 5 || evs[len(evs)-1].At != sim.Time(flightCap+4) {
+		t.Fatalf("ring order wrong: first=%v last=%v", evs[0].At, evs[len(evs)-1].At)
+	}
+	if rec.Total() != int64(flightCap+5) {
+		t.Fatalf("total = %d", rec.Total())
+	}
+	// Churn past the LRU bound: the oldest untouched recorder is gone,
+	// a touched one survives.
+	for i := 0; i < maxFlights; i++ {
+		r.Flight(fmt.Sprintf("conn-%03d", i)).Record(0, "connect", "")
+		r.Flight("a").Record(0, "keep", "") // keep "a" hot
+	}
+	if _, ok := r.flights["a"]; !ok {
+		t.Fatal("hot recorder evicted")
+	}
+	if len(r.flights) > maxFlights {
+		t.Fatalf("%d live recorders, cap %d", len(r.flights), maxFlights)
+	}
+	if _, ok := r.flights["conn-000"]; ok {
+		t.Fatal("LRU eviction did not discard the cold recorder")
+	}
+}
+
+func TestDumpCapture(t *testing.T) {
+	r := New()
+	r.Flight("x").Record(10, "connect", "ok")
+	r.Flight("x").Record(20, "retransmit", "seq=3")
+	d := r.DumpFlight("x", "reset")
+	if d == nil || len(d.Events) != 2 || d.Reason != "reset" {
+		t.Fatalf("dump = %+v", d)
+	}
+	if r.DumpFlight("unknown", "reset") != nil {
+		t.Fatal("dump of unknown conn should be nil")
+	}
+	if got := len(r.Dumps()); got != 1 {
+		t.Fatalf("retained dumps = %d", got)
+	}
+	// The dump cap holds.
+	for i := 0; i < maxDumps+8; i++ {
+		id := fmt.Sprintf("y%02d", i)
+		r.Flight(id).Record(0, "connect", "")
+		r.DumpFlight(id, "audit")
+	}
+	if got := len(r.Dumps()); got != maxDumps {
+		t.Fatalf("dump cap broken: %d", got)
+	}
+	var buf bytes.Buffer
+	FprintDump(&buf, *d)
+	if buf.Len() == 0 {
+		t.Fatal("FprintDump wrote nothing")
+	}
+}
+
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	build := func() *Registry {
+		r := New()
+		// Insert in one order here; map iteration would scramble it if
+		// Snapshot didn't sort.
+		r.Counter("core", "msgs_sent").Add(5)
+		r.Counter("emp", "retransmits").Add(2)
+		r.Counter("core", "credit_stalls").Inc()
+		r.Gauge("emp", "uq_bytes").Set(4096)
+		r.Histogram("latency", "eager/64B/e2e", LatencyBounds()).Observe(12e3)
+		r.RegisterSource("sim", func() []Stat { return []Stat{{Name: "wakeups", Value: 17}} })
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\n---\n%s", a.String(), b.String())
+	}
+	snap := build().Snapshot()
+	if len(snap.Counters) != 4 {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+	// Sorted by layer then metric, sources folded in.
+	order := []string{"core/credit_stalls", "core/msgs_sent", "emp/retransmits", "sim/wakeups"}
+	for i, want := range order {
+		got := snap.Counters[i].Layer + "/" + snap.Counters[i].Metric
+		if got != want {
+			t.Fatalf("counter %d = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Counter("core", "msgs_sent").Add(3)
+	b.Counter("core", "msgs_sent").Add(4)
+	b.Counter("tcp", "segs_in").Add(9)
+	a.Histogram("latency", "tcp/1KB/e2e", LatencyBounds()).Observe(1000)
+	b.Histogram("latency", "tcp/1KB/e2e", LatencyBounds()).Observe(3000)
+	b.Flight("n1:5000-n0:80").Record(5, "reset", "peer gone")
+	b.DumpFlight("n1:5000-n0:80", "reset")
+	a.Merge(b)
+	snap := a.Snapshot()
+	byKey := map[string]int64{}
+	for _, c := range snap.Counters {
+		byKey[c.Layer+"/"+c.Metric] = c.Value
+	}
+	if byKey["core/msgs_sent"] != 7 || byKey["tcp/segs_in"] != 9 {
+		t.Fatalf("merged counters = %v", byKey)
+	}
+	for _, h := range snap.Hists {
+		if h.Metric == "tcp/1KB/e2e" && (h.Count != 2 || h.Sum != 4000) {
+			t.Fatalf("merged hist = %+v", h)
+		}
+	}
+	if len(a.Dumps()) != 1 {
+		t.Fatalf("merged dumps = %d", len(a.Dumps()))
+	}
+}
