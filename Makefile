@@ -1,7 +1,9 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench bench-smoke reproduce ablations chaos overload audit drain metrics examples verify
+.PHONY: test race bench bench-smoke reproduce ablations chaos chaos-nic overload audit drain metrics examples verify record
 
+# test is the everyday gate; `make verify` is the full pre-merge chain
+# (build + vet + race tests + the chaos-NIC self-healing smoke).
 test:
 	go vet ./...
 	go test -race ./...
@@ -31,6 +33,14 @@ ablations:
 # resource-audit finding behind.
 chaos:
 	go run ./cmd/reproduce -chaos
+
+# chaos-nic runs the NIC-fault self-healing matrix: web and kvstore
+# over reconnecting sessions while seeded plans drop doorbells, stall
+# DMA, flip descriptors, lose credit updates, wedge firmware, and flap
+# the server's substrate link — plus a no-recovery control that must
+# fail. Any unexpected outcome fails the target.
+chaos-nic:
+	go run ./cmd/reproduce -chaos-nic
 
 # overload runs the flood/starvation resilience suite under the race
 # detector: connect floods beyond the backlog, credit/buffer starvation
@@ -65,8 +75,17 @@ examples:
 	go run ./examples/matmul
 	go run ./examples/kvstore
 
-# verify regenerates the committed experiment record artifacts.
+# verify is the full pre-merge chain: build, vet, the race-enabled test
+# suite, and the chaos-NIC self-healing smoke (the quick matrix: every
+# NIC fault kind on both workloads plus the no-recovery control).
 verify:
+	go build ./...
+	go vet ./...
+	go test -race ./...
+	go run ./cmd/reproduce -chaos-nic -quick
+
+# record regenerates the committed experiment record artifacts.
+record:
 	go vet ./...
 	go test ./... 2>&1 | tee test_output.txt
 	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

@@ -26,6 +26,7 @@ func main() {
 	figFlag := flag.String("fig", "all", "which figure to reproduce (all, fig11..fig17)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead")
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos suite instead")
+	chaosNIC := flag.Bool("chaos-nic", false, "run the NIC-fault self-healing matrix instead")
 	chaosSeeds := flag.Int("chaos-seeds", 5, "randomized fault plans per chaos workload")
 	auditFlag := flag.Bool("audit", false, "run the descriptor-leak audit sweep instead")
 	metrics := flag.Bool("metrics", false, "run the hot-path latency decomposition instead")
@@ -126,6 +127,21 @@ func main() {
 	if *chaos {
 		runs := bench.Chaos(*chaosSeeds, *quick)
 		bench.FprintChaos(os.Stdout, runs)
+		for _, r := range runs {
+			if !r.OK {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *chaosNIC {
+		seeds := *chaosSeeds
+		if *quick {
+			seeds = 1
+		}
+		runs := bench.ChaosNIC(seeds, *quick)
+		bench.FprintChaosNIC(os.Stdout, runs)
 		for _, r := range runs {
 			if !r.OK {
 				os.Exit(1)

@@ -66,6 +66,17 @@ type KVConfig struct {
 	Drain bool
 	// DrainTimeout bounds the quiesce; zero uses a 50 ms default.
 	DrainTimeout sim.Duration
+	// Sessions runs every connection through the self-healing session
+	// layer: transports that die mid-operation are redialed (failing
+	// over from the substrate to kernel TCP on Failover clusters) and
+	// the byte stream resumes where the peer left off. Incompatible
+	// with EventLoop (sessions are not pollable). Off by default.
+	Sessions bool
+	// Think pauses each client for this long after every completed
+	// operation. Zero (the default) keeps the measured workload
+	// unchanged; the chaos suite uses it to stretch the run across its
+	// scheduled fault windows.
+	Think sim.Duration
 }
 
 // DefaultKVConfig returns a read-heavy data-center mix.
@@ -99,12 +110,12 @@ func (r KVResult) OpsPerSec() float64 {
 
 // kvServer serves totalConns persistent connections, each handled by
 // its own process, until every client disconnects.
-func kvServer(p *sim.Proc, node *cluster.Node, cfg KVConfig, totalConns int) error {
+func kvServer(p *sim.Proc, node *cluster.Node, cfg KVConfig, totalConns int, listen listenFn) error {
 	var err error
 	if cfg.EventLoop {
 		err = kvServerEvented(p, node, cfg, totalConns)
 	} else {
-		err = kvServerForked(p, node, cfg, totalConns)
+		err = kvServerForked(p, node, cfg, totalConns, listen)
 	}
 	if err == nil && cfg.Drain {
 		err = drainNode(p, node, cfg.DrainTimeout)
@@ -113,8 +124,8 @@ func kvServer(p *sim.Proc, node *cluster.Node, cfg KVConfig, totalConns int) err
 }
 
 // kvServerForked is the handler-process-per-connection server.
-func kvServerForked(p *sim.Proc, node *cluster.Node, cfg KVConfig, totalConns int) error {
-	l, err := node.Net.Listen(p, cfg.Port, totalConns)
+func kvServerForked(p *sim.Proc, node *cluster.Node, cfg KVConfig, totalConns int, listen listenFn) error {
+	l, err := listen(p, cfg.Port, totalConns)
 	if err != nil {
 		return err
 	}
@@ -303,8 +314,8 @@ func kvServerEvented(p *sim.Proc, node *cluster.Node, cfg KVConfig, totalConns i
 }
 
 // kvClient issues the configured mix over one persistent connection.
-func kvClient(p *sim.Proc, node *cluster.Node, server sock.Addr, cfg KVConfig, id int, lat *telemetry.Histogram) error {
-	c, err := node.Net.Dial(p, server, cfg.Port)
+func kvClient(p *sim.Proc, cfg KVConfig, dial dialFn, id int, lat *telemetry.Histogram) error {
+	c, err := dial(p)
 	if err != nil {
 		return err
 	}
@@ -349,6 +360,9 @@ func kvClient(p *sim.Proc, node *cluster.Node, server sock.Addr, cfg KVConfig, i
 			return fmt.Errorf("kv: get miss on a primed key %q", key)
 		}
 		lat.ObserveDuration(p.Now().Sub(start))
+		if cfg.Think > 0 {
+			p.Sleep(cfg.Think)
+		}
 	}
 	return nil
 }
@@ -363,23 +377,34 @@ func RunKVStore(c *cluster.Cluster, cfg KVConfig) KVResult {
 	// arbitrary number of operations without retaining one value each.
 	// Registered so the cluster telemetry snapshot carries it too.
 	lat := c.Nodes[0].Tel.Histogram("apps", "kv_latency_ns", telemetry.LatencyBounds())
+	if cfg.Sessions && cfg.EventLoop {
+		return KVResult{Err: fmt.Errorf("kv: Sessions and EventLoop are incompatible")}
+	}
+	listen := netListen(c.Nodes[0])
+	if cfg.Sessions {
+		listen = sessionListen(c, 0, "kv")
+	}
 	var srvErr error
 	cliErrs := make([]error, cfg.Clients)
 	var start, end sim.Time
 	c.Eng.Spawn("kv-server", func(p *sim.Proc) {
-		srvErr = kvServer(p, c.Nodes[0], cfg, cfg.Clients)
+		srvErr = kvServer(p, c.Nodes[0], cfg, cfg.Clients, listen)
 	})
 	done := sim.NewWaitGroup(c.Eng, "kv.clients")
 	done.Add(cfg.Clients)
 	for i := 0; i < cfg.Clients; i++ {
 		i := i
+		dial := netDial(c.Nodes[i+1], c.Addr(0), cfg.Port)
+		if cfg.Sessions {
+			dial = sessionDial(c, i+1, 0, cfg.Port, "kv")
+		}
 		c.Eng.Spawn("kv-client", func(p *sim.Proc) {
 			defer done.Done()
 			p.Sleep(sim.Duration(20+10*i) * sim.Microsecond)
 			if start == 0 {
 				start = p.Now()
 			}
-			cliErrs[i] = kvClient(p, c.Nodes[i+1], c.Addr(0), cfg, i, lat)
+			cliErrs[i] = kvClient(p, cfg, dial, i, lat)
 			end = p.Now()
 		})
 	}

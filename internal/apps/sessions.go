@@ -1,0 +1,75 @@
+package apps
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/sock"
+)
+
+// The workloads reach the network through two small closures — one to
+// listen, one to dial — so the same server and client code runs over a
+// raw transport connection or over the self-healing session layer; the
+// Run* drivers pick the pair from the workload config's Sessions knob.
+
+// listenFn binds the workload server's listener.
+type listenFn func(p *sim.Proc, port, backlog int) (sock.Listener, error)
+
+// dialFn opens one client connection to the workload server.
+type dialFn func(p *sim.Proc) (sock.Conn, error)
+
+// netListen listens on the node's primary transport — the historical
+// direct path.
+func netListen(node *cluster.Node) listenFn {
+	return func(p *sim.Proc, port, backlog int) (sock.Listener, error) {
+		return node.Net.Listen(p, port, backlog)
+	}
+}
+
+// netDial dials the server's primary transport directly.
+func netDial(node *cluster.Node, server sock.Addr, port int) dialFn {
+	return func(p *sim.Proc) (sock.Conn, error) {
+		return node.Net.Dial(p, server, port)
+	}
+}
+
+// sessionListen binds the session listener for node serverIdx: the
+// primary transport always, plus the kernel TCP stack when the node has
+// both (a Failover cluster), so failover dials land on the same
+// service.
+func sessionListen(cl *cluster.Cluster, serverIdx int, name string) listenFn {
+	return func(p *sim.Proc, port, backlog int) (sock.Listener, error) {
+		n := cl.Nodes[serverIdx]
+		prim, err := n.Net.Listen(p, port, backlog)
+		if err != nil {
+			return nil, err
+		}
+		inner := []sock.Listener{prim}
+		if n.Sub != nil && n.Stack != nil {
+			sec, err := n.Stack.Listen(p, port, backlog)
+			if err != nil {
+				prim.Close(p)
+				return nil, err
+			}
+			inner = append(inner, sec)
+		}
+		return sock.NewSessionListener(sock.SessionConfig{
+			Eng:  cl.Eng,
+			Name: name,
+			Tel:  n.Tel,
+		}, inner...), nil
+	}
+}
+
+// sessionDial opens a self-healing session from node clientIdx to node
+// serverIdx, failing over down the cluster's target list (substrate
+// first, TCP when the node has both).
+func sessionDial(cl *cluster.Cluster, clientIdx, serverIdx, port int, name string) dialFn {
+	return func(p *sim.Proc) (sock.Conn, error) {
+		return sock.DialSession(p, sock.SessionConfig{
+			Eng:     cl.Eng,
+			Name:    name,
+			Targets: cl.Targets(clientIdx, serverIdx, port),
+			Tel:     cl.Nodes[clientIdx].Tel,
+		})
+	}
+}

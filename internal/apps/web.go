@@ -51,6 +51,18 @@ type WebConfig struct {
 	Drain bool
 	// DrainTimeout bounds the quiesce; zero uses a 50 ms default.
 	DrainTimeout sim.Duration
+	// Sessions runs every connection through the self-healing session
+	// layer: transports that die mid-request are redialed (failing over
+	// from the substrate to kernel TCP on Failover clusters) and the
+	// byte stream resumes where the peer left off, so the workload
+	// completes under NIC faults and link flaps. Incompatible with
+	// EventLoop (sessions are not pollable). Off by default.
+	Sessions bool
+	// Think pauses each client for this long after every completed
+	// request. Zero (the default) keeps the paper's measured workload
+	// unchanged; the chaos suite uses it to stretch the run across its
+	// scheduled fault windows.
+	Think sim.Duration
 }
 
 // DefaultWebConfig returns the paper's setup for a given response size.
@@ -78,7 +90,7 @@ type WebResult struct {
 // own process (a fork-per-connection server, so one client's keep-alive
 // connection does not head-of-line-block the others), and returns once
 // every handler finishes.
-func webServer(p *sim.Proc, node *cluster.Node, cfg WebConfig, totalConns int) error {
+func webServer(p *sim.Proc, node *cluster.Node, cfg WebConfig, totalConns int, listen listenFn) error {
 	if cfg.FileBacked {
 		node.FS.Create("index.html", cfg.ResponseBytes, "document")
 	}
@@ -86,7 +98,7 @@ func webServer(p *sim.Proc, node *cluster.Node, cfg WebConfig, totalConns int) e
 	if cfg.EventLoop {
 		err = webServerEvented(p, node, cfg, totalConns)
 	} else {
-		err = webServerForked(p, node, cfg, totalConns)
+		err = webServerForked(p, node, cfg, totalConns, listen)
 	}
 	if err == nil && cfg.Drain {
 		err = drainNode(p, node, cfg.DrainTimeout)
@@ -95,8 +107,8 @@ func webServer(p *sim.Proc, node *cluster.Node, cfg WebConfig, totalConns int) e
 }
 
 // webServerForked is the fork-per-connection server.
-func webServerForked(p *sim.Proc, node *cluster.Node, cfg WebConfig, totalConns int) error {
-	l, err := node.Net.Listen(p, cfg.Port, 16)
+func webServerForked(p *sim.Proc, node *cluster.Node, cfg WebConfig, totalConns int, listen listenFn) error {
+	l, err := listen(p, cfg.Port, 16)
 	if err != nil {
 		return err
 	}
@@ -246,11 +258,11 @@ func webServerEvented(p *sim.Proc, node *cluster.Node, cfg WebConfig, totalConns
 // client-observed response time of each (connection establishment is
 // charged to the first request of each connection, as a browser user
 // would experience it).
-func webClient(p *sim.Proc, node *cluster.Node, server sock.Addr, cfg WebConfig, lat *telemetry.Histogram) error {
+func webClient(p *sim.Proc, cfg WebConfig, dial dialFn, lat *telemetry.Histogram) error {
 	issued := 0
 	for issued < cfg.RequestsPerClient {
 		start := p.Now()
-		c, err := node.Net.Dial(p, server, cfg.Port)
+		c, err := dial(p)
 		if err != nil {
 			return err
 		}
@@ -268,6 +280,9 @@ func webClient(p *sim.Proc, node *cluster.Node, server sock.Addr, cfg WebConfig,
 			}
 			lat.ObserveDuration(p.Now().Sub(start))
 			issued++
+			if cfg.Think > 0 {
+				p.Sleep(cfg.Think)
+			}
 		}
 		c.Close(p)
 	}
@@ -281,21 +296,32 @@ func RunWeb(c *cluster.Cluster, cfg WebConfig) WebResult {
 	if len(c.Nodes) < cfg.Clients+1 {
 		return WebResult{Err: fmt.Errorf("web: need %d nodes, have %d", cfg.Clients+1, len(c.Nodes))}
 	}
+	if cfg.Sessions && cfg.EventLoop {
+		return WebResult{Err: fmt.Errorf("web: Sessions and EventLoop are incompatible")}
+	}
 	total := cfg.Clients * cfg.RequestsPerClient
 	connsPerClient := (cfg.RequestsPerClient + cfg.RequestsPerConn - 1) / cfg.RequestsPerConn
 	// Bounded histogram, not sim.Sample: response collection is the
 	// long-running path, so memory must not scale with request count.
 	lat := c.Nodes[0].Tel.Histogram("apps", "web_response_ns", telemetry.LatencyBounds())
+	listen := netListen(c.Nodes[0])
+	if cfg.Sessions {
+		listen = sessionListen(c, 0, "web")
+	}
 	var srvErr error
 	cliErrs := make([]error, cfg.Clients)
 	c.Eng.Spawn("web-server", func(p *sim.Proc) {
-		srvErr = webServer(p, c.Nodes[0], cfg, cfg.Clients*connsPerClient)
+		srvErr = webServer(p, c.Nodes[0], cfg, cfg.Clients*connsPerClient, listen)
 	})
 	for i := 0; i < cfg.Clients; i++ {
 		i := i
+		dial := netDial(c.Nodes[i+1], c.Addr(0), cfg.Port)
+		if cfg.Sessions {
+			dial = sessionDial(c, i+1, 0, cfg.Port, "web")
+		}
 		c.Eng.Spawn("web-client", func(p *sim.Proc) {
 			p.Sleep(sim.Duration(20+10*i) * sim.Microsecond)
-			cliErrs[i] = webClient(p, c.Nodes[i+1], c.Addr(0), cfg, lat)
+			cliErrs[i] = webClient(p, cfg, dial, lat)
 		})
 	}
 	c.Run(600 * sim.Second)

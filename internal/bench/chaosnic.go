@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/audit"
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// ChaosNIC is the NIC-domain counterpart of Chaos: workloads run over
+// the self-healing session layer on Failover clusters (substrate
+// primary, kernel TCP standby) while seeded fault plans wound the
+// hosts' NICs — dropped doorbells, stalled DMA, descriptor bit flips,
+// lost credit updates, firmware wedges — and a phased link flap cuts
+// the server's substrate attachment outright. A run passes only if the
+// workload completes with correct output, no error surfaces to the
+// application, the sessions record at least one reconnect or failover,
+// and the resource audit comes back clean. A control run with sessions
+// disabled must fail under the same plan, proving the faults bite.
+
+// ChaosNICRun is one workload execution under one NIC fault plan.
+type ChaosNICRun struct {
+	Workload string // "web", "kvstore", or "control"
+	Fault    string // fault-plan kind
+	Seed     uint64
+	OK       bool
+	Detail   string
+	Elapsed  sim.Duration
+	// NICInjected counts NIC-domain fault firings across the cluster
+	// (doorbell drops, DMA stalls, descriptor flips, UQ losses, wedge
+	// stalls).
+	NICInjected int64
+	// Reconnects/Failovers/Reattaches sum the session-layer telemetry
+	// across nodes: the recovery work the faults forced.
+	Reconnects, Failovers, Reattaches int64
+	// SessionsFailed counts sessions that gave up (the app saw an
+	// error); any nonzero value fails the run.
+	SessionsFailed int64
+	// Leaks counts resource-audit findings after the run.
+	Leaks       int
+	FlightDumps []telemetry.Dump
+}
+
+// The flap cutting the server's substrate attachment: the outage
+// outlasts EMP's full retry budget (~190 ms), so a bare substrate
+// connection dies with sock.ErrReset while a session detects the wedge
+// via its health watchdog within tens of milliseconds and fails over
+// to the TCP standby. Fabric addresses in a Failover cluster are 2i
+// (substrate) and 2i+1 (TCP) for node i; downing address 0 kills only
+// the server's substrate port, leaving the TCP path up.
+const (
+	flapFrom = 5 * sim.Millisecond
+	flapSpan = 100 * sim.Millisecond // seed-stable phase drawn in [0, span)
+	flapDown = 250 * sim.Millisecond
+)
+
+// nicPlan builds the fault plan for one kind: the kind's NIC clauses
+// (aimed at client node 1's NIC) layered on the server-substrate link
+// flap every run shares.
+func nicPlan(kind string, seed uint64) *faults.Plan {
+	const until = 400 * sim.Millisecond
+	pl := &faults.Plan{
+		Clauses: faults.FlapPhased(seed, 0, flapFrom, flapSpan, flapDown, 1),
+	}
+	switch kind {
+	case "doorbell":
+		pl.NIC = append(pl.NIC, faults.DoorbellDrops(1, 0, until, 0.3))
+	case "dma-stall":
+		pl.NIC = append(pl.NIC, faults.DMAStalls(1, 0, until, 0.3, 200*sim.Microsecond))
+	case "desc-flip":
+		pl.NIC = append(pl.NIC, faults.DescFlips(1, 0, until, 0.2))
+	case "credit-loss":
+		pl.NIC = append(pl.NIC, faults.LostCreditUpdates(1, 0, until, 0.5))
+	case "wedge":
+		pl.NIC = append(pl.NIC, faults.FirmwareWedge(1, 10*sim.Millisecond, 110*sim.Millisecond))
+	case "flap":
+		// The shared link flap alone.
+	case "mixed":
+		pl.NIC = append(pl.NIC,
+			faults.DoorbellDrops(faults.Any, 0, until, 0.1),
+			faults.DMAStalls(faults.Any, 0, until, 0.1, 200*sim.Microsecond),
+			faults.DescFlips(faults.Any, 0, until, 0.05),
+			faults.LostCreditUpdates(faults.Any, 0, until, 0.25),
+			faults.FirmwareWedge(1, 10*sim.Millisecond, 110*sim.Millisecond),
+		)
+	}
+	return pl
+}
+
+// nicFaultKinds orders the matrix rows.
+var nicFaultKinds = []string{
+	"doorbell", "dma-stall", "desc-flip", "credit-loss", "wedge", "flap", "mixed",
+}
+
+func chaosNICCluster(nodes int, seed uint64, pl *faults.Plan) *cluster.Cluster {
+	return cluster.New(cluster.Config{
+		Nodes:    nodes,
+		Failover: true,
+		Seed:     seed,
+		Faults:   pl,
+	})
+}
+
+// chaosNICCounters folds the cluster's NIC fault counters, session
+// recovery counters, and the leak audit into the run row.
+func chaosNICCounters(c *cluster.Cluster, r *ChaosNICRun) {
+	for _, n := range c.Nodes {
+		if n.Sub != nil {
+			r.NICInjected += n.Sub.EP.NIC.FaultInjected()
+			if !n.Sub.Dead() {
+				n.Sub.PurgeStale()
+			}
+		}
+		r.Reconnects += n.Tel.Counter("session", "reconnects").Value()
+		r.Failovers += n.Tel.Counter("session", "failovers").Value()
+		r.Reattaches += n.Tel.Counter("session", "reattaches").Value()
+		r.SessionsFailed += n.Tel.Counter("session", "failed").Value()
+	}
+	if r.OK && r.Workload != "control" {
+		switch {
+		case r.SessionsFailed > 0:
+			r.OK = false
+			r.Detail = fmt.Sprintf("%d session(s) surfaced an error to the app", r.SessionsFailed)
+		case r.Reconnects+r.Failovers+r.Reattaches == 0:
+			r.OK = false
+			r.Detail = "no reconnect or failover recorded — the plan never bit the session layer"
+		}
+	}
+	if rep := audit.Cluster(c); !rep.Clean() {
+		r.Leaks = len(rep.Findings)
+		r.OK = false
+		r.Detail += fmt.Sprintf("; %d audit finding(s): %s", r.Leaks, rep.Findings[0])
+		for _, n := range c.Nodes {
+			n.Tel.DumpAllFlights("audit-leak")
+		}
+	}
+	r.FlightDumps = c.FlightDumps()
+}
+
+// ChaosNIC runs the NIC-fault matrix: every fault kind × every seed ×
+// web and kvstore over sessions, plus one control per seed with
+// recovery disabled that must fail.
+func ChaosNIC(seeds int, quick bool) []ChaosNICRun {
+	if seeds < 1 {
+		seeds = 1
+	}
+	reqs, ops := 24, 24
+	if quick {
+		reqs, ops = 16, 16
+	}
+	var runs []ChaosNICRun
+	for _, kind := range nicFaultKinds {
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			runs = append(runs,
+				chaosNICWeb(kind, seed, reqs),
+				chaosNICKV(kind, seed, ops))
+		}
+	}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		runs = append(runs, chaosNICControl(seed, reqs))
+	}
+	return runs
+}
+
+// chaosNICWeb runs the web workload over sessions under the kind's
+// plan. The think time stretches the run past the latest possible flap
+// start so the outage always lands on live traffic.
+func chaosNICWeb(kind string, seed uint64, reqs int) ChaosNICRun {
+	r := ChaosNICRun{Workload: "web", Fault: kind, Seed: seed}
+	c := chaosNICCluster(4, seed, nicPlan(kind, seed))
+	cfg := apps.DefaultWebConfig(1024, 8)
+	cfg.RequestsPerClient = reqs
+	cfg.Sessions = true
+	cfg.Think = 8 * sim.Millisecond
+	res := apps.RunWeb(c, cfg)
+	want := cfg.Clients * reqs
+	switch {
+	case res.Err != nil:
+		r.Detail = res.Err.Error()
+	case res.Requests != want:
+		r.Detail = fmt.Sprintf("%d of %d requests", res.Requests, want)
+	default:
+		r.OK = true
+		r.Detail = fmt.Sprintf("%d requests served", res.Requests)
+	}
+	chaosNICCounters(c, &r)
+	return r
+}
+
+func chaosNICKV(kind string, seed uint64, ops int) ChaosNICRun {
+	r := ChaosNICRun{Workload: "kvstore", Fault: kind, Seed: seed}
+	c := chaosNICCluster(4, seed, nicPlan(kind, seed))
+	cfg := apps.DefaultKVConfig(1024)
+	cfg.OpsPerClient = ops
+	cfg.Sessions = true
+	cfg.Think = 8 * sim.Millisecond
+	res := apps.RunKVStore(c, cfg)
+	r.Elapsed = res.Elapsed
+	want := cfg.Clients * ops
+	switch {
+	case res.Err != nil:
+		r.Detail = res.Err.Error()
+	case res.Ops != want:
+		r.Detail = fmt.Sprintf("%d of %d ops", res.Ops, want)
+	default:
+		r.OK = true
+		r.Detail = fmt.Sprintf("%d ops completed", res.Ops)
+	}
+	chaosNICCounters(c, &r)
+	return r
+}
+
+// chaosNICControl reruns the wedge+flap plan with sessions disabled:
+// bare transports under the same wounds must fail, proving the matrix
+// rows above pass because of the recovery layer and not because the
+// faults are toothless. OK here means the workload did NOT complete.
+func chaosNICControl(seed uint64, reqs int) ChaosNICRun {
+	r := ChaosNICRun{Workload: "control", Fault: "wedge", Seed: seed}
+	c := chaosNICCluster(4, seed, nicPlan("wedge", seed))
+	cfg := apps.DefaultWebConfig(1024, 8)
+	cfg.RequestsPerClient = reqs
+	cfg.Think = 8 * sim.Millisecond
+	res := apps.RunWeb(c, cfg)
+	want := cfg.Clients * reqs
+	if res.Err != nil || res.Requests != want {
+		r.OK = true
+		if res.Err != nil {
+			r.Detail = fmt.Sprintf("failed as it must without recovery: %v", res.Err)
+		} else {
+			r.Detail = fmt.Sprintf("failed as it must without recovery: %d of %d requests", res.Requests, want)
+		}
+	} else {
+		r.Detail = "completed without the session layer — the plan no longer bites"
+	}
+	chaosNICCounters(c, &r)
+	return r
+}
+
+// FprintChaosNIC renders the chaos-NIC report.
+func FprintChaosNIC(w io.Writer, runs []ChaosNICRun) {
+	fmt.Fprintln(w, "=== chaos-nic: sessions under NIC faults and link flaps ===")
+	fmt.Fprintf(w, "%-8s  %-11s  %4s  %-4s  %8s  %9s  %9s  %10s  %s\n",
+		"workload", "fault", "seed", "ok", "injected", "reconnect", "failover", "reattach", "detail")
+	ok := 0
+	for _, r := range runs {
+		status := "FAIL"
+		if r.OK {
+			status = "ok"
+			ok++
+		}
+		fmt.Fprintf(w, "%-8s  %-11s  %4d  %-4s  %8d  %9d  %9d  %10d  %s\n",
+			r.Workload, r.Fault, r.Seed, status,
+			r.NICInjected, r.Reconnects, r.Failovers, r.Reattaches, r.Detail)
+		if !r.OK {
+			for _, d := range r.FlightDumps {
+				telemetry.FprintDump(w, d)
+			}
+		}
+	}
+	fmt.Fprintf(w, "runs: %d/%d as expected\n\n", ok, len(runs))
+}

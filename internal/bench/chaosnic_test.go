@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// TestChaosNICQuick runs the NIC-fault matrix at its smoke setting:
+// every fault kind on both workloads plus the no-recovery control.
+// This is the chaos-NIC leg of `make verify`.
+func TestChaosNICQuick(t *testing.T) {
+	runs := ChaosNIC(1, true)
+	bad := 0
+	for _, r := range runs {
+		if !r.OK {
+			bad++
+			t.Errorf("%s/%s seed %d: %s", r.Workload, r.Fault, r.Seed, r.Detail)
+		}
+	}
+	var w io.Writer = io.Discard
+	if testing.Verbose() || bad > 0 {
+		w = os.Stdout
+	}
+	FprintChaosNIC(w, runs)
+}

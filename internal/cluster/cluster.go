@@ -65,10 +65,21 @@ type Config struct {
 	// Seed seeds the engine's deterministic random source.
 	Seed uint64
 	// Faults, when non-nil, injects the plan's link faults at the
-	// switch and schedules its node crashes. Node indices in the plan
-	// refer to positions in Nodes; fabric port indices coincide with
-	// node indices because New attaches nodes in order.
+	// switch, its NIC/firmware faults at each substrate node's NIC, and
+	// schedules its node crashes. Node indices in the plan refer to
+	// positions in Nodes; fabric port indices coincide with node
+	// indices because New attaches nodes in order (on Failover
+	// clusters, where each node attaches twice, the substrate NIC
+	// takes the even ports: node i's NIC is fabric port 2i, its TCP
+	// stack port 2i+1).
 	Faults *faults.Plan
+	// Failover gives every node BOTH transports: the substrate (the
+	// node's primary Net) and a kernel TCP stack on a separate fabric
+	// attachment, so sessions can fail over from EMP to TCP when the
+	// substrate's NIC is faulted. The substrate defaults shift to
+	// recovery-friendly values (SyncConnect, a dial deadline, the
+	// credit-reconciliation sweep) unless Substrate overrides them.
+	Failover bool
 }
 
 // Node is one machine of the cluster.
@@ -121,14 +132,40 @@ func New(cfg Config) *Cluster {
 	for i := 0; i < cfg.Nodes; i++ {
 		host := kernel.NewHost(eng, "host", cfg.Cores, hostCosts)
 		n := &Node{Host: host, FS: ramfs.New(host), Tel: telemetry.New()}
-		switch cfg.Transport {
-		case TransportSubstrate:
+		switch {
+		case cfg.Failover:
 			nicCfg := nic.DefaultConfig()
 			if cfg.NIC != nil {
 				nicCfg = *cfg.NIC
 			}
 			nc := nic.New(eng, "nic", nicCfg)
 			nc.Attach(sw)
+			if cfg.Faults != nil {
+				nc.SetFaults(cfg.Faults, i)
+			}
+			opts := FailoverOptions()
+			if cfg.Substrate != nil {
+				opts = *cfg.Substrate
+			}
+			n.Sub = core.New(eng, host, nc, opts)
+			n.Sub.SetTelemetry(n.Tel)
+			n.Net = n.Sub
+			stCfg := tcpip.DefaultStackConfig()
+			if cfg.TCP != nil {
+				stCfg = *cfg.TCP
+			}
+			n.Stack = tcpip.NewStack(eng, host, sw, stCfg)
+			n.Stack.SetTelemetry(n.Tel)
+		case cfg.Transport == TransportSubstrate:
+			nicCfg := nic.DefaultConfig()
+			if cfg.NIC != nil {
+				nicCfg = *cfg.NIC
+			}
+			nc := nic.New(eng, "nic", nicCfg)
+			nc.Attach(sw)
+			if cfg.Faults != nil {
+				nc.SetFaults(cfg.Faults, i)
+			}
 			opts := core.DefaultOptions()
 			if cfg.Substrate != nil {
 				opts = *cfg.Substrate
@@ -159,6 +196,38 @@ func New(cfg Config) *Cluster {
 		}
 	}
 	return c
+}
+
+// FailoverOptions is the substrate configuration Failover clusters
+// default to: the paper's DS_DA_UQ data path plus the recovery
+// machinery — synchronous connect (a dial must learn its fate before
+// the session layer can fail over), a dial deadline, keepalive probing
+// so a dead peer is detected on idle connections, and the
+// credit-reconciliation sweep repairing grants lost to NIC faults.
+func FailoverOptions() core.Options {
+	o := core.DefaultOptions()
+	o.SyncConnect = true
+	o.DialDeadline = 10 * sim.Millisecond
+	o.DialJitter = 0.5
+	o.KeepaliveIdle = 5 * sim.Millisecond
+	o.CreditSyncAfter = 1 * sim.Millisecond
+	return o
+}
+
+// Targets builds the failover dial list for a session from node client
+// to node server: the substrate first, kernel TCP second. Both nodes
+// must come from a Failover cluster. The two targets carry different
+// fabric addresses because each transport has its own attachment.
+func (c *Cluster) Targets(client, server, port int) []sock.Target {
+	cn, sn := c.Nodes[client], c.Nodes[server]
+	var out []sock.Target
+	if cn.Sub != nil && sn.Sub != nil {
+		out = append(out, sock.Target{Name: "substrate", Net: cn.Sub, Addr: sn.Sub.Addr(), Port: port})
+	}
+	if cn.Stack != nil && sn.Stack != nil {
+		out = append(out, sock.Target{Name: "tcp", Net: cn.Stack, Addr: sn.Stack.Addr(), Port: port})
+	}
+	return out
 }
 
 // TelemetrySnapshot merges every node's registry (in node-index order)
@@ -207,13 +276,16 @@ func (c *Cluster) FlightDumps() []telemetry.Dump {
 // refused, live sockets drain out bounded by deadline, and the
 // post-drain resource audit's findings (if any) come back as the error.
 func (n *Node) Drain(p *sim.Proc, deadline sim.Time) error {
+	var err error
 	if n.Sub != nil {
-		return n.Sub.Drain(p, deadline)
+		err = n.Sub.Drain(p, deadline)
 	}
 	if n.Stack != nil {
-		return n.Stack.Drain(p, deadline)
+		if e := n.Stack.Drain(p, deadline); err == nil {
+			err = e
+		}
 	}
-	return nil
+	return err
 }
 
 // Kill crashes node i: its protocol state dies instantly (no farewell

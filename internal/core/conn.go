@@ -61,6 +61,14 @@ type Conn struct {
 	// the sender; returned by piggyback or an explicit ack at the
 	// threshold.
 	pendingCredits int
+	// grantedTotal is the cumulative count of credits this side has ever
+	// granted to the peer, stamped (as header.Grant) on every
+	// credit-carrying message so a grant lost above EMP reliability can
+	// be repaired by any later one. grantSeen is the peer's cumulative
+	// total as last applied here: grants are applied as the delta above
+	// it, making duplicates and reordered grants no-ops.
+	grantedTotal uint64
+	grantSeen    uint64
 	eof            bool
 	// eofSeen: a read has returned the 0-length end-of-stream. The read
 	// side can never produce anything new after that, so the readable
@@ -76,7 +84,10 @@ type Conn struct {
 
 	connReplied bool
 	rendAcks    []*header
-	closeSent   bool
+	// aborting marks that an abort has already spawned the asynchronous
+	// descriptor-reclaim proc, so repeated failed ops do not spawn more.
+	aborting  bool
+	closeSent bool
 	peerClosed  bool
 	cleaned     bool
 	err         error
@@ -107,6 +118,21 @@ type Conn struct {
 	// lastIO is when the connection last saw application activity; the
 	// keepalive loop probes only connections idle past the interval.
 	lastIO sim.Time
+	// stallSince is when the writer entered its current credit stall and
+	// has seen no grant since (zero = not stalled); the health monitor
+	// reads it and the credit-reconciliation sweep probes from it.
+	// lastSync is when the last kindCreditSync probe went out.
+	stallSince sim.Time
+	lastSync   sim.Time
+	// sendSince is when the oldest proc currently blocked inside a
+	// local send-completion wait entered it (zero = none blocked), and
+	// sendWaiters counts them. A send that the NIC firmware never
+	// drains — a wedge — produces no retransmission streak (the
+	// retransmit scheduler is itself firmware) and no credit stall, so
+	// this wait age is the only host-visible symptom; the health
+	// monitor reads it like a driver's command-completion watchdog.
+	sendSince   sim.Time
+	sendWaiters int
 
 	// spanQ holds latency spans for staged-but-unread bytes, oldest
 	// first, keyed by the absolute staged offset their payload ends at.
@@ -140,6 +166,96 @@ func (c *Conn) popReadSpans(now sim.Time) {
 var _ sock.Conn = (*Conn)(nil)
 var _ sock.Pollable = (*Conn)(nil)
 var _ sock.Deadliner = (*Conn)(nil)
+var _ sock.Healther = (*Conn)(nil)
+var _ sock.Aborter = (*Conn)(nil)
+
+// Health thresholds for the substrate connection monitor. A credit
+// stall is backpressure, not necessarily failure, so the wedge bound is
+// set well past any healthy reader's ack latency; the retransmission
+// streak bounds are calibrated against EMP's RTO ladder (a streak of 12
+// represents roughly 50 ms of escalating timeouts — far beyond one
+// recoverable loss, well short of the ~150 ms EMP needs to exhaust its
+// own retry budget).
+const (
+	healthDegradeStall  = 2 * sim.Millisecond
+	healthWedgeStall    = 20 * sim.Millisecond
+	healthDegradeStreak = 4
+	healthWedgeStreak   = 12
+)
+
+// Health implements sock.Healther: judge the connection's liveness from
+// protocol signals already on hand — terminal state, the EMP
+// retransmission streak toward the peer, and how long the writer has
+// been stalled on credits with no grant arriving. It charges no
+// simulated time, so watchdogs may poll it freely.
+func (c *Conn) Health() sock.Health {
+	if c.err != nil || c.cleaned {
+		return sock.Wedged
+	}
+	streak := c.sub.EP.ResendStreak(c.peer)
+	var stalled sim.Duration
+	if c.stallSince != 0 {
+		stalled = c.sub.Eng.Now().Sub(c.stallSince)
+	}
+	if c.sendSince != 0 {
+		if age := c.sub.Eng.Now().Sub(c.sendSince); age > stalled {
+			stalled = age
+		}
+	}
+	switch {
+	case streak >= healthWedgeStreak || stalled >= healthWedgeStall:
+		return sock.Wedged
+	case streak >= healthDegradeStreak || stalled >= healthDegradeStall:
+		return sock.Degraded
+	}
+	return sock.Healthy
+}
+
+// send posts a message on the connection's behalf and waits for local
+// completion, tracking how long the wait has been outstanding so
+// Health can notice a firmware that stopped draining sends. The wait
+// also wakes on connection failure: an abort (a health watchdog's, or
+// a peer reset) must not leave the writer parked behind a wedged
+// firmware that will not complete the send until the wedge clears.
+func (c *Conn) send(p *sim.Proc, tag emp.Tag, length int, data any, key emp.BufKey) emp.Status {
+	h := c.sub.EP.PostSend(p, c.peer, tag, length, data, key)
+	if h.Status() != emp.StatusPending {
+		return h.Status()
+	}
+	if c.sendWaiters == 0 {
+		c.sendSince = c.sub.Eng.Now()
+	}
+	c.sendWaiters++
+	h.SetNotify(c)
+	c.waitDeadline(p, 0, func() bool {
+		return h.Status() != emp.StatusPending || c.err != nil || c.cleaned
+	})
+	c.sendWaiters--
+	if c.sendWaiters == 0 {
+		c.sendSince = 0
+	}
+	if h.Status() == emp.StatusPending {
+		// Conn failed under the wait; the descriptor stays with the NIC
+		// and completes (or is reclaimed) on its own schedule.
+		return emp.StatusFailed
+	}
+	return h.Status()
+}
+
+// Abort implements sock.Aborter: fail the connection locally and
+// immediately. Blocked reads and writes wake with sock.ErrReset and
+// reclaim the connection's descriptors on their way out (Read/Write on
+// a failed connection run the abort cleanup); no close message is sent
+// — the peer is presumed unreachable and recovers through its own
+// health monitor, keepalive probe, or EMP retry budget. Safe to call
+// from event context.
+func (c *Conn) Abort() {
+	if c.cleaned || c.err != nil {
+		return
+	}
+	c.flight().Record(c.sub.Eng.Now(), "abort", "")
+	c.fail(sock.ErrReset)
+}
 
 // SetDeadline implements sock.Deadliner.
 func (c *Conn) SetDeadline(t sim.Time) { c.rdl, c.wdl = t, t }
@@ -262,11 +378,17 @@ func (c *Conn) fail(err error) {
 // delivered. Every descriptor is still unposted ("used or unposted") and
 // the socket leaves the active table, so failure leaks nothing.
 func (c *Conn) abort(p *sim.Proc) {
-	if c.cleaned {
+	if c.cleaned || c.aborting {
 		return
 	}
+	c.aborting = true
 	c.closeSent = true // suppress any later close message
-	c.cleanup(p)
+	// Reclaim in a separate proc: each Unpost parks in a mailbox round
+	// trip, and against a wedged firmware that round trip lasts until
+	// the wedge clears. The application op that hit the failure must
+	// surface its error now — a recovery layer cannot redial while its
+	// caller is stuck burying the old connection's descriptors.
+	c.sub.Eng.Spawn("conn-abort", func(q *sim.Proc) { c.cleanup(q) })
 }
 
 // keepaliveLoop probes the peer while the connection sits idle. The
@@ -286,7 +408,7 @@ func (c *Conn) keepaliveLoop(p *sim.Proc) {
 		}
 		c.sub.KeepalivesSent.Inc()
 		c.sub.Eng.Tracef("substrate", "keepalive %d -> %d", c.sub.addr, c.peer)
-		st := c.sub.EP.Send(p, c.peer, c.ackOutTag, headerBytes,
+		st := c.send(p, c.ackOutTag, headerBytes,
 			&header{Kind: kindKeepalive}, emp.KeyNone)
 		if st != emp.StatusOK {
 			c.fail(sock.ErrReset)
@@ -408,12 +530,47 @@ func (c *Conn) PollSource() *sim.NoteSource { return &c.src }
 
 // --- Acknowledgment plumbing ---------------------------------------------
 
+// applyGrant applies a credit-carrying header: the delta of its
+// cumulative Grant above what we have already applied. Duplicated or
+// reordered grants are no-ops, so a reconciliation answer can always be
+// resent safely; a Grant-less header (defensive — every in-tree grant
+// carries one) falls back to the per-message delta. Reports the credits
+// applied.
+func (c *Conn) applyGrant(hdr *header) int {
+	n := hdr.Piggy
+	if hdr.Grant != 0 {
+		if hdr.Grant <= c.grantSeen {
+			return 0 // stale: a later cumulative grant already covered it
+		}
+		n = int(hdr.Grant - c.grantSeen)
+		c.grantSeen = hdr.Grant
+	}
+	c.credits += n
+	if c.credits > 0 {
+		c.stallSince = 0
+	}
+	return n
+}
+
 // handleControl processes one message from the ack channel.
-func (c *Conn) handleControl(hdr *header) {
+func (c *Conn) handleControl(p *sim.Proc, hdr *header) {
 	switch hdr.Kind {
 	case kindCreditAck:
-		c.credits += hdr.Piggy
-		c.flight().Recordf(c.sub.Eng.Now(), "credit-grant", "n=%d have=%d", hdr.Piggy, c.credits)
+		n := c.applyGrant(hdr)
+		c.flight().Recordf(c.sub.Eng.Now(), "credit-grant", "n=%d have=%d", n, c.credits)
+	case kindCreditSync:
+		// A stalled peer writer asks for a fresh cumulative grant total:
+		// fold any withheld delayed acks in and answer with the
+		// cumulative figure. The answer is idempotent at the peer, so a
+		// lost original costs nothing and a duplicate over-credits
+		// nothing. A failed answer send is equally harmless — the folded
+		// credits stay in grantedTotal and ride the next credit message.
+		n := c.pendingCredits
+		c.pendingCredits = 0
+		c.grantedTotal += uint64(n)
+		c.flight().Recordf(c.sub.Eng.Now(), "credit-sync", "answer total=%d flushed=%d", c.grantedTotal, n)
+		c.sub.EP.PostSend(p, c.peer, c.ackOutTag, headerBytes,
+			&header{Kind: kindCreditAck, Piggy: n, Grant: c.grantedTotal}, emp.KeyNone)
 	case kindConnReply:
 		c.connReplied = true
 	case kindRendAck:
@@ -447,7 +604,7 @@ func (c *Conn) pollAcks(p *sim.Proc) {
 				return
 			}
 			if hdr, ok := m.Data.(*header); ok {
-				c.handleControl(hdr)
+				c.handleControl(p, hdr)
 			}
 		}
 		return
@@ -461,7 +618,7 @@ func (c *Conn) pollAcks(p *sim.Proc) {
 		c.ackHandles = append(c.ackHandles[:i], c.ackHandles[i+1:]...)
 		if st == emp.StatusOK {
 			if hdr, ok := m.Data.(*header); ok {
-				c.handleControl(hdr)
+				c.handleControl(p, hdr)
 			}
 			c.postAckDesc(p) // recycle
 		}
@@ -529,14 +686,50 @@ func (c *Conn) returnCredits(p *sim.Proc) {
 		c.sub.ExplicitAcks.Inc()
 		n := c.pendingCredits
 		c.pendingCredits = 0
+		c.grantedTotal += uint64(n)
 		h := c.sub.EP.PostSend(p, c.peer, c.ackOutTag, headerBytes,
-			&header{Kind: kindCreditAck, Piggy: n}, emp.KeyNone)
+			&header{Kind: kindCreditAck, Piggy: n, Grant: c.grantedTotal}, emp.KeyNone)
 		if h.Status() == emp.StatusNoDescriptors {
 			// Descriptor budget exhausted: the ack never left, so the
-			// credits stay pending and ride the next piggyback or ack.
+			// credits stay pending (and ungranted) and ride the next
+			// piggyback or ack.
 			c.pendingCredits += n
+			c.grantedTotal -= uint64(n)
 		}
 	}
+}
+
+// creditSweepTick runs one credit-reconciliation pass for the
+// substrate's sweep process (Options.CreditSyncAfter): harvest
+// ack-channel arrivals the blocked owner is not polling — an inbound
+// kindCreditSync probe would otherwise sit unanswered under a reader
+// blocked on the data channel — and probe the peer once the writer has
+// been stalled past the threshold with no grant arriving.
+func (c *Conn) creditSweepTick(p *sim.Proc) {
+	if c.cleaned || c.err != nil || c.opts.Mode != DataStreaming {
+		return
+	}
+	// Harvest first: the missing grant (or a peer's probe) may already
+	// be parked locally.
+	if c.sub.EP.PeekUnexpected(c.peer, c.ackInTag) || c.anyAckCompleted() {
+		c.pollAcks(p)
+	}
+	if c.peerClosed || c.closeSent {
+		return
+	}
+	after := c.sub.Opts.CreditSyncAfter
+	now := c.sub.Eng.Now()
+	if c.stallSince == 0 || now.Sub(c.stallSince) < after {
+		return
+	}
+	if c.lastSync != 0 && now.Sub(c.lastSync) < after {
+		return
+	}
+	c.lastSync = now
+	c.sub.CreditSyncs.Inc()
+	c.flight().Recordf(now, "credit-sync", "probe stalled=%v", now.Sub(c.stallSince))
+	c.sub.EP.PostSend(p, c.peer, c.ackOutTag, headerBytes,
+		&header{Kind: kindCreditSync}, emp.KeyNone)
 }
 
 // takeCredit blocks until a send credit is available, bounded by the
@@ -549,6 +742,9 @@ func (c *Conn) takeCredit(p *sim.Proc) error { return c.takeCreditDeadline(p, c.
 func (c *Conn) takeCreditDeadline(p *sim.Proc, dl sim.Time) error {
 	if c.credits == 0 {
 		c.sub.CreditStalls.Inc()
+		if c.stallSince == 0 {
+			c.stallSince = c.sub.Eng.Now()
+		}
 		c.flight().Record(c.sub.Eng.Now(), "credit-stall", "")
 	}
 	for c.credits == 0 {
@@ -589,7 +785,7 @@ func (c *Conn) takeCreditDeadline(p *sim.Proc, dl sim.Time) error {
 				m, st := c.sub.EP.WaitRecv(p, h) // immediate; charges the poll gap
 				if st == emp.StatusOK {
 					if hdr, ok := m.Data.(*header); ok {
-						c.handleControl(hdr)
+						c.handleControl(p, hdr)
 					}
 				}
 				continue
@@ -599,7 +795,7 @@ func (c *Conn) takeCreditDeadline(p *sim.Proc, dl sim.Time) error {
 				// in flight: the ack must still be accounted.
 				if m, st, ok := c.sub.EP.TryRecv(h); ok && st == emp.StatusOK {
 					if hdr, ok2 := m.Data.(*header); ok2 {
-						c.handleControl(hdr)
+						c.handleControl(p, hdr)
 					}
 				}
 				continue
@@ -624,6 +820,7 @@ func (c *Conn) takeCreditDeadline(p *sim.Proc, dl sim.Time) error {
 		}
 	}
 	c.credits--
+	c.stallSince = 0
 	return nil
 }
 
@@ -641,7 +838,7 @@ func (c *Conn) applyDS(p *sim.Proc, hdr *header) {
 	}
 	if hdr.Piggy > 0 {
 		c.sub.PiggybackAcks.Add(int64(hdr.Piggy))
-		c.credits += hdr.Piggy
+		c.applyGrant(hdr)
 	}
 	switch hdr.Kind {
 	case kindData:
@@ -846,10 +1043,13 @@ func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 			return written, err
 		}
 		piggy := 0
+		var grant uint64
 		if c.opts.Piggyback && c.pendingCredits > 0 {
 			piggy = c.pendingCredits
 			c.pendingCredits = 0
 			c.sub.PiggybackAcks.Add(int64(piggy))
+			c.grantedTotal += uint64(piggy)
+			grant = c.grantedTotal
 		}
 		var o any
 		if written+chunk >= n {
@@ -859,8 +1059,8 @@ func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 		p.Sleep(c.opts.StreamSendCost)
 		seq := c.txSeq
 		c.txSeq++
-		st := c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes+chunk,
-			&header{Kind: kindData, Piggy: piggy, Len: chunk, Obj: o, Seq: seq, Span: sp}, c.sendKey)
+		st := c.send(p, c.dataOutTag, headerBytes+chunk,
+			&header{Kind: kindData, Piggy: piggy, Grant: grant, Len: chunk, Obj: o, Seq: seq, Span: sp}, c.sendKey)
 		if st == emp.StatusNoDescriptors {
 			// Descriptor-budget exhaustion is an operation failure, not a
 			// connection failure: the message never left, so restore the
@@ -868,6 +1068,7 @@ func (c *Conn) Write(p *sim.Proc, n int, obj any) (int, error) {
 			// typed error — the socket stays usable.
 			c.credits++
 			c.pendingCredits += piggy
+			c.grantedTotal -= uint64(piggy)
 			c.txSeq--
 			return written, emp.ErrNoDescriptors
 		}
@@ -905,7 +1106,7 @@ func (c *Conn) shutdownWrite(p *sim.Proc, deadline sim.Time) error {
 	}
 	c.flight().Record(p.Now(), "shutdown-sent", "")
 	c.sub.Eng.Tracef("substrate", "shutdown %d -> %d", c.sub.addr, c.peer)
-	st := c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes,
+	st := c.send(p, c.dataOutTag, headerBytes,
 		&header{Kind: kindShutdown, Seq: seq}, emp.KeyNone)
 	if st != emp.StatusOK && st != emp.StatusNoDescriptors && c.err == nil {
 		c.fail(sock.ErrReset)
@@ -1069,7 +1270,7 @@ func (c *Conn) closeNow(p *sim.Proc) error {
 			c.txSeq++
 			c.flight().Record(p.Now(), "close-sent", "")
 			c.sub.Eng.Tracef("substrate", "close %d -> %d", c.sub.addr, c.peer)
-			c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes,
+			c.send(p, c.dataOutTag, headerBytes,
 				&header{Kind: kindClose, Seq: seq}, emp.KeyNone)
 		}
 	}

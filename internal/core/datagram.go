@@ -26,7 +26,7 @@ func (c *Conn) writeDG(p *sim.Proc, n int, obj any) (int, error) {
 	}
 	c.sub.MsgsSent.Inc()
 	sp := c.sub.Tel.NewSpan("eager", n, "write", p.Now())
-	st := c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes+n,
+	st := c.send(p, c.dataOutTag, headerBytes+n,
 		&header{Kind: kindData, Len: n, Obj: obj, Span: sp}, c.sendKey)
 	if st != emp.StatusOK {
 		c.fail(sock.ErrReset)
@@ -45,7 +45,7 @@ func (c *Conn) writeRendezvous(p *sim.Proc, n int, obj any) (int, error) {
 	sp := c.sub.Tel.NewSpan("rend", n, "write", p.Now())
 	tag := c.sub.allocTag()
 	defer c.sub.freeTag(tag)
-	st := c.sub.EP.Send(p, c.peer, c.dataOutTag, headerBytes,
+	st := c.send(p, c.dataOutTag, headerBytes,
 		&header{Kind: kindRendReq, RendTag: tag, RendLen: n}, emp.KeyNone)
 	if st != emp.StatusOK {
 		c.fail(sock.ErrReset)
@@ -58,7 +58,7 @@ func (c *Conn) writeRendezvous(p *sim.Proc, n int, obj any) (int, error) {
 		if ack := c.takeRendAck(tag); ack != nil {
 			c.sub.MsgsSent.Inc()
 			sp.Mark("rendack", p.Now())
-			st = c.sub.EP.Send(p, c.peer, tag, n,
+			st = c.send(p, tag, n,
 				&header{Kind: kindData, Len: n, Obj: obj, Span: sp}, c.userKey)
 			if st != emp.StatusOK {
 				c.fail(sock.ErrReset)
@@ -232,7 +232,7 @@ func (c *Conn) receiveRendezvous(p *sim.Proc, req *header, max int) (int, []any,
 	h := c.sub.EP.PostRecv(p, c.peer, req.RendTag, req.RendLen, c.userKey)
 	h.SetNotify(c)
 	c.dgPending = h
-	c.sub.EP.Send(p, c.peer, c.ackOutTag, headerBytes,
+	c.send(p, c.ackOutTag, headerBytes,
 		&header{Kind: kindRendAck, RendTag: req.RendTag}, emp.KeyNone)
 	c.ready.WaitFor(p, func() bool {
 		return h.Status() != emp.StatusPending || c.err != nil || c.cleaned

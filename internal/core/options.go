@@ -123,6 +123,20 @@ type Options struct {
 	// backoff between attempts — surfacing sock.ErrTimeout on expiry.
 	// Zero keeps the retry-budget-only bound.
 	DialDeadline sim.Duration
+	// DialJitter randomizes each connect backoff downward by up to this
+	// fraction (0..1), so reconnect storms from many clients do not
+	// synchronize. Zero (the default) keeps the legacy deterministic
+	// backoff bit-identical.
+	DialJitter float64
+	// CreditSyncAfter, when positive, runs the credit-reconciliation
+	// sweep: a writer stalled on credits for this long sends a
+	// kindCreditSync probe, and the peer answers with its cumulative
+	// grant total, repairing credits lost above EMP reliability (an
+	// unexpected-queue drop at a faulty NIC). The sweep also harvests
+	// ack-channel arrivals for stalled connections whose owner is not
+	// polling. Zero (the default) disables the sweep, leaving lost-credit
+	// drift for the audit to detect.
+	CreditSyncAfter sim.Duration
 	// Linger, when positive, makes Close first drain the connection —
 	// send the shutdown message and wait for every credit to come home,
 	// proving the peer consumed all our data — before emitting the
@@ -212,6 +226,15 @@ func (o Options) normalize() Options {
 	}
 	if o.DialDeadline < 0 {
 		o.DialDeadline = 0
+	}
+	if o.DialJitter < 0 {
+		o.DialJitter = 0
+	}
+	if o.DialJitter > 1 {
+		o.DialJitter = 1
+	}
+	if o.CreditSyncAfter < 0 {
+		o.CreditSyncAfter = 0
 	}
 	if o.Linger < 0 {
 		o.Linger = 0

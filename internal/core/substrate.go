@@ -9,6 +9,7 @@ import (
 	"repro/internal/ethernet"
 	"repro/internal/kernel"
 	"repro/internal/nic"
+	"repro/internal/retry"
 	"repro/internal/sim"
 	"repro/internal/sock"
 	"repro/internal/telemetry"
@@ -88,6 +89,9 @@ type Substrate struct {
 	// LingerExpired counts lingering closes that hit their deadline and
 	// fell back to the abort path (tail delivery unconfirmed).
 	LingerExpired sim.Counter
+	// CreditSyncs counts credit-reconciliation probes sent on behalf of
+	// writers stalled past Options.CreditSyncAfter.
+	CreditSyncs sim.Counter
 
 	// Tel is the host's telemetry registry: latency-decomposition
 	// histograms and per-connection flight recorders feed it. Nil (the
@@ -168,7 +172,43 @@ func New(e *sim.Engine, host *kernel.Host, n *nic.NIC, opts Options) *Substrate 
 	s.EP.SetSendFailureNotify(func(dst ethernet.Addr, tag emp.Tag, msgID uint64) {
 		s.peerUnreachable(dst)
 	})
+	if opts.CreditSyncAfter > 0 {
+		e.Spawn("credit-sweep", s.creditSweep)
+	}
 	return s
+}
+
+// creditSweep is the credit-reconciliation process (enabled by
+// Options.CreditSyncAfter): every interval it walks the active table in
+// deterministic order, harvesting ack-channel arrivals whose owners are
+// blocked elsewhere and probing peers on behalf of writers stalled past
+// the threshold. The audit can detect credit drift from a lost grant;
+// this sweep is what repairs it.
+func (s *Substrate) creditSweep(p *sim.Proc) {
+	interval := s.Opts.CreditSyncAfter
+	for {
+		p.Sleep(interval)
+		if s.dead {
+			return
+		}
+		conns := make([]*Conn, 0, len(s.active))
+		for c := range s.active {
+			conns = append(conns, c)
+		}
+		sort.Slice(conns, func(i, j int) bool {
+			a, b := conns[i], conns[j]
+			if a.peer != b.peer {
+				return a.peer < b.peer
+			}
+			if a.localPort != b.localPort {
+				return a.localPort < b.localPort
+			}
+			return a.remotePort < b.remotePort
+		})
+		for _, c := range conns {
+			c.creditSweepTick(p)
+		}
+	}
 }
 
 // SetTelemetry attaches a telemetry registry to the substrate: the
@@ -198,6 +238,7 @@ func (s *Substrate) SetTelemetry(tel *telemetry.Registry) {
 			{Name: "refused_conns", Value: s.RefusedConns.Value},
 			{Name: "eager_deferrals", Value: s.EagerDeferrals.Value},
 			{Name: "linger_expired", Value: s.LingerExpired.Value},
+			{Name: "credit_syncs", Value: s.CreditSyncs.Value},
 			{Name: "active_sockets", Value: int64(len(s.active))},
 			{Name: "eager_bytes", Value: int64(s.eagerBytes)},
 			{Name: "eager_high_water", Value: int64(s.eagerHW)},
@@ -209,6 +250,30 @@ func (s *Substrate) SetTelemetry(tel *telemetry.Registry) {
 			c.flight().Recordf(s.Eng.Now(), "uq-evict", "tag=%d len=%d", tag, length)
 		}
 	})
+	// EMP reliability events (retransmit streaks, NACKs, exhausted retry
+	// budgets) name the destination and the outbound tag; route each to
+	// the one connection that sends on that channel so its flight ring
+	// tells the whole story of a wedged path.
+	s.EP.SetEventNotify(func(ev emp.ProtoEvent) {
+		c := s.connByOutbound(ev.Dst, ev.Tag)
+		if c == nil {
+			return
+		}
+		c.flight().Recordf(s.Eng.Now(), ev.Kind, "tag=%#x retries=%d frags=%d", ev.Tag, ev.Retries, ev.Frags)
+	})
+}
+
+// connByOutbound finds the active connection that sends to dst on tag.
+// Outbound tags are allocated by a single dialer per peer, so at most
+// one connection matches; the map walk is fault-path only (EMP events
+// fire on retransmission, not on clean traffic).
+func (s *Substrate) connByOutbound(dst ethernet.Addr, tag emp.Tag) *Conn {
+	for c := range s.active {
+		if c.peer == dst && (c.dataOutTag == tag || c.ackOutTag == tag) {
+			return c
+		}
+	}
+	return nil
 }
 
 // refuseParked claims one parked connection request for (src, tag) from
@@ -499,8 +564,17 @@ func (s *Substrate) Dial(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, erro
 	if s.Opts.DialDeadline > 0 {
 		deadline = p.Now().Add(s.Opts.DialDeadline)
 	}
-	backoff := s.Opts.DialBackoff
-	for attempt := 0; ; attempt++ {
+	var rnd *sim.Rand
+	if s.Opts.DialJitter > 0 {
+		rnd = s.Eng.Rand()
+	}
+	loop := retry.New(retry.Policy{
+		Max:    s.Opts.DialRetries,
+		Base:   s.Opts.DialBackoff,
+		Factor: 2,
+		Jitter: s.Opts.DialJitter,
+	}, rnd, deadline)
+	for {
 		c, err := s.dialOnce(p, addr, port, deadline)
 		if err == nil {
 			return c, nil
@@ -508,16 +582,22 @@ func (s *Substrate) Dial(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, erro
 		// Retry transient failures (the request or reply lost past the
 		// reliability horizon) with exponential backoff; give up on
 		// anything else or once the budget is spent.
-		if attempt >= s.Opts.DialRetries || (err != sock.ErrTimeout && err != sock.ErrReset) {
+		if err != sock.ErrTimeout && err != sock.ErrReset {
 			return nil, err
 		}
-		if deadline != 0 && p.Now().Add(backoff) >= deadline {
+		wait, ok := loop.Next(p.Now())
+		if !ok {
+			if loop.Attempt() >= s.Opts.DialRetries {
+				return nil, err
+			}
+			return nil, sock.ErrTimeout
+		}
+		if deadline != 0 && p.Now().Add(wait) >= deadline {
 			return nil, sock.ErrTimeout
 		}
 		s.DialRetries.Inc()
-		s.Eng.Tracef("substrate", "connect %d -> %d:%d retry %d after %v", s.addr, addr, port, attempt+1, backoff)
-		p.Sleep(backoff)
-		backoff *= 2
+		s.Eng.Tracef("substrate", "connect %d -> %d:%d retry %d after %v", s.addr, addr, port, loop.Attempt(), wait)
+		p.Sleep(wait)
 	}
 }
 
@@ -548,10 +628,28 @@ func (s *Substrate) dialOnce(p *sim.Proc, addr sock.Addr, port int, deadline sim
 	c := newConn(s, addr, req, true)
 	c.postInitialDescriptors(p)
 	s.Eng.Tracef("substrate", "connect %d -> %d:%d (tags d=%d a=%d)", s.addr, addr, port, req.ServerDataTag, req.ServerAckTag)
-	st := s.EP.Send(p, addr, listenTag(port), connReqBytes,
+	h := s.EP.PostSend(p, addr, listenTag(port), connReqBytes,
 		&header{Kind: kindConnReq, Req: req}, emp.KeyNone)
-	if st != emp.StatusOK {
-		c.cleanup(p)
+	if h.Status() == emp.StatusPending {
+		// Bound the local-completion wait by the dial deadline: against
+		// a wedged firmware the request never drains, and a dialer that
+		// parks here unbounded can neither time out nor fail over.
+		h.SetNotify(c)
+		if deadline != 0 {
+			c.waitDeadline(p, deadline, func() bool { return h.Status() != emp.StatusPending })
+		} else {
+			s.EP.WaitSend(p, h)
+		}
+	}
+	switch h.Status() {
+	case emp.StatusOK:
+	case emp.StatusPending:
+		// Still queued behind the wedge; reclaim happens off to the
+		// side (abort spawns it) so the dialer is free to fail over.
+		c.abort(p)
+		return nil, sock.ErrTimeout
+	default:
+		c.abort(p)
 		return nil, sock.ErrRefused
 	}
 	if s.Opts.SyncConnect {
@@ -561,14 +659,15 @@ func (s *Substrate) dialOnce(p *sim.Proc, addr sock.Addr, port int, deadline sim
 		}
 		for !c.connReplied && c.err == nil {
 			if !c.waitAckEvent(p, dl) {
-				c.cleanup(p)
+				c.abort(p)
 				return nil, sock.ErrTimeout
 			}
 			c.pollAcks(p)
 		}
 		if c.err != nil {
-			c.cleanup(p)
-			return nil, c.err
+			err := c.err
+			c.abort(p)
+			return nil, err
 		}
 	}
 	return c, nil

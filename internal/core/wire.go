@@ -38,6 +38,14 @@ const (
 	// acks) immediately, which is what lets a lingering close on the
 	// sending side converge.
 	kindShutdown
+	// kindCreditSync asks the peer for a fresh cumulative grant total. A
+	// writer stalled on credits past Options.CreditSyncAfter sends it on
+	// the ack channel; the receiver folds any withheld delayed acks into
+	// its grant total and answers with a kindCreditAck carrying the
+	// cumulative Grant. Because grants are applied by cumulative total
+	// (header.Grant), the answer is idempotent: it repairs credits lost
+	// to a dropped credit-update message without ever over-crediting.
+	kindCreditSync
 )
 
 func (k msgKind) String() string {
@@ -62,6 +70,8 @@ func (k msgKind) String() string {
 		return "conn-refused"
 	case kindShutdown:
 		return "shutdown"
+	case kindCreditSync:
+		return "credit-sync"
 	}
 	return "?"
 }
@@ -80,6 +90,15 @@ const connReqBytes = 64
 type header struct {
 	Kind  msgKind
 	Piggy int // credits returned with this message
+	// Grant is the sender's cumulative count of credits ever granted on
+	// this connection, stamped on every credit-carrying message (explicit
+	// acks and piggybacked data). The receiver applies the delta above
+	// its own cumulative high-water mark, so duplicated or reordered
+	// grants are no-ops and a grant lost above EMP reliability (an
+	// unexpected-queue drop at a faulty NIC) is repaired by any later
+	// credit message instead of stranding the window forever. Zero means
+	// "no grant information" (control messages that carry no credits).
+	Grant uint64
 	Len   int // payload bytes (excluding the header itself)
 	Obj   any // application payload object riding on this message
 	// Seq orders data-channel messages per connection. EMP completes

@@ -82,6 +82,11 @@ type Endpoint struct {
 	// host-notify delay) whenever a send exhausts its retry budget — the
 	// sockets substrate uses it to fail connections to unreachable peers.
 	onSendFailure func(dst ethernet.Addr, tag Tag, msgID uint64)
+	// onProtoEvent, when set, observes EMP reliability events
+	// (retransmissions, NACKs, send failures) as they happen — the
+	// sockets substrate routes them into the owning connection's flight
+	// recorder. Runs in firmware context, charges no time, must not block.
+	onProtoEvent func(ProtoEvent)
 
 	tcache     map[BufKey]struct{}
 	tcacheFIFO []BufKey
@@ -162,6 +167,34 @@ func (ep *Endpoint) SetSendFailureNotify(fn func(dst ethernet.Addr, tag Tag, msg
 	ep.onSendFailure = fn
 }
 
+// ProtoEvent is one EMP reliability event surfaced to the layer above:
+// a retransmission round, a received NACK, or a send abandoned after
+// exhausting its retry budget. Dst and Tag identify the send channel,
+// which the substrate maps back to the owning connection.
+type ProtoEvent struct {
+	Kind    string // "emp-rexmit", "emp-nack", "emp-send-failed"
+	Dst     ethernet.Addr
+	Tag     Tag
+	Retries int // consecutive retries so far (rexmit, send-failed)
+	Frags   int // fragments resent (rexmit) or NACK restart point (nack)
+}
+
+// SetEventNotify registers fn to observe EMP reliability events. fn runs
+// in firmware context, is charged no simulated time, and must not block;
+// record-and-return (flight recorders, counters) is the intended use.
+func (ep *Endpoint) SetEventNotify(fn func(ProtoEvent)) { ep.onProtoEvent = fn }
+
+func (ep *Endpoint) notifyEvent(ev ProtoEvent) {
+	if ep.onProtoEvent != nil {
+		ep.onProtoEvent(ev)
+	}
+}
+
+// ResendStreak reports how many consecutive retransmission rounds to dst
+// have run without any acknowledgment progress — the health monitor's
+// "is the path to this peer wedged" signal. Zero on a healthy path.
+func (ep *Endpoint) ResendStreak(dst ethernet.Addr) int { return ep.fw.resendStreak[dst] }
+
 // Kill models this endpoint's host dying mid-run: the NIC stops moving
 // frames, every in-flight send fails, every posted descriptor is
 // cancelled, and the firmware processors stop. Blocked WaitSend/WaitRecv
@@ -206,6 +239,7 @@ func (ep *Endpoint) translate(p *sim.Proc, key BufKey) {
 type SendHandle struct {
 	status Status
 	cond   *sim.Cond
+	notify sim.Notifiable
 	msgID  uint64
 	dst    ethernet.Addr
 	tag    Tag
@@ -215,12 +249,21 @@ type SendHandle struct {
 // Status reports the handle's current state.
 func (h *SendHandle) Status() Status { return h.status }
 
+// SetNotify registers an additional notification fired on completion,
+// mirroring RecvHandle.SetNotify: the sockets substrate points this at
+// the owning connection so a waiter parked on that connection's events
+// (rather than on the handle itself) still wakes when the send lands.
+func (h *SendHandle) SetNotify(n sim.Notifiable) { h.notify = n }
+
 func (h *SendHandle) complete(s Status) {
 	if h.status != StatusPending {
 		return
 	}
 	h.status = s
 	h.cond.Broadcast()
+	if h.notify != nil {
+		h.notify.Notify()
+	}
 }
 
 // PostSend posts a transmit descriptor for an n-byte message to dst with
@@ -254,7 +297,7 @@ func (ep *Endpoint) PostSend(p *sim.Proc, dst ethernet.Addr, tag Tag, length int
 	ep.translate(p, key)
 	ep.Host.MMIO(p)
 	post := &txPost{h: h, data: data}
-	ep.Eng.After(ep.NIC.Cfg.MailboxLatency, func() {
+	ep.NIC.Ring(func() {
 		if !ep.fw.txWork.TryPut(txOp{post: post}) {
 			ep.descRelease() // no record was created
 			post.h.complete(StatusFailed)
@@ -384,7 +427,7 @@ func (ep *Endpoint) PostRecv(p *sim.Proc, src ethernet.Addr, tag Tag, maxLen int
 	h.counted = true
 	ep.translate(p, key)
 	ep.Host.MMIO(p)
-	ep.Eng.After(ep.NIC.Cfg.MailboxLatency, func() {
+	ep.NIC.Ring(func() {
 		if !ep.fw.rxWork.TryPut(rxOp{post: h}) {
 			h.complete(StatusCancelled, Message{}) // endpoint died before pickup
 		}
@@ -461,7 +504,7 @@ func (ep *Endpoint) PurgeUnexpected(keep func(src ethernet.Addr, tag Tag) bool) 
 	ep.fw.uqEntries = kept
 	if purged > 0 {
 		n := purged
-		ep.Eng.After(ep.NIC.Cfg.MailboxLatency, func() {
+		ep.NIC.Ring(func() {
 			ep.fw.rxWork.TryPut(rxOp{uqFree: n})
 		})
 	}
@@ -549,7 +592,7 @@ func (ep *Endpoint) Unpost(p *sim.Proc, h *RecvHandle) bool {
 	p.Sleep(ep.Cfg.HostPostCPU)
 	ep.Host.MMIO(p)
 	op := &unpostOp{h: h, done: sim.NewCond(ep.Eng, "emp.unpost")}
-	ep.Eng.After(ep.NIC.Cfg.MailboxLatency, func() {
+	ep.NIC.Ring(func() {
 		if ep.fw.rxWork.TryPut(rxOp{unpost: op}) {
 			return
 		}

@@ -103,6 +103,11 @@ type firmware struct {
 	// keeps a fast sender from swamping the receiver NIC's frame
 	// processing (which runs slightly slower than wire rate).
 	destInflight map[ethernet.Addr]int
+	// resendStreak counts consecutive retransmission rounds per
+	// destination without any acknowledgment progress — the raw signal
+	// behind connection health monitoring (a climbing streak means the
+	// peer, or the path to it, is wedged).
+	resendStreak map[ethernet.Addr]int
 	txWindow *sim.Cond
 	uqSlots  int
 	// uqBytes / uqPeakEntries account the unexpected queue's occupancy
@@ -158,6 +163,7 @@ func newFirmware(ep *Endpoint) *firmware {
 		rxWork:       sim.NewFIFO[rxOp](ep.Eng, ep.NIC.Name+".rxwork", 0),
 		uqSlots:      ep.Cfg.UnexpectedSlots,
 		destInflight: make(map[ethernet.Addr]int),
+		resendStreak: make(map[ethernet.Addr]int),
 		reasm:        make(map[reasmKey]*reassembly),
 		records:      make(map[uint64]*txRecord),
 		completed:    make(map[reasmKey]bool),
@@ -215,6 +221,9 @@ func (fw *firmware) sendLoop(p *sim.Proc) {
 		if !ok {
 			return
 		}
+		// A wedged firmware CPU stops scheduling: queued posts sit in
+		// txWork until the wedge window ends.
+		fw.n.StallIfWedged(p)
 		if op.post != nil {
 			fw.handleSendPost(p, op.post)
 		}
@@ -229,6 +238,8 @@ func (fw *firmware) sendLoop(p *sim.Proc) {
 // — the timer is armed only after the last fragment is handed off.
 func (fw *firmware) scheduleResend(id uint64) {
 	fw.eng.Spawn(fw.n.Name+".rexmit", func(p *sim.Proc) {
+		// The retransmit scheduler runs on the same wedged CPUs.
+		fw.n.StallIfWedged(p)
 		if rec := fw.records[id]; rec != nil && !rec.failed {
 			fw.resend(p, rec)
 		}
@@ -315,12 +326,20 @@ func (fw *firmware) sendFrag(p *sim.Proc, rec *txRecord, seq int) {
 		}
 	}
 	fw.eng.Tracef(fw.n.Name, "tx data dst=%d tag=%d msg=%d frag=%d/%d len=%d", rec.dst, rec.tag, rec.msgID, seq+1, rec.nfrag, fl)
-	fw.n.Transmit(&ethernet.Frame{
+	f := &ethernet.Frame{
 		Src:        fw.ep.addr,
 		Dst:        rec.dst,
 		PayloadLen: wireBytes(fl),
 		Payload:    wf,
-	})
+	}
+	if fw.n.FaultFlipDesc() {
+		// A flipped transmit descriptor corrupts this transmission only:
+		// the frame fails the receiver's FCS check and the retransmission
+		// (a fresh descriptor fetch) goes out clean.
+		f.Corrupt = true
+		fw.eng.Tracef(fw.n.Name, "tx descriptor flipped (fault) msg=%d frag=%d", rec.msgID, seq)
+	}
+	fw.n.Transmit(f)
 }
 
 // resend retransmits every sent-but-unacknowledged fragment (go-back-N)
@@ -335,6 +354,8 @@ func (fw *firmware) resend(p *sim.Proc, rec *txRecord) {
 		fw.sendsFailed.Inc()
 		fw.eng.Tracef(fw.n.Name, "SEND FAILED dst=%d tag=%d msg=%d after %d retries",
 			rec.dst, rec.tag, rec.msgID, rec.retries-1)
+		fw.ep.notifyEvent(ProtoEvent{Kind: "emp-send-failed", Dst: rec.dst, Tag: rec.tag,
+			Retries: rec.retries - 1})
 		fw.releaseInflight(rec.dst, rec.sent-rec.acked)
 		fw.retire(rec)
 		rec.cond.Broadcast()
@@ -345,6 +366,9 @@ func (fw *firmware) resend(p *sim.Proc, rec *txRecord) {
 		}
 		return
 	}
+	fw.resendStreak[rec.dst]++
+	fw.ep.notifyEvent(ProtoEvent{Kind: "emp-rexmit", Dst: rec.dst, Tag: rec.tag,
+		Retries: rec.retries, Frags: rec.sent - rec.acked})
 	fw.eng.Tracef(fw.n.Name, "REXMIT dst=%d msg=%d frags %d..%d retry=%d", rec.dst, rec.msgID, rec.acked, rec.sent, rec.retries)
 	for seq := rec.acked; seq < rec.sent; seq++ {
 		fw.retransmits.Inc()
@@ -385,6 +409,7 @@ func (fw *firmware) recvLoop(p *sim.Proc) {
 		if !ok {
 			return
 		}
+		fw.n.StallIfWedged(p)
 		switch {
 		case op.frame != nil:
 			fw.handleFrame(p, op.frame)
@@ -425,6 +450,7 @@ func (fw *firmware) handleAck(p *sim.Proc, wf *WireFrame) {
 		rec.acked = wf.AckSeq
 		rec.retries = 0 // progress: the retry budget bounds stagnation
 		rec.rto = fw.ep.Cfg.Rel.RTO
+		delete(fw.resendStreak, rec.dst) // progress resets the health streak
 		fw.releaseInflight(rec.dst, newly)
 		rec.cond.Broadcast()
 	}
@@ -452,6 +478,7 @@ func (fw *firmware) handleNack(p *sim.Proc, wf *WireFrame) {
 	if rec == nil {
 		return
 	}
+	fw.ep.notifyEvent(ProtoEvent{Kind: "emp-nack", Dst: rec.dst, Tag: rec.tag, Frags: wf.AckSeq})
 	if wf.AckSeq > rec.acked {
 		newly := wf.AckSeq - rec.acked
 		rec.acked = wf.AckSeq
@@ -591,6 +618,17 @@ func (fw *firmware) finish(r *reassembly) {
 			fw.eng.After(delay, func() { h.complete(StatusOK, msg) })
 			return
 		}
+		if r.uq && fw.n.FaultLoseUnexpected() {
+			// The message is fully acknowledged at the EMP level, so the
+			// sender will never retransmit it — it simply vanishes between
+			// firmware and host. Credit updates riding the unexpected
+			// queue are the classic victim; only the substrate's
+			// credit-reconciliation sweep repairs the resulting drift.
+			fw.uqSlots++
+			fw.uqDropped.Inc()
+			fw.eng.Tracef(fw.n.Name, "UQ delivery lost (fault) src=%d tag=%d len=%d", msg.Src, msg.Tag, msg.Len)
+			return
+		}
 		if sp, ok := msg.Data.(telemetry.Spanned); ok {
 			sp.TelemetrySpan().MarkOnce("uq", fw.eng.Now())
 		}
@@ -715,8 +753,8 @@ func (fw *firmware) claimUnexpected(src ethernet.Addr, tag Tag, maxLen int) (Mes
 			fw.uqBytes -= m.Len
 			fw.unexpectedHit.Inc()
 			fw.msgsDelivered.Inc()
-			// Tell the NIC to free the slot.
-			fw.eng.After(fw.n.Cfg.MailboxLatency, func() {
+			// Tell the NIC to free the slot (a host doorbell write).
+			fw.n.Ring(func() {
 				fw.rxWork.TryPut(rxOp{uqFree: 1})
 			})
 			return m, true

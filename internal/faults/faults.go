@@ -50,9 +50,58 @@ type Crash struct {
 	At   sim.Duration
 }
 
+// NICClause applies faults inside one host's NIC/firmware domain during
+// [From, Until) — the failure modes that wound a host without touching
+// the switch: dropped doorbells (the host's mailbox write is lost and
+// must be re-rung), stalled DMA engines, descriptor bit flips that the
+// receiver's FCS check catches, lost unexpected-queue deliveries (the
+// EMP-acked message — typically a credit update — vanishes between
+// firmware and host), and transient firmware wedges (both NIC CPUs stop
+// scheduling until the window ends). Node is the cluster node index
+// (NIC attach order), or Any for every node.
+type NICClause struct {
+	From, Until sim.Duration
+	Node        int
+	// DropDoorbell is the per-ring probability that a host mailbox
+	// write is lost; the host's doorbell watchdog re-rings it after
+	// nic.Config.DoorbellRetry, so the cost is latency, not loss.
+	DropDoorbell float64
+	// DMAStall is the per-transfer probability that the DMA engine
+	// stalls for DMAStallFor before moving the data.
+	DMAStall    float64
+	DMAStallFor sim.Duration
+	// FlipDesc is the per-fragment probability that a transmit
+	// descriptor is corrupted: the frame goes out with a bad FCS and the
+	// receiver drops it (EMP retransmission recovers).
+	FlipDesc float64
+	// LoseUnexpected is the per-delivery probability that a completed
+	// unexpected-queue message is lost between firmware and host —
+	// after EMP has acknowledged it, so no retransmission will ever
+	// resend it. Credit updates riding the UQ are the classic victim;
+	// only the substrate's credit-reconciliation sweep heals the drift.
+	LoseUnexpected float64
+	// Wedge stalls both firmware CPUs (send, receive, and the
+	// retransmit scheduler) for the whole window.
+	Wedge bool
+}
+
+// active reports whether the clause's window covers now.
+func (c *NICClause) active(now sim.Duration) bool {
+	if now < c.From {
+		return false
+	}
+	return c.Until <= 0 || now < c.Until
+}
+
+// matches reports whether the clause covers the given node.
+func (c *NICClause) matches(node int) bool {
+	return c.Node == Any || c.Node == node
+}
+
 // Plan is a complete fault schedule.
 type Plan struct {
 	Clauses []Clause
+	NIC     []NICClause
 	Crashes []Crash
 }
 
@@ -119,6 +168,119 @@ func (pl *Plan) Eval(r *sim.Rand, now sim.Duration, src, dst int) Action {
 	return act
 }
 
+// --- NIC-domain evaluation ------------------------------------------------
+//
+// Each hook draws from r only when a matching, active clause has a
+// positive rate, mirroring Eval: a plan without NIC clauses (or with
+// all-zero rates) never perturbs the random sequence, so the happy path
+// stays byte-identical with a plan installed.
+
+// NICDropDoorbell reports whether a host mailbox write to the given
+// node's NIC is lost at time now.
+func (pl *Plan) NICDropDoorbell(r *sim.Rand, now sim.Duration, node int) bool {
+	if pl == nil {
+		return false
+	}
+	for i := range pl.NIC {
+		c := &pl.NIC[i]
+		if !c.active(now) || !c.matches(node) {
+			continue
+		}
+		if c.DropDoorbell > 0 && r.Bool(c.DropDoorbell) {
+			return true
+		}
+	}
+	return false
+}
+
+// NICDMAStall reports the extra stall charged to one DMA transfer on the
+// given node's NIC at time now (zero when the engine is healthy).
+func (pl *Plan) NICDMAStall(r *sim.Rand, now sim.Duration, node int) sim.Duration {
+	if pl == nil {
+		return 0
+	}
+	var stall sim.Duration
+	for i := range pl.NIC {
+		c := &pl.NIC[i]
+		if !c.active(now) || !c.matches(node) {
+			continue
+		}
+		if c.DMAStall > 0 && r.Bool(c.DMAStall) && c.DMAStallFor > stall {
+			stall = c.DMAStallFor
+		}
+	}
+	return stall
+}
+
+// NICFlipDesc reports whether one transmit descriptor on the given
+// node's NIC is corrupted at time now.
+func (pl *Plan) NICFlipDesc(r *sim.Rand, now sim.Duration, node int) bool {
+	if pl == nil {
+		return false
+	}
+	for i := range pl.NIC {
+		c := &pl.NIC[i]
+		if !c.active(now) || !c.matches(node) {
+			continue
+		}
+		if c.FlipDesc > 0 && r.Bool(c.FlipDesc) {
+			return true
+		}
+	}
+	return false
+}
+
+// NICLoseUnexpected reports whether one completed unexpected-queue
+// delivery on the given node's NIC is lost at time now.
+func (pl *Plan) NICLoseUnexpected(r *sim.Rand, now sim.Duration, node int) bool {
+	if pl == nil {
+		return false
+	}
+	for i := range pl.NIC {
+		c := &pl.NIC[i]
+		if !c.active(now) || !c.matches(node) {
+			continue
+		}
+		if c.LoseUnexpected > 0 && r.Bool(c.LoseUnexpected) {
+			return true
+		}
+	}
+	return false
+}
+
+// NICWedgeRemaining reports how long the given node's firmware stays
+// wedged from time now (zero when no wedge clause covers now). Purely
+// schedule-driven — no randomness — so firmware procs can sleep exactly
+// to the window's end.
+func (pl *Plan) NICWedgeRemaining(now sim.Duration, node int) sim.Duration {
+	if pl == nil {
+		return 0
+	}
+	var until sim.Duration
+	for i := range pl.NIC {
+		c := &pl.NIC[i]
+		if !c.Wedge || !c.active(now) || !c.matches(node) {
+			continue
+		}
+		if c.Until <= 0 {
+			// Open-ended wedge: the node is dead for practical purposes;
+			// report a very long stall and let the caller re-check.
+			return sim.Second
+		}
+		if c.Until > until {
+			until = c.Until
+		}
+	}
+	if until <= now {
+		return 0
+	}
+	return until - now
+}
+
+// HasNIC reports whether the plan has any NIC-domain clauses (used by
+// reports to decide whether to print NIC fault counters).
+func (pl *Plan) HasNIC() bool { return pl != nil && len(pl.NIC) > 0 }
+
 // Validate reports the first malformed rate or window in the plan:
 // NaN, negative or >1 probabilities, and inverted time windows.
 func (pl *Plan) Validate() error {
@@ -139,6 +301,24 @@ func (pl *Plan) Validate() error {
 			return fmt.Errorf("faults: clause %d window inverted (%v .. %v)", i, c.From, c.Until)
 		}
 	}
+	for i := range pl.NIC {
+		c := &pl.NIC[i]
+		for _, rv := range []struct {
+			name string
+			v    float64
+		}{{"DropDoorbell", c.DropDoorbell}, {"DMAStall", c.DMAStall},
+			{"FlipDesc", c.FlipDesc}, {"LoseUnexpected", c.LoseUnexpected}} {
+			if math.IsNaN(rv.v) || rv.v < 0 || rv.v > 1 {
+				return fmt.Errorf("faults: NIC clause %d has invalid %s rate %v", i, rv.name, rv.v)
+			}
+		}
+		if c.Until > 0 && c.Until < c.From {
+			return fmt.Errorf("faults: NIC clause %d window inverted (%v .. %v)", i, c.From, c.Until)
+		}
+		if c.Wedge && c.Until <= 0 {
+			return fmt.Errorf("faults: NIC clause %d wedge has no end", i)
+		}
+	}
 	for i, cr := range pl.Crashes {
 		if cr.Node < 0 {
 			return fmt.Errorf("faults: crash %d has negative node %d", i, cr.Node)
@@ -156,6 +336,7 @@ func (pl *Plan) Normalized() *Plan {
 	}
 	out := &Plan{
 		Clauses: append([]Clause(nil), pl.Clauses...),
+		NIC:     append([]NICClause(nil), pl.NIC...),
 		Crashes: append([]Crash(nil), pl.Crashes...),
 	}
 	for i := range out.Clauses {
@@ -164,6 +345,16 @@ func (pl *Plan) Normalized() *Plan {
 		c.Dup = ClampRate(c.Dup)
 		c.Corrupt = ClampRate(c.Corrupt)
 		c.Reorder = ClampRate(c.Reorder)
+		if c.Until > 0 && c.Until < c.From {
+			c.Until = c.From
+		}
+	}
+	for i := range out.NIC {
+		c := &out.NIC[i]
+		c.DropDoorbell = ClampRate(c.DropDoorbell)
+		c.DMAStall = ClampRate(c.DMAStall)
+		c.FlipDesc = ClampRate(c.FlipDesc)
+		c.LoseUnexpected = ClampRate(c.LoseUnexpected)
 		if c.Until > 0 && c.Until < c.From {
 			c.Until = c.From
 		}
@@ -225,8 +416,53 @@ func Flap(node int, from, period, downFor sim.Duration, count int) []Clause {
 	return cs
 }
 
+// FlapPhased is Flap with a seed-stable phase: the first outage starts
+// at from plus a deterministic offset in [0, period) derived from the
+// seed, so chaos runs with different seeds exercise different alignments
+// of the outage windows against the workload without losing
+// reproducibility.
+func FlapPhased(seed uint64, node int, from, period, downFor sim.Duration, count int) []Clause {
+	phase := sim.NewRand(seed ^ 0x9e3779b97f4a7c15 ^ uint64(node)).Duration(0, period)
+	return Flap(node, from+phase, period, downFor, count)
+}
+
 // CrashAt schedules a node crash.
 func CrashAt(node int, at sim.Duration) Crash { return Crash{Node: node, At: at} }
+
+// --- NIC-domain constructors ----------------------------------------------
+
+// DoorbellDrops loses the given fraction of a node's host->NIC mailbox
+// rings during [from, until).
+func DoorbellDrops(node int, from, until sim.Duration, rate float64) NICClause {
+	return NICClause{From: from, Until: until, Node: node, DropDoorbell: rate}
+}
+
+// DMAStalls stalls the given fraction of a node's DMA transfers by
+// stallFor during [from, until).
+func DMAStalls(node int, from, until sim.Duration, rate float64, stallFor sim.Duration) NICClause {
+	return NICClause{From: from, Until: until, Node: node, DMAStall: rate, DMAStallFor: stallFor}
+}
+
+// DescFlips corrupts the given fraction of a node's transmit
+// descriptors during [from, until); the receiver's FCS check catches
+// the damage and EMP retransmission repairs it.
+func DescFlips(node int, from, until sim.Duration, rate float64) NICClause {
+	return NICClause{From: from, Until: until, Node: node, FlipDesc: rate}
+}
+
+// LostCreditUpdates silently drops the given fraction of a node's
+// completed unexpected-queue deliveries during [from, until) — lost
+// after the EMP-level acknowledgment, so only a higher-layer
+// reconciliation sweep can repair the resulting credit drift.
+func LostCreditUpdates(node int, from, until sim.Duration, rate float64) NICClause {
+	return NICClause{From: from, Until: until, Node: node, LoseUnexpected: rate}
+}
+
+// FirmwareWedge stalls a node's NIC firmware (send, receive, and
+// retransmit scheduling) during [from, until).
+func FirmwareWedge(node int, from, until sim.Duration) NICClause {
+	return NICClause{From: from, Until: until, Node: node, Wedge: true}
+}
 
 // RandomPlan generates a seed-stable randomized plan for chaos testing:
 // a base of uniform low-grade loss/dup/corrupt/reorder plus a few

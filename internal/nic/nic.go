@@ -8,6 +8,7 @@ package nic
 
 import (
 	"repro/internal/ethernet"
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -59,6 +60,10 @@ type Config struct {
 	// Advantage of Multi-CPU NICs?") parallelizes it — modeled here as
 	// pipelined per-frame processing cost divided across the CPUs.
 	RxCPUs int
+	// DoorbellRetry is how long the host driver's doorbell watchdog
+	// waits before re-ringing a mailbox write the NIC never observed
+	// (fault injection only: healthy rings are never dropped).
+	DoorbellRetry sim.Duration
 }
 
 // DefaultConfig returns the Tigon2 calibration.
@@ -78,6 +83,7 @@ func DefaultConfig() Config {
 		MACQueueFrames:  8,
 		MTU:             ethernet.MTU,
 		RxCPUs:          1,
+		DoorbellRetry:   100 * sim.Microsecond,
 	}
 }
 
@@ -116,12 +122,23 @@ type NIC struct {
 	sink func(*ethernet.Frame)
 	dead bool
 
+	// NIC-domain fault injection: the plan's NIC clauses keyed by this
+	// NIC's cluster node index. Nil means healthy.
+	fplan *faults.Plan
+	fnode int
+
 	// Counters.
 	TxFrames  sim.Counter
 	RxFrames  sim.Counter
 	DMABytes  sim.Counter
 	TagWalked sim.Counter
 	FCSErrors sim.Counter
+	// Fault-injection counters (all zero on a healthy NIC).
+	DoorbellsDropped sim.Counter
+	DMAStalls        sim.Counter
+	DescFlips        sim.Counter
+	UQLost           sim.Counter
+	WedgeStalls      sim.Counter
 }
 
 // New returns a NIC not yet attached to a switch.
@@ -207,10 +224,16 @@ func (n *NIC) WaitTxRoom(p *sim.Proc) {
 
 // DMA charges the firmware process with one DMA transfer of n bytes in
 // either direction. Transfers from the send and receive CPUs contend for
-// the single DMA engine.
+// the single DMA engine. A fault plan may stall the engine for extra
+// time before the transfer starts.
 func (n *NIC) DMA(p *sim.Proc, bytes int) {
 	if bytes < 0 {
 		bytes = 0
+	}
+	if stall := n.faultDMAStall(); stall > 0 {
+		n.DMAStalls.Inc()
+		n.Eng.Tracef(n.Name, "dma engine stalled %v (fault)", stall)
+		p.Sleep(stall)
 	}
 	n.DMABytes.Add(int64(bytes))
 	d := n.Cfg.DMASetup + sim.BytesToDuration(bytes, n.Cfg.DMABandwidth*8)
@@ -248,3 +271,100 @@ func (n *NIC) Kill() {
 
 // Dead reports whether Kill has been called.
 func (n *NIC) Dead() bool { return n.dead }
+
+// --- Fault injection -------------------------------------------------------
+
+// SetFaults installs the NIC-domain clauses of a fault plan, keyed by
+// this NIC's cluster node index. A nil plan (or one without NIC
+// clauses) leaves the NIC healthy; with no clauses matching, no PRNG
+// draws happen, so timings stay byte-identical.
+func (n *NIC) SetFaults(pl *faults.Plan, node int) {
+	if pl == nil || !pl.HasNIC() {
+		n.fplan = nil
+		return
+	}
+	n.fplan = pl
+	n.fnode = node
+}
+
+// Ring models the host writing a NIC mailbox ("ringing the doorbell"):
+// fn observes the write MailboxLatency later. Under a doorbell-drop
+// fault the write is lost and the host driver's watchdog re-rings it
+// after DoorbellRetry — the descriptor is delayed, never lost, so the
+// resource audit stays clean while the latency is very visible.
+func (n *NIC) Ring(fn func()) {
+	if n.fplan != nil && !n.dead && n.fplan.NICDropDoorbell(n.Eng.Rand(), sim.Duration(n.Eng.Now()), n.fnode) {
+		n.DoorbellsDropped.Inc()
+		n.Eng.Tracef(n.Name, "doorbell dropped (fault), re-ring in %v", n.Cfg.DoorbellRetry)
+		retry := n.Cfg.DoorbellRetry
+		if retry <= 0 {
+			retry = 100 * sim.Microsecond
+		}
+		n.Eng.After(retry, func() { n.Ring(fn) })
+		return
+	}
+	n.Eng.After(n.Cfg.MailboxLatency, fn)
+}
+
+// FaultFlipDesc reports whether the next transmit descriptor is
+// corrupted by the fault plan (the frame goes out with a bad FCS).
+func (n *NIC) FaultFlipDesc() bool {
+	if n.fplan == nil {
+		return false
+	}
+	if n.fplan.NICFlipDesc(n.Eng.Rand(), sim.Duration(n.Eng.Now()), n.fnode) {
+		n.DescFlips.Inc()
+		return true
+	}
+	return false
+}
+
+// FaultLoseUnexpected reports whether one completed unexpected-queue
+// delivery is lost between firmware and host.
+func (n *NIC) FaultLoseUnexpected() bool {
+	if n.fplan == nil {
+		return false
+	}
+	if n.fplan.NICLoseUnexpected(n.Eng.Rand(), sim.Duration(n.Eng.Now()), n.fnode) {
+		n.UQLost.Inc()
+		return true
+	}
+	return false
+}
+
+// StallIfWedged sleeps the calling firmware process for as long as the
+// fault plan wedges this NIC's firmware, re-checking in case wedge
+// windows abut. Healthy NICs return immediately.
+func (n *NIC) StallIfWedged(p *sim.Proc) {
+	if n.fplan == nil {
+		return
+	}
+	for {
+		remain := n.fplan.NICWedgeRemaining(sim.Duration(p.Now()), n.fnode)
+		if remain <= 0 {
+			return
+		}
+		n.WedgeStalls.Inc()
+		n.Eng.Tracef(n.Name, "firmware wedged %v (fault)", remain)
+		p.Sleep(remain)
+	}
+}
+
+// WedgedNow reports whether a wedge window currently covers this NIC
+// (event-context callers that cannot sleep use it to defer work).
+func (n *NIC) WedgedNow() bool {
+	return n.fplan != nil && n.fplan.NICWedgeRemaining(sim.Duration(n.Eng.Now()), n.fnode) > 0
+}
+
+func (n *NIC) faultDMAStall() sim.Duration {
+	if n.fplan == nil {
+		return 0
+	}
+	return n.fplan.NICDMAStall(n.Eng.Rand(), sim.Duration(n.Eng.Now()), n.fnode)
+}
+
+// FaultInjected totals the NIC-domain fault counters for reports.
+func (n *NIC) FaultInjected() int64 {
+	return n.DoorbellsDropped.Value + n.DMAStalls.Value + n.DescFlips.Value +
+		n.UQLost.Value + n.WedgeStalls.Value
+}

@@ -1,0 +1,113 @@
+package retry
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := Policy{Max: 5, Base: sim.Millisecond, Factor: 2, MaxBackoff: 4 * sim.Millisecond}
+	want := []sim.Duration{
+		sim.Millisecond,
+		2 * sim.Millisecond,
+		4 * sim.Millisecond,
+		4 * sim.Millisecond,
+		4 * sim.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i+1, nil); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffFixedInterval(t *testing.T) {
+	// Factor 1 (and Factor 0, normalized to 1) is the TCP SYN-retry
+	// shape: the same wait before every retry.
+	for _, factor := range []int{0, 1} {
+		p := Policy{Max: 3, Base: 500 * sim.Microsecond, Factor: factor}
+		for a := 1; a <= 3; a++ {
+			if got := p.Backoff(a, nil); got != 500*sim.Microsecond {
+				t.Errorf("factor %d: Backoff(%d) = %v, want 500us", factor, a, got)
+			}
+		}
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	p := Policy{Max: 8, Base: sim.Millisecond, Factor: 2, MaxBackoff: 10 * sim.Millisecond, Jitter: 0.5}
+	a := sim.NewRand(42)
+	b := sim.NewRand(42)
+	sawDither := false
+	for i := 1; i <= 8; i++ {
+		da := p.Backoff(i, a)
+		db := p.Backoff(i, b)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		full := p.Backoff(i, nil)
+		if da > full || da < full-sim.Duration(0.5*float64(full)) {
+			t.Errorf("attempt %d: jittered %v outside [%v, %v]", i, da, full-sim.Duration(0.5*float64(full)), full)
+		}
+		if da != full {
+			sawDither = true
+		}
+	}
+	if !sawDither {
+		t.Error("jitter never moved any delay")
+	}
+	// A different seed must produce a different schedule somewhere.
+	c := sim.NewRand(7)
+	same := true
+	d := sim.NewRand(42)
+	for i := 1; i <= 8; i++ {
+		if p.Backoff(i, c) != p.Backoff(i, d) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter schedules")
+	}
+}
+
+func TestLoopBudget(t *testing.T) {
+	l := New(Policy{Max: 2, Base: sim.Millisecond, Factor: 2}, nil, 0)
+	d1, ok := l.Next(0)
+	if !ok || d1 != sim.Millisecond {
+		t.Fatalf("first retry: got (%v, %v)", d1, ok)
+	}
+	d2, ok := l.Next(sim.Time(0).Add(d1))
+	if !ok || d2 != 2*sim.Millisecond {
+		t.Fatalf("second retry: got (%v, %v)", d2, ok)
+	}
+	if _, ok := l.Next(0); ok {
+		t.Fatal("third retry granted beyond Max=2")
+	}
+}
+
+func TestLoopDeadlineClamp(t *testing.T) {
+	deadline := sim.Time(0).Add(1500 * sim.Microsecond)
+	l := New(Policy{Max: 5, Base: sim.Millisecond, Factor: 2}, nil, deadline)
+	d1, ok := l.Next(0)
+	if !ok || d1 != sim.Millisecond {
+		t.Fatalf("first retry: got (%v, %v)", d1, ok)
+	}
+	// Second retry would wait 2ms but only 500us remain: clamped.
+	now := sim.Time(0).Add(sim.Millisecond)
+	d2, ok := l.Next(now)
+	if !ok || d2 != 500*sim.Microsecond {
+		t.Fatalf("clamped retry: got (%v, %v), want (500us, true)", d2, ok)
+	}
+	// At the deadline no further retries are granted.
+	if _, ok := l.Next(deadline); ok {
+		t.Fatal("retry granted at deadline")
+	}
+}
+
+func TestLoopZeroMax(t *testing.T) {
+	l := New(Policy{}, nil, 0)
+	if _, ok := l.Next(0); ok {
+		t.Fatal("retry granted with Max=0")
+	}
+}

@@ -908,6 +908,43 @@ func (c *Conn) CloseRead(p *sim.Proc) error {
 	return nil
 }
 
+var _ sock.Healther = (*Conn)(nil)
+var _ sock.Aborter = (*Conn)(nil)
+
+// Health thresholds for the kernel TCP monitor: consecutive RTO fires
+// without ack progress. Two timeouts mean more than an isolated loss;
+// six mean the go-back-N recovery itself is not landing — the path or
+// the peer is gone for all practical purposes, long before MaxRexmits
+// resets the connection on its own.
+const (
+	tcpDegradeRexmits = 2
+	tcpWedgeRexmits   = 6
+)
+
+// Health implements sock.Healther: judge liveness from the
+// retransmission streak the RTO machinery already tracks. A closed or
+// failed connection reports Wedged — it will never make progress again
+// — so recovery layers treat terminal and stuck states uniformly.
+// Charges no simulated time.
+func (c *Conn) Health() sock.Health {
+	if c.err != nil || c.state == stateClosed {
+		return sock.Wedged
+	}
+	switch {
+	case c.rexmits >= tcpWedgeRexmits:
+		return sock.Wedged
+	case c.rexmits >= tcpDegradeRexmits:
+		return sock.Degraded
+	}
+	return sock.Healthy
+}
+
+// Abort implements sock.Aborter: reset the connection immediately. The
+// RST is charged to kernel context, so the call is safe from event
+// context and never blocks; local blocked callers wake with
+// sock.ErrReset.
+func (c *Conn) Abort() { c.abort(nil) }
+
 // abort resets the connection: emit a RST so the peer's blocked callers
 // wake, then fail locally. The model's SO_LINGER expiry path.
 func (c *Conn) abort(p *sim.Proc) {

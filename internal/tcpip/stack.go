@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ethernet"
 	"repro/internal/kernel"
+	"repro/internal/retry"
 	"repro/internal/sim"
 	"repro/internal/sock"
 	"repro/internal/telemetry"
@@ -293,9 +294,14 @@ func (st *Stack) Dial(p *sim.Proc, addr ethernet.Addr, port int) (sock.Conn, err
 	st.conns[c.key()] = c
 	c.state = stateSynSent
 	c.sendSYN(p, false)
-	// Block until established or refused, retrying the SYN.
-	for tries := 0; c.state == stateSynSent; {
-		wait := st.Cfg.RTO
+	// Block until established or refused, retrying the SYN. SYN
+	// retransmission is the fixed-interval shape of the shared retry
+	// policy: SynRetries retries of one RTO each, bounded overall by the
+	// dial deadline.
+	pol := retry.Policy{Max: st.Cfg.SynRetries, Base: st.Cfg.RTO, Factor: 1}
+	loop := retry.New(pol, nil, deadline)
+	for c.state == stateSynSent {
+		wait := pol.Backoff(loop.Attempt()+1, nil)
 		if deadline != 0 {
 			remain := deadline.Sub(p.Now())
 			if remain <= 0 {
@@ -307,12 +313,7 @@ func (st *Stack) Dial(p *sim.Proc, addr ethernet.Addr, port int) (sock.Conn, err
 			}
 		}
 		if !c.established.WaitForTimeout(p, wait, func() bool { return c.state != stateSynSent }) {
-			if deadline != 0 && p.Now() >= deadline {
-				delete(st.conns, c.key())
-				return nil, sock.ErrTimeout
-			}
-			tries++
-			if tries > st.Cfg.SynRetries {
+			if _, ok := loop.Next(p.Now()); !ok {
 				delete(st.conns, c.key())
 				return nil, sock.ErrTimeout
 			}
