@@ -76,12 +76,16 @@ examples:
 	go run ./examples/kvstore
 
 # verify is the full pre-merge chain: build, vet, the race-enabled test
-# suite, and the chaos-NIC self-healing smoke (the quick matrix: every
-# NIC fault kind on both workloads plus the no-recovery control).
+# suite, the connscale demux regression gate (1024-conn all-active
+# per-dispatch lookup cost must stay within a pinned multiple of the
+# 8-conn cost in hashed mode), and the chaos-NIC self-healing smoke
+# (the quick matrix: every NIC fault kind on both workloads plus the
+# no-recovery control).
 verify:
 	go build ./...
 	go vet ./...
 	go test -race ./...
+	go test -run TestConnScaleDispatchGate -count=1 ./internal/bench
 	go run ./cmd/reproduce -chaos-nic -quick
 
 # record regenerates the committed experiment record artifacts.

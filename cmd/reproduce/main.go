@@ -63,9 +63,13 @@ func main() {
 	if *connscale {
 		counts := bench.DefaultConnScaleCounts()
 		activeCounts := bench.DefaultConnScaleActiveCounts()
+		hashedCounts := bench.ExtendedConnScaleCounts()
+		descCounts := bench.DefaultDescScaleCounts()
 		if *quick {
 			counts = []int{8, 128}
 			activeCounts = []int{8, 64}
+			hashedCounts = []int{8, 128}
+			descCounts = []int{1024, 4096}
 		}
 		pts := bench.ConnScaleSweep(counts)
 		fmt.Printf("%12s  %8s  %8s  %10s  %10s  %14s  %12s\n",
@@ -93,7 +97,51 @@ func main() {
 				pt.ReqPerSec, pt.Elapsed.Seconds()*1e3)
 		}
 		pts = append(pts, active...)
-		blob, err := json.MarshalIndent(pts, "", "  ")
+
+		// Hashed-demux extension: the same idle sweep under O(1)
+		// expected tag matching, reaching populations the linear walk
+		// cannot serve, with the server's charged per-dispatch lookup
+		// cost alongside the poller counters.
+		hashed := bench.ConnScaleHashedSweep(hashedCounts)
+		// All-active endpoints of the acceptance sweep: every
+		// connection pacing, per-dispatch cost still flat to 16k.
+		activeHashedCounts := []int{8, 1024, 16384}
+		if *quick {
+			activeHashedCounts = []int{8, 64}
+		}
+		hashed = append(hashed, bench.ConnScaleActiveHashedSweep(activeHashedCounts)...)
+		fmt.Printf("\nhashed demux (extended sweep, per-dispatch lookup cost):\n")
+		fmt.Printf("%12s  %8s  %8s  %8s  %14s  %12s  %12s\n",
+			"transport", "conns", "active", "clients", "demux lookups", "cost/lookup", "sim-ms")
+		for _, pt := range hashed {
+			if pt.Err != "" {
+				fmt.Fprintf(os.Stderr, "reproduce: connscale-hashed %s/%d: %s\n", pt.Transport, pt.Conns, pt.Err)
+				os.Exit(1)
+			}
+			fmt.Printf("%12s  %8d  %8v  %8d  %14d  %12.2f  %12.3f\n",
+				pt.Transport, pt.Conns, pt.Active, pt.ClientNodes, pt.DemuxLookups,
+				pt.DemuxCost, pt.Elapsed.Seconds()*1e3)
+		}
+
+		// Raw-EMP descriptor-population microbench: linear walk vs
+		// hashed probes at populations past the connection sweeps.
+		desc := bench.DescScaleSweep(descCounts)
+		fmt.Printf("\nraw EMP tag-match scaling (worst-case preposted population):\n")
+		fmt.Printf("%12s  %8s  %14s  %14s\n", "descriptors", "mode", "mean lookup", "match-ns")
+		for _, pt := range desc {
+			mode := "linear"
+			if pt.Hashed {
+				mode = "hashed"
+			}
+			fmt.Printf("%12d  %8s  %14.1f  %14.0f\n", pt.Descriptors, mode, pt.MeanLookup, pt.MatchNs)
+		}
+
+		record := struct {
+			Linear    []bench.ConnScalePoint `json:"linear"`
+			Hashed    []bench.ConnScalePoint `json:"hashed"`
+			DescScale []bench.DescScalePoint `json:"desc_scale"`
+		}{Linear: pts, Hashed: hashed, DescScale: desc}
+		blob, err := json.MarshalIndent(record, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*connscaleOut, append(blob, '\n'), 0o644)
 		}

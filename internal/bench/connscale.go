@@ -5,6 +5,10 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/emp"
+	"repro/internal/ethernet"
+	"repro/internal/kernel"
+	"repro/internal/nic"
 	"repro/internal/sim"
 	"repro/internal/sock"
 )
@@ -34,6 +38,14 @@ const connScaleReqs = 16
 // all-active variant: smaller, because every connection paces.
 const connScaleActiveReqs = 4
 
+// connScaleConnsPerClient caps the connections dialed from one client
+// node. The substrate's dynamic tag space (0x0100..0x3FFF, four tags
+// per connection) tops out near 4k connections per dialing node, so
+// the extended sweep shards dialers across enough client nodes to stay
+// comfortably inside it; counts at or below the cap keep the original
+// single-client topology.
+const connScaleConnsPerClient = 2048
+
 // ConnScalePoint is one measurement of the sweep.
 type ConnScalePoint struct {
 	Transport string `json:"transport"`
@@ -54,7 +66,24 @@ type ConnScalePoint struct {
 	// ReqPerSec is the served request rate (all-active variant's
 	// dispatch-throughput measure).
 	ReqPerSec float64 `json:"req_per_sec,omitempty"`
-	Err       string  `json:"err,omitempty"`
+	// Hashed marks points run under the hashed demux cost model: the
+	// substrate NIC charges TagMatchHashed (bucket probes) instead of
+	// the paper-faithful linear walk. TCP's 4-tuple table is hashed in
+	// both modes; the flag labels the sweep the gate compares.
+	Hashed bool `json:"hashed,omitempty"`
+	// ClientNodes is how many client nodes the dials were sharded
+	// across (1 up to connScaleConnsPerClient connections).
+	ClientNodes int `json:"client_nodes,omitempty"`
+	// DemuxLookups / DemuxWork are the server-side demultiplexer's
+	// charged lookup counters: tag-match lookups and descriptors
+	// walked (substrate NIC), or segment lookups and hash-chain
+	// entries probed (TCP). DemuxCost = DemuxWork / DemuxLookups is
+	// the per-dispatch lookup cost the hashed-mode gate requires to
+	// stay flat as registered connections grow.
+	DemuxLookups int64   `json:"demux_lookups,omitempty"`
+	DemuxWork    int64   `json:"demux_work,omitempty"`
+	DemuxCost    float64 `json:"demux_cost,omitempty"`
+	Err          string  `json:"err,omitempty"`
 }
 
 // DefaultConnScaleCounts is the sweep the acceptance run uses.
@@ -63,6 +92,14 @@ func DefaultConnScaleCounts() []int { return []int{8, 64, 256, 1024} }
 // DefaultConnScaleActiveCounts is the all-active sweep; it stops below
 // the idle sweep's top end because every connection carries traffic.
 func DefaultConnScaleActiveCounts() []int { return []int{8, 64, 256} }
+
+// ExtendedConnScaleCounts is the hashed-mode sweep: with O(1) expected
+// tag matching the registered population can grow far past the linear
+// walk's practical ceiling. The linear (paper-faithful) sweep stays
+// capped at 1024 — at 16k connections a 550 ns-per-descriptor walk per
+// arrival stalls the receive processor past the senders' retry
+// budgets, which is precisely the scaling wall the hashed mode removes.
+func ExtendedConnScaleCounts() []int { return []int{8, 64, 256, 1024, 4096, 16384} }
 
 // connScaleState is one server-side connection's request progress.
 type connScaleState struct {
@@ -74,30 +111,57 @@ type connScaleState struct {
 // to a single-process evented echo server, connScalePacers of them
 // active. It reports the server poller's counters.
 func ConnScale(transport cluster.Transport, conns int) ConnScalePoint {
-	return connScaleRun(transport, conns, connScalePacers, connScaleReqs, false)
+	return connScaleRun(transport, conns, connScalePacers, connScaleReqs, false, false)
 }
 
 // ConnScaleActive runs the all-active variant: every registered
 // connection paces requests, so the point measures the poller's
 // dispatch throughput instead of the idle scan cost.
 func ConnScaleActive(transport cluster.Transport, conns int) ConnScalePoint {
-	return connScaleRun(transport, conns, conns, connScaleActiveReqs, true)
+	return connScaleRun(transport, conns, conns, connScaleActiveReqs, true, false)
 }
 
-// connScaleRun is the shared harness behind both variants.
-func connScaleRun(transport cluster.Transport, conns, pacers, reqs int, active bool) ConnScalePoint {
-	pt := ConnScalePoint{Transport: transport.String(), Conns: conns, Active: active}
+// ConnScaleHashed is the idle-population point under the hashed demux
+// cost model (nic.HashedConfig on the substrate NIC).
+func ConnScaleHashed(transport cluster.Transport, conns int) ConnScalePoint {
+	return connScaleRun(transport, conns, connScalePacers, connScaleReqs, false, true)
+}
+
+// ConnScaleActiveHashed is the all-active point under the hashed demux
+// cost model.
+func ConnScaleActiveHashed(transport cluster.Transport, conns int) ConnScalePoint {
+	return connScaleRun(transport, conns, conns, connScaleActiveReqs, true, true)
+}
+
+// connScaleRun is the shared harness behind all variants.
+func connScaleRun(transport cluster.Transport, conns, pacers, reqs int, active, hashed bool) ConnScalePoint {
+	pt := ConnScalePoint{Transport: transport.String(), Conns: conns, Active: active, Hashed: hashed}
 	if pacers > conns {
 		pacers = conns
 	}
-	cfg := cluster.Config{Nodes: 2, Transport: transport}
+	clients := (conns + connScaleConnsPerClient - 1) / connScaleConnsPerClient
+	if clients < 1 {
+		clients = 1
+	}
+	pt.ClientNodes = clients
+	cfg := cluster.Config{Nodes: 1 + clients, Transport: transport}
 	if transport == cluster.TransportSubstrate {
 		// Small credit windows keep the server's pre-posted descriptor
 		// population (conns x credits) bounded at the high end of the
 		// sweep; the pacer traffic is tiny, so throughput is unaffected.
 		o := core.DefaultOptions()
 		o.Credits = 4
+		if conns > 1024 {
+			// The extended sweep's server preposts conns x credits
+			// descriptors; the default 8192-descriptor budget was sized
+			// for the linear sweep's ceiling.
+			o.DescriptorBudget = 6*conns + 4096
+		}
 		cfg.Substrate = &o
+		if hashed {
+			h := nic.HashedConfig()
+			cfg.NIC = &h
+		}
 	}
 	c := cluster.New(cfg)
 	const port = 7007
@@ -170,7 +234,10 @@ func connScaleRun(transport cluster.Transport, conns, pacers, reqs int, active b
 
 	// Clients: all conns dial (staggered so accepts keep pace with the
 	// backlog), the pacers run their echo loops once everyone is up,
-	// and every connection closes after the pacers drain.
+	// and every connection closes after the pacers drain. Above
+	// connScaleConnsPerClient the dialers shard round-robin across the
+	// client nodes; the aggregate arrival rate at the server is the
+	// same one-dial-per-25µs the single-client sweep uses.
 	dialed := sim.NewWaitGroup(c.Eng, "connscale.dialed")
 	dialed.Add(conns)
 	pacing := sim.NewWaitGroup(c.Eng, "connscale.pacing")
@@ -178,9 +245,10 @@ func connScaleRun(transport cluster.Transport, conns, pacers, reqs int, active b
 	done := 0
 	for i := 0; i < conns; i++ {
 		i := i
+		node := c.Nodes[1+i%clients]
 		c.Eng.Spawn("connscale-client", func(p *sim.Proc) {
 			p.Sleep(sim.Duration(10+25*i) * sim.Microsecond)
-			cn, err := c.Nodes[1].Net.Dial(p, c.Addr(0), port)
+			cn, err := node.Net.Dial(p, c.Addr(0), port)
 			dialed.Done()
 			if err != nil {
 				fail(err)
@@ -219,6 +287,17 @@ func connScaleRun(transport cluster.Transport, conns, pacers, reqs int, active b
 	if active && pt.Elapsed > 0 {
 		pt.ReqPerSec = float64(pt.Requests) / pt.Elapsed.Seconds()
 	}
+	// Server-side demux lookup counters: charged tag-match work on the
+	// substrate NIC, 4-tuple hash probes on the TCP stack.
+	if sub := c.Nodes[0].Sub; sub != nil {
+		pt.DemuxLookups = sub.EP.NIC.TagLookups.Value
+		pt.DemuxWork = sub.EP.NIC.TagWalked.Value
+	} else if st := c.Nodes[0].Stack; st != nil {
+		pt.DemuxLookups, pt.DemuxWork = st.DemuxStats()
+	}
+	if pt.DemuxLookups > 0 {
+		pt.DemuxCost = float64(pt.DemuxWork) / float64(pt.DemuxLookups)
+	}
 	return pt
 }
 
@@ -239,6 +318,131 @@ func ConnScaleActiveSweep(counts []int) []ConnScalePoint {
 	for _, tr := range []cluster.Transport{cluster.TransportSubstrate, cluster.TransportTCP} {
 		for _, n := range counts {
 			out = append(out, ConnScaleActive(tr, n))
+		}
+	}
+	return out
+}
+
+// ConnScaleHashedSweep runs the extended idle sweep under the hashed
+// demux cost model on both stacks.
+func ConnScaleHashedSweep(counts []int) []ConnScalePoint {
+	var out []ConnScalePoint
+	for _, tr := range []cluster.Transport{cluster.TransportSubstrate, cluster.TransportTCP} {
+		for _, n := range counts {
+			out = append(out, ConnScaleHashed(tr, n))
+		}
+	}
+	return out
+}
+
+// ConnScaleActiveHashedSweep runs all-active hashed points on both
+// stacks (the acceptance sweep's every-connection-pacing endpoints).
+func ConnScaleActiveHashedSweep(counts []int) []ConnScalePoint {
+	var out []ConnScalePoint
+	for _, tr := range []cluster.Transport{cluster.TransportSubstrate, cluster.TransportTCP} {
+		for _, n := range counts {
+			out = append(out, ConnScaleActiveHashed(tr, n))
+		}
+	}
+	return out
+}
+
+// DescScalePoint is one raw-EMP tag-match scaling measurement.
+type DescScalePoint struct {
+	Descriptors int  `json:"descriptors"`
+	Hashed      bool `json:"hashed"`
+	// Lookups / Walked are the receiver NIC's tag-match counters over
+	// the measured messages; MeanLookup = Walked / Lookups.
+	Lookups    int64   `json:"lookups"`
+	Walked     int64   `json:"walked"`
+	MeanLookup float64 `json:"mean_lookup"`
+	// MatchNs is the charged tag-match time per arriving message under
+	// the active cost model (base + MeanLookup x per-step).
+	MatchNs float64 `json:"match_ns"`
+}
+
+// DefaultDescScaleCounts spans the preposted populations of the raw
+// microbench, reaching the quarter-million-descriptor regime the
+// conn-level sweeps cannot (each substrate connection needs four tags,
+// so conn counts stop at 16k; raw descriptors have no such budget).
+func DefaultDescScaleCounts() []int { return []int{1024, 16384, 262144} }
+
+// DescScale measures worst-case tag matching against a cold preposted
+// population: the receiver preposts n-1 descriptors on one tag, then
+// serves iters messages on a different tag whose descriptor is always
+// the last posted — the paper's linear walk examines all n descriptors
+// per arrival, the hashed table probes exactly one bucket entry.
+func DescScale(n int, hashed bool, iters int) DescScalePoint {
+	pt := DescScalePoint{Descriptors: n, Hashed: hashed}
+	e := sim.NewEngine()
+	sw := ethernet.NewSwitch(e, ethernet.DefaultSwitchConfig())
+	nicCfg := nic.DefaultConfig()
+	if hashed {
+		nicCfg = nic.HashedConfig()
+	}
+	epCfg := emp.DefaultEndpointConfig()
+	epCfg.MaxDescriptors = 0 // the population under test IS the budget
+	var eps [2]*emp.Endpoint
+	for i := range eps {
+		h := kernel.NewHost(e, "h", 4, kernel.DefaultCosts())
+		nc := nic.New(e, "n", nicCfg)
+		nc.Attach(sw)
+		eps[i] = emp.NewEndpoint(e, h, nc, epCfg)
+	}
+	recvNIC := eps[1].NIC
+	ready := sim.NewWaitGroup(e, "descscale.ready")
+	ready.Add(1)
+	e.Spawn("descscale-recv", func(p *sim.Proc) {
+		for i := 0; i < n-1; i++ {
+			eps[1].PostRecv(p, eps[0].Addr(), 1, 64, 0)
+		}
+		// Count only the measured matches, not the prepost phase.
+		recvNIC.TagLookups.Value, recvNIC.TagWalked.Value = 0, 0
+		ready.Done()
+		for i := 0; i < iters; i++ {
+			h := eps[1].PostRecv(p, eps[0].Addr(), 2, 64, 1)
+			eps[1].WaitRecv(p, h)
+		}
+	})
+	e.Spawn("descscale-send", func(p *sim.Proc) {
+		ready.Wait(p)
+		for i := 0; i < iters; i++ {
+			eps[0].Send(p, eps[1].Addr(), 2, 64, nil, 2)
+		}
+	})
+	e.RunUntil(sim.Time(600 * sim.Second))
+	pt.Lookups = recvNIC.TagLookups.Value
+	pt.Walked = recvNIC.TagWalked.Value
+	if pt.Lookups > 0 {
+		pt.MeanLookup = float64(pt.Walked) / float64(pt.Lookups)
+	}
+	base, per := nicCfg.TagMatchBase, nicCfg.TagMatchPerDesc
+	if hashed {
+		if nicCfg.TagMatchHashBase != 0 {
+			base = nicCfg.TagMatchHashBase
+		}
+		if nicCfg.TagMatchHashPerProbe != 0 {
+			per = nicCfg.TagMatchHashPerProbe
+		}
+	}
+	pt.MatchNs = float64(base) + pt.MeanLookup*float64(per)
+	return pt
+}
+
+// DescScaleSweep runs the raw tag-match microbench over both cost
+// models at every population.
+func DescScaleSweep(counts []int) []DescScalePoint {
+	var out []DescScalePoint
+	for _, hashed := range []bool{false, true} {
+		for _, n := range counts {
+			iters := 16
+			if !hashed && n > 20000 {
+				// A quarter-million-descriptor linear walk charges
+				// ~144 ms of NIC time per message; a few arrivals make
+				// the point.
+				iters = 4
+			}
+			out = append(out, DescScale(n, hashed, iters))
 		}
 	}
 	return out

@@ -69,7 +69,7 @@ type Conn struct {
 	// it, making duplicates and reordered grants no-ops.
 	grantedTotal uint64
 	grantSeen    uint64
-	eof            bool
+	eof          bool
 	// eofSeen: a read has returned the 0-length end-of-stream. The read
 	// side can never produce anything new after that, so the readable
 	// edge is spent — PollIn stops asserting and a poller does not storm
@@ -86,11 +86,11 @@ type Conn struct {
 	rendAcks    []*header
 	// aborting marks that an abort has already spawned the asynchronous
 	// descriptor-reclaim proc, so repeated failed ops do not spawn more.
-	aborting  bool
-	closeSent bool
-	peerClosed  bool
-	cleaned     bool
-	err         error
+	aborting   bool
+	closeSent  bool
+	peerClosed bool
+	cleaned    bool
+	err        error
 	// shutSent: we sent kindShutdown (CloseWrite); writes fail, reads
 	// keep draining. peerShut: the peer's shutdown arrived; we see EOF
 	// after draining but our writes still flow. rdShut: CloseRead was
@@ -289,6 +289,7 @@ func (c *Conn) waitDeadline(p *sim.Proc, dl sim.Time, pred func() bool) bool {
 // delivery, so a spurious class costs one filtered check on this
 // object, never a host-wide re-scan.
 func (c *Conn) Notify() {
+	c.sub.sweepNote(c)
 	c.ready.Broadcast()
 	c.src.Fire(uint32(sock.PollIn | sock.PollOut | sock.PollErr))
 }
@@ -335,7 +336,7 @@ func newConn(s *Substrate, peer ethernet.Addr, req *connRequest, isClient bool) 
 	c.userKey = s.allocKey()
 	c.holdback = make(map[uint64]*header)
 	c.lastIO = s.Eng.Now()
-	s.active[c] = struct{}{}
+	s.active.add(c)
 	s.chans[chanKey{peer, c.dataInTag}] = c
 	s.chans[chanKey{peer, c.ackInTag}] = c
 	if c.opts.KeepaliveIdle > 0 {
@@ -548,6 +549,7 @@ func (c *Conn) applyGrant(hdr *header) int {
 	c.credits += n
 	if c.credits > 0 {
 		c.stallSince = 0
+		c.sub.sweepStall(c, false)
 	}
 	return n
 }
@@ -744,6 +746,7 @@ func (c *Conn) takeCreditDeadline(p *sim.Proc, dl sim.Time) error {
 		c.sub.CreditStalls.Inc()
 		if c.stallSince == 0 {
 			c.stallSince = c.sub.Eng.Now()
+			c.sub.sweepStall(c, true)
 		}
 		c.flight().Record(c.sub.Eng.Now(), "credit-stall", "")
 	}
@@ -821,6 +824,7 @@ func (c *Conn) takeCreditDeadline(p *sim.Proc, dl sim.Time) error {
 	}
 	c.credits--
 	c.stallSince = 0
+	c.sub.sweepStall(c, false)
 	return nil
 }
 
@@ -1312,7 +1316,8 @@ func (c *Conn) cleanup(p *sim.Proc) {
 	if c.rcv != nil && c.rcv.Len() > 0 {
 		c.sub.eagerRelease(p, c.rcv.Len())
 	}
-	delete(c.sub.active, c)
+	c.sub.active.remove(c)
+	c.sub.sweepForget(c)
 	delete(c.sub.chans, chanKey{c.peer, c.dataInTag})
 	delete(c.sub.chans, chanKey{c.peer, c.ackInTag})
 	c.sub.purgeStaleUQ()

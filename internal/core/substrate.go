@@ -39,7 +39,18 @@ type Substrate struct {
 	listeners map[int]*Listener
 	// active is the paper's static table of active sockets (Section
 	// 5.3): sockets engaged in communication, excluding listeners.
-	active map[*Conn]struct{}
+	// Sharded, with (peer, outbound-tag) and by-peer indexes — see
+	// table.go.
+	active *connTable
+	// sweepMark and sweepStalled are the credit-reconciliation sweep's
+	// attention sets (nil when the sweep is disabled): sockets whose
+	// Notify fired since the last pass — the superset of sockets with
+	// ack-channel arrivals to harvest — and sockets currently inside a
+	// credit stall. Each pass visits their union instead of the whole
+	// active table; a socket outside both sets would have charged
+	// nothing, so sweep timing is unchanged.
+	sweepMark    map[*Conn]struct{}
+	sweepStalled map[*Conn]struct{}
 
 	tagNext  emp.Tag
 	tagInUse map[emp.Tag]bool
@@ -118,7 +129,7 @@ func New(e *sim.Engine, host *kernel.Host, n *nic.NIC, opts Options) *Substrate 
 		Opts:      opts,
 		addr:      n.Addr(),
 		listeners: make(map[int]*Listener),
-		active:    make(map[*Conn]struct{}),
+		active:    newConnTable(),
 		tagNext:   0x0100,
 		tagInUse:  make(map[emp.Tag]bool),
 		keyNext:   1000,
@@ -173,17 +184,53 @@ func New(e *sim.Engine, host *kernel.Host, n *nic.NIC, opts Options) *Substrate 
 		s.peerUnreachable(dst)
 	})
 	if opts.CreditSyncAfter > 0 {
+		s.sweepMark = make(map[*Conn]struct{})
+		s.sweepStalled = make(map[*Conn]struct{})
 		e.Spawn("credit-sweep", s.creditSweep)
 	}
 	return s
 }
 
+// sweepNote marks a socket for the next credit-sweep pass; connection
+// Notify calls land here, so any socket with an unharvested ack-channel
+// arrival is marked. Event context, no simulated time.
+func (s *Substrate) sweepNote(c *Conn) {
+	if s.sweepMark != nil && !c.cleaned {
+		s.sweepMark[c] = struct{}{}
+	}
+}
+
+// sweepStall tracks entry to and exit from a credit stall for the
+// sweep's probe half.
+func (s *Substrate) sweepStall(c *Conn, stalled bool) {
+	if s.sweepStalled == nil {
+		return
+	}
+	if stalled {
+		s.sweepStalled[c] = struct{}{}
+	} else {
+		delete(s.sweepStalled, c)
+	}
+}
+
+// sweepForget drops a closing socket from both attention sets.
+func (s *Substrate) sweepForget(c *Conn) {
+	if s.sweepMark != nil {
+		delete(s.sweepMark, c)
+		delete(s.sweepStalled, c)
+	}
+}
+
 // creditSweep is the credit-reconciliation process (enabled by
-// Options.CreditSyncAfter): every interval it walks the active table in
-// deterministic order, harvesting ack-channel arrivals whose owners are
-// blocked elsewhere and probing peers on behalf of writers stalled past
-// the threshold. The audit can detect credit drift from a lost grant;
-// this sweep is what repairs it.
+// Options.CreditSyncAfter): every interval it visits, in deterministic
+// order, the sockets needing attention — those notified since the last
+// pass (harvesting ack-channel arrivals whose owners are blocked
+// elsewhere) and those inside a credit stall (probing peers on behalf
+// of writers stalled past the threshold). The audit can detect credit
+// drift from a lost grant; this sweep is what repairs it. Sockets in
+// neither set have nothing to harvest and nothing to probe, so
+// skipping them charges the same (zero) simulated time the old
+// full-table walk charged for them.
 func (s *Substrate) creditSweep(p *sim.Proc) {
 	interval := s.Opts.CreditSyncAfter
 	for {
@@ -191,20 +238,23 @@ func (s *Substrate) creditSweep(p *sim.Proc) {
 		if s.dead {
 			return
 		}
-		conns := make([]*Conn, 0, len(s.active))
-		for c := range s.active {
+		if len(s.sweepMark) == 0 && len(s.sweepStalled) == 0 {
+			continue
+		}
+		conns := make([]*Conn, 0, len(s.sweepMark)+len(s.sweepStalled))
+		for c := range s.sweepMark {
 			conns = append(conns, c)
 		}
-		sort.Slice(conns, func(i, j int) bool {
-			a, b := conns[i], conns[j]
-			if a.peer != b.peer {
-				return a.peer < b.peer
+		for c := range s.sweepStalled {
+			if _, marked := s.sweepMark[c]; !marked {
+				conns = append(conns, c)
 			}
-			if a.localPort != b.localPort {
-				return a.localPort < b.localPort
-			}
-			return a.remotePort < b.remotePort
-		})
+		}
+		// Marks consumed; arrivals during the pass re-mark for the next.
+		for c := range s.sweepMark {
+			delete(s.sweepMark, c)
+		}
+		sortConns(conns)
 		for _, c := range conns {
 			c.creditSweepTick(p)
 		}
@@ -239,7 +289,7 @@ func (s *Substrate) SetTelemetry(tel *telemetry.Registry) {
 			{Name: "eager_deferrals", Value: s.EagerDeferrals.Value},
 			{Name: "linger_expired", Value: s.LingerExpired.Value},
 			{Name: "credit_syncs", Value: s.CreditSyncs.Value},
-			{Name: "active_sockets", Value: int64(len(s.active))},
+			{Name: "active_sockets", Value: int64(s.active.size())},
 			{Name: "eager_bytes", Value: int64(s.eagerBytes)},
 			{Name: "eager_high_water", Value: int64(s.eagerHW)},
 		}
@@ -265,15 +315,10 @@ func (s *Substrate) SetTelemetry(tel *telemetry.Registry) {
 
 // connByOutbound finds the active connection that sends to dst on tag.
 // Outbound tags are allocated by a single dialer per peer, so at most
-// one connection matches; the map walk is fault-path only (EMP events
-// fire on retransmission, not on clean traffic).
+// one connection matches; the (peer, tag) index resolves it in O(1)
+// regardless of the active table's size.
 func (s *Substrate) connByOutbound(dst ethernet.Addr, tag emp.Tag) *Conn {
-	for c := range s.active {
-		if c.peer == dst && (c.dataOutTag == tag || c.ackOutTag == tag) {
-			return c
-		}
-	}
-	return nil
+	return s.active.lookupOutbound(dst, tag)
 }
 
 // refuseParked claims one parked connection request for (src, tag) from
@@ -384,10 +429,10 @@ func (s *Substrate) EagerBytes() (now, highWater int) { return s.eagerBytes, s.e
 // sock.ErrReset, waking blocked Read/Write/Select callers. Runs in event
 // context.
 func (s *Substrate) peerUnreachable(dst ethernet.Addr) {
-	for c := range s.active {
-		if c.peer == dst {
-			c.fail(sock.ErrReset)
-		}
+	var failed []*Conn
+	s.active.peerConns(dst, func(c *Conn) { failed = append(failed, c) })
+	for _, c := range failed {
+		c.fail(sock.ErrReset)
 	}
 }
 
@@ -400,7 +445,9 @@ func (s *Substrate) Kill() {
 		return
 	}
 	s.dead = true
-	for c := range s.active {
+	var failing []*Conn
+	s.active.forEach(func(c *Conn) { failing = append(failing, c) })
+	for _, c := range failing {
 		c.fail(sock.ErrReset)
 	}
 	dying := s.listeners
@@ -425,7 +472,7 @@ func (s *Substrate) Addr() sock.Addr { return s.addr }
 var _ sock.Network = (*Substrate)(nil)
 
 // ActiveSockets reports the active-socket table size (Section 5.3).
-func (s *Substrate) ActiveSockets() int { return len(s.active) }
+func (s *Substrate) ActiveSockets() int { return s.active.size() }
 
 // allocTag reserves a dynamic tag unique among this substrate's live
 // allocations (tag matching at the peer is per-source, so uniqueness per
@@ -695,21 +742,7 @@ func (s *Substrate) Drain(p *sim.Proc, deadline sim.Time) error {
 	}
 	// Snapshot and order the active table: map iteration order must not
 	// leak into simulated time.
-	conns := make([]*Conn, 0, len(s.active))
-	for c := range s.active {
-		conns = append(conns, c)
-	}
-	sort.Slice(conns, func(i, j int) bool {
-		a, b := conns[i], conns[j]
-		if a.peer != b.peer {
-			return a.peer < b.peer
-		}
-		if a.localPort != b.localPort {
-			return a.localPort < b.localPort
-		}
-		return a.remotePort < b.remotePort
-	})
-	for _, c := range conns {
+	for _, c := range s.active.snapshotSorted() {
 		c.drainClose(p, deadline)
 	}
 	s.purgeStaleUQ()
@@ -755,14 +788,14 @@ func (s *Substrate) AuditResources(add func(kind, detail string)) {
 	// Every posted receive descriptor must be owned by a live connection
 	// or listener ("used or unposted", Section 5.3).
 	owned := make(map[*emp.RecvHandle]bool)
-	for c := range s.active {
+	s.active.forEach(func(c *Conn) {
 		for _, h := range c.dataHandles {
 			owned[h] = true
 		}
 		for _, h := range c.ackHandles {
 			owned[h] = true
 		}
-	}
+	})
 	for _, l := range s.listeners {
 		for _, h := range l.handles {
 			owned[h] = true
@@ -777,7 +810,7 @@ func (s *Substrate) AuditResources(add func(kind, detail string)) {
 	}
 	// Connection-table hygiene and credit-window bounds.
 	staged := 0
-	for c := range s.active {
+	s.active.forEach(func(c *Conn) {
 		if c.cleaned {
 			add("cleaned-conn", fmt.Sprintf("conn %d:%d -> %d:%d cleaned up but still in the active table",
 				s.addr, c.localPort, c.peer, c.remotePort))
@@ -787,7 +820,7 @@ func (s *Substrate) AuditResources(add func(kind, detail string)) {
 				s.addr, c.localPort, c.peer, c.remotePort))
 		}
 		if c.opts.Mode != DataStreaming {
-			continue
+			return
 		}
 		if c.credits < 0 || c.credits > c.opts.Credits {
 			add("credit-bounds", fmt.Sprintf("conn %d:%d -> %d:%d holds %d send credits (window %d)",
@@ -804,7 +837,7 @@ func (s *Substrate) AuditResources(add func(kind, detail string)) {
 		if c.rcv != nil {
 			staged += c.rcv.Len()
 		}
-	}
+	})
 	// The eager-pool gauge must equal the staged bytes it claims to track.
 	if staged != s.eagerBytes {
 		add("eager-gauge", fmt.Sprintf("eager pool accounts %d bytes but connections stage %d", s.eagerBytes, staged))

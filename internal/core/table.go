@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/emp"
+	"repro/internal/ethernet"
+)
+
+// activeShards stripes the active-socket table (Section 5.3) so walks
+// over one bucket — teardown of one peer's sockets, audit slices —
+// don't serialize on a single map, and single-socket churn touches one
+// small shard.
+const activeShards = 64
+
+// connTable is the substrate's active-socket table plus the two demux
+// indexes the hot paths need:
+//
+//   - byPeer groups sockets by remote station, so failing every
+//     connection to an unreachable peer is O(that peer's sockets)
+//     instead of O(all sockets).
+//   - outbound maps (peer, outbound tag) to the one socket that sends
+//     on that channel, so routing an EMP reliability event
+//     (connByOutbound) is a lookup instead of a table walk. Both
+//     directions' tags are dialer-allocated and unique per dialer, so
+//     the key never collides among live sockets.
+//
+// The table itself charges no simulated time; it is host bookkeeping.
+type connTable struct {
+	shards [activeShards]map[*Conn]struct{}
+	n      int
+
+	byPeer   map[ethernet.Addr]map[*Conn]struct{}
+	outbound map[chanKey]*Conn
+}
+
+func newConnTable() *connTable {
+	t := &connTable{
+		byPeer:   make(map[ethernet.Addr]map[*Conn]struct{}),
+		outbound: make(map[chanKey]*Conn),
+	}
+	for i := range t.shards {
+		t.shards[i] = make(map[*Conn]struct{})
+	}
+	return t
+}
+
+// shardOf stripes by the connection 4-tuple (the local address is
+// constant per table). FNV-1a over the identifying fields.
+func (t *connTable) shardOf(c *Conn) int {
+	h := uint32(2166136261)
+	mix := func(v uint32) {
+		h ^= v
+		h *= 16777619
+	}
+	mix(uint32(c.peer))
+	mix(uint32(c.localPort))
+	mix(uint32(c.remotePort))
+	return int(h % activeShards)
+}
+
+func (t *connTable) add(c *Conn) {
+	t.shards[t.shardOf(c)][c] = struct{}{}
+	t.n++
+	peers := t.byPeer[c.peer]
+	if peers == nil {
+		peers = make(map[*Conn]struct{})
+		t.byPeer[c.peer] = peers
+	}
+	peers[c] = struct{}{}
+	t.outbound[chanKey{c.peer, c.dataOutTag}] = c
+	t.outbound[chanKey{c.peer, c.ackOutTag}] = c
+}
+
+func (t *connTable) remove(c *Conn) {
+	sh := t.shards[t.shardOf(c)]
+	if _, ok := sh[c]; !ok {
+		return
+	}
+	delete(sh, c)
+	t.n--
+	if peers := t.byPeer[c.peer]; peers != nil {
+		delete(peers, c)
+		if len(peers) == 0 {
+			delete(t.byPeer, c.peer)
+		}
+	}
+	// Another socket may have reused a freed tag before this removal
+	// (it can't while c is live, but guard the index anyway).
+	if t.outbound[chanKey{c.peer, c.dataOutTag}] == c {
+		delete(t.outbound, chanKey{c.peer, c.dataOutTag})
+	}
+	if t.outbound[chanKey{c.peer, c.ackOutTag}] == c {
+		delete(t.outbound, chanKey{c.peer, c.ackOutTag})
+	}
+}
+
+func (t *connTable) size() int { return t.n }
+
+// forEach visits every active socket, shard by shard, in no particular
+// order. The visitor must not add or remove sockets.
+func (t *connTable) forEach(f func(*Conn)) {
+	for i := range t.shards {
+		for c := range t.shards[i] {
+			f(c)
+		}
+	}
+}
+
+// peerConns visits every socket connected to addr.
+func (t *connTable) peerConns(addr ethernet.Addr, f func(*Conn)) {
+	for c := range t.byPeer[addr] {
+		f(c)
+	}
+}
+
+// lookupOutbound returns the socket that sends to dst on tag, if any.
+func (t *connTable) lookupOutbound(dst ethernet.Addr, tag emp.Tag) *Conn {
+	return t.outbound[chanKey{dst, tag}]
+}
+
+// snapshotSorted returns the active sockets ordered by (peer,
+// localPort, remotePort) — the deterministic walk order the sweep,
+// Drain, and Kill use so map iteration never leaks into simulated time.
+func (t *connTable) snapshotSorted() []*Conn {
+	conns := make([]*Conn, 0, t.n)
+	t.forEach(func(c *Conn) { conns = append(conns, c) })
+	sortConns(conns)
+	return conns
+}
+
+func sortConns(conns []*Conn) {
+	sort.Slice(conns, func(i, j int) bool {
+		a, b := conns[i], conns[j]
+		if a.peer != b.peer {
+			return a.peer < b.peer
+		}
+		if a.localPort != b.localPort {
+			return a.localPort < b.localPort
+		}
+		return a.remotePort < b.remotePort
+	})
+}

@@ -1,0 +1,261 @@
+package emp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ethernet"
+)
+
+// The demux property tests drive the hashed lookup structures against
+// naive reference models of the semantics the paper's linear walks
+// define — first-in-post-order descriptor match, FIFO unexpected-queue
+// claims and eviction — across randomized (src, tag, wildcard-src)
+// arrival orders. Run with -race in make test.
+
+// refDescModel is the pre-refactor descriptor list: an ordered slice
+// walked front to back.
+type refDescModel struct {
+	descs []*recvDesc
+}
+
+func (m *refDescModel) add(d *recvDesc) { m.descs = append(m.descs, d) }
+
+func (m *refDescModel) match(src ethernet.Addr, tag Tag, need int) (*recvDesc, int) {
+	for i, d := range m.descs {
+		if descMatches(d, src, tag, need) {
+			return d, i + 1
+		}
+	}
+	return nil, len(m.descs)
+}
+
+func (m *refDescModel) remove(d *recvDesc) {
+	for i, x := range m.descs {
+		if x == d {
+			m.descs = append(m.descs[:i], m.descs[i+1:]...)
+			return
+		}
+	}
+}
+
+func randSrc(rng *rand.Rand, wildcardOK bool) ethernet.Addr {
+	if wildcardOK && rng.Intn(4) == 0 {
+		return AnySource
+	}
+	return ethernet.Addr(rng.Intn(6))
+}
+
+// TestDescTableMatchesLinearModel drives random posts, arrivals, claims,
+// and unposts through the table and checks that (a) matchLinear agrees
+// exactly with the reference slice walk, including walk length, and
+// (b) matchHashed picks the same descriptor as the linear walk for
+// every query — the equivalence the hashed cost mode rests on.
+func TestDescTableMatchesLinearModel(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := newDescTable()
+		ref := &refDescModel{}
+		for step := 0; step < 2000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5: // post a descriptor
+				d := &recvDesc{h: &RecvHandle{
+					src:    randSrc(rng, true),
+					tag:    Tag(rng.Intn(8)),
+					maxLen: 64 * (1 + rng.Intn(4)),
+				}}
+				tbl.add(d)
+				ref.add(d)
+			case op < 8: // arrival (NIC-side: no capacity filter) or claim (with filter)
+				src := ethernet.Addr(rng.Intn(6))
+				tag := Tag(rng.Intn(8))
+				need := -1
+				if rng.Intn(2) == 0 {
+					need = 64 * (1 + rng.Intn(5)) // sometimes unsatisfiable
+				}
+				wantD, wantWalk := ref.match(src, tag, need)
+				gotD, gotWalk := tbl.matchLinear(src, tag, need)
+				if gotD != wantD || gotWalk != wantWalk {
+					t.Fatalf("seed %d step %d: matchLinear(%d,%d,%d) = (%p,%d), reference (%p,%d)",
+						seed, step, src, tag, need, gotD, gotWalk, wantD, wantWalk)
+				}
+				hashD, probes := tbl.matchHashed(src, tag, need)
+				if hashD != wantD {
+					t.Fatalf("seed %d step %d: matchHashed(%d,%d,%d) chose %p, linear chose %p",
+						seed, step, src, tag, need, hashD, wantD)
+				}
+				if probes < 0 || (wantD != nil && probes == 0) {
+					t.Fatalf("seed %d step %d: nonsensical probe count %d", seed, step, probes)
+				}
+				if wantD != nil { // consume the match, as the receive path does
+					tbl.remove(wantD)
+					ref.remove(wantD)
+				}
+			case op < 9: // unpost a random live descriptor
+				if len(ref.descs) == 0 {
+					continue
+				}
+				d := ref.descs[rng.Intn(len(ref.descs))]
+				tbl.remove(d)
+				ref.remove(d)
+			default: // audit walk: same contents in same post order
+				i := 0
+				tbl.forEach(func(d *recvDesc) {
+					if i >= len(ref.descs) || ref.descs[i] != d {
+						t.Fatalf("seed %d step %d: post-order walk diverges at %d", seed, step, i)
+					}
+					i++
+				})
+				if i != len(ref.descs) || tbl.len() != len(ref.descs) {
+					t.Fatalf("seed %d step %d: table has %d descriptors, reference %d", seed, step, tbl.len(), len(ref.descs))
+				}
+			}
+		}
+	}
+}
+
+// TestDescTableWildcardOrder pins the subtle case: an exact-source
+// descriptor and a wildcard-source descriptor both match, and the
+// winner must be whichever was posted first, in both cost models.
+func TestDescTableWildcardOrder(t *testing.T) {
+	mk := func(src ethernet.Addr) *recvDesc {
+		return &recvDesc{h: &RecvHandle{src: src, tag: 7, maxLen: 1 << 20}}
+	}
+	for _, wildFirst := range []bool{false, true} {
+		tbl := newDescTable()
+		exact, wild := mk(3), mk(AnySource)
+		if wildFirst {
+			tbl.add(wild)
+			tbl.add(exact)
+		} else {
+			tbl.add(exact)
+			tbl.add(wild)
+		}
+		want := exact
+		if wildFirst {
+			want = wild
+		}
+		if d, _ := tbl.matchLinear(3, 7, -1); d != want {
+			t.Fatalf("wildFirst=%v: linear chose wrong descriptor", wildFirst)
+		}
+		if d, _ := tbl.matchHashed(3, 7, -1); d != want {
+			t.Fatalf("wildFirst=%v: hashed chose wrong descriptor", wildFirst)
+		}
+	}
+}
+
+// refUQModel is the pre-refactor unexpected queue: one FIFO slice.
+type refUQModel struct {
+	entries []*uqEntry
+}
+
+func (m *refUQModel) push(e *uqEntry) { m.entries = append(m.entries, e) }
+
+func (m *refUQModel) find(src ethernet.Addr, tag Tag, maxLen int) *uqEntry {
+	for _, e := range m.entries {
+		if uqMatches(e, src, tag, maxLen) {
+			return e
+		}
+	}
+	return nil
+}
+
+func (m *refUQModel) count(src ethernet.Addr, tag Tag) int {
+	n := 0
+	for _, e := range m.entries {
+		if uqMatches(e, src, tag, -1) {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *refUQModel) oldestWhere(ok func(*uqEntry) bool) *uqEntry {
+	for _, e := range m.entries {
+		if ok(e) {
+			return e
+		}
+	}
+	return nil
+}
+
+func (m *refUQModel) remove(e *uqEntry) {
+	for i, x := range m.entries {
+		if x == e {
+			m.entries = append(m.entries[:i], m.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// TestUQTableMatchesFIFOModel drives random pushes, claims, purges, and
+// byte-cap evictions and checks the indexed queue always claims and
+// evicts exactly the entry the FIFO walk would — drain ordering
+// included (repeated claims for one tag come out in arrival order).
+func TestUQTableMatchesFIFOModel(t *testing.T) {
+	const setupTag = Tag(0x4000)
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := newUQTable()
+		ref := &refUQModel{}
+		for step := 0; step < 2000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // arrival parks in the queue
+				tag := Tag(rng.Intn(6))
+				if rng.Intn(8) == 0 {
+					tag = setupTag
+				}
+				msg := Message{
+					Src: ethernet.Addr(rng.Intn(5)),
+					Tag: tag,
+					Len: 16 * (1 + rng.Intn(8)),
+				}
+				ref.push(tbl.push(msg))
+			case op < 7: // claim (PostRecv / PollUnexpected path)
+				src := randSrc(rng, true)
+				tag := Tag(rng.Intn(6))
+				maxLen := -1
+				if rng.Intn(2) == 0 {
+					maxLen = 16 * (1 + rng.Intn(9))
+				}
+				want := ref.find(src, tag, maxLen)
+				got := tbl.find(src, tag, maxLen)
+				if got != want {
+					t.Fatalf("seed %d step %d: find(%d,%d,%d) = %p, reference %p", seed, step, src, tag, maxLen, got, want)
+				}
+				if want != nil {
+					tbl.remove(want)
+					ref.remove(want)
+				}
+			case op < 8: // byte-cap eviction: oldest non-setup entry
+				protect := func(e *uqEntry) bool { return e.msg.Tag != setupTag }
+				want := ref.oldestWhere(protect)
+				got := tbl.oldestWhere(protect)
+				if got != want {
+					t.Fatalf("seed %d step %d: eviction victim %p, reference %p", seed, step, got, want)
+				}
+				if want != nil {
+					tbl.remove(want)
+					ref.remove(want)
+				}
+			case op < 9: // count + peek consistency per (src, tag)
+				src := randSrc(rng, true)
+				tag := Tag(rng.Intn(6))
+				if got, want := tbl.count(src, tag), ref.count(src, tag); got != want {
+					t.Fatalf("seed %d step %d: count(%d,%d) = %d, reference %d", seed, step, src, tag, got, want)
+				}
+			default: // snapshot walk preserves global FIFO order
+				i := 0
+				tbl.forEach(func(e *uqEntry) {
+					if i >= len(ref.entries) || ref.entries[i] != e {
+						t.Fatalf("seed %d step %d: FIFO walk diverges at %d", seed, step, i)
+					}
+					i++
+				})
+				if i != len(ref.entries) || tbl.len() != len(ref.entries) {
+					t.Fatalf("seed %d step %d: table has %d entries, reference %d", seed, step, tbl.len(), len(ref.entries))
+				}
+			}
+		}
+	}
+}

@@ -491,17 +491,17 @@ func (ep *Endpoint) SetUnexpectedRoute(fn func(src ethernet.Addr, tag Tag)) {
 // substrate uses it to drop stale control messages addressed to closed
 // connections, so churning connections cannot exhaust the queue.
 func (ep *Endpoint) PurgeUnexpected(keep func(src ethernet.Addr, tag Tag) bool) int {
-	purged := 0
-	kept := ep.fw.uqEntries[:0]
-	for _, e := range ep.fw.uqEntries {
-		if keep(e.msg.Src, e.msg.Tag) {
-			kept = append(kept, e)
-		} else {
-			ep.fw.uqBytes -= e.msg.Len
-			purged++
+	var drop []*uqEntry
+	ep.fw.uq.forEach(func(e *uqEntry) {
+		if !keep(e.msg.Src, e.msg.Tag) {
+			drop = append(drop, e)
 		}
+	})
+	for _, e := range drop {
+		ep.fw.uq.remove(e)
+		ep.fw.uqBytes -= e.msg.Len
 	}
-	ep.fw.uqEntries = kept
+	purged := len(drop)
 	if purged > 0 {
 		n := purged
 		ep.NIC.Ring(func() {
@@ -515,25 +515,14 @@ func (ep *Endpoint) PurgeUnexpected(keep func(src ethernet.Addr, tag Tag) bool) 
 // in the host-visible unexpected queue, without claiming it or charging
 // any time (a user-space flag check).
 func (ep *Endpoint) PeekUnexpected(src ethernet.Addr, tag Tag) bool {
-	for _, e := range ep.fw.uqEntries {
-		if tag == e.msg.Tag && (src == AnySource || src == e.msg.Src) {
-			return true
-		}
-	}
-	return false
+	return ep.fw.uq.find(src, tag, -1) != nil
 }
 
 // CountUnexpected counts matching messages waiting in the host-visible
 // unexpected queue (src may be AnySource), without claiming anything or
 // charging time.
 func (ep *Endpoint) CountUnexpected(src ethernet.Addr, tag Tag) int {
-	n := 0
-	for _, e := range ep.fw.uqEntries {
-		if tag == e.msg.Tag && (src == AnySource || src == e.msg.Src) {
-			n++
-		}
-	}
-	return n
+	return ep.fw.uq.count(src, tag)
 }
 
 // SetUnexpectedSetupClass registers a classifier marking tags whose
@@ -555,10 +544,10 @@ type UnexpectedInfo struct {
 // arrival order. The leak auditor and the substrate's purge use it; it
 // charges no simulated time.
 func (ep *Endpoint) UnexpectedSnapshot() []UnexpectedInfo {
-	out := make([]UnexpectedInfo, 0, len(ep.fw.uqEntries))
-	for _, e := range ep.fw.uqEntries {
+	out := make([]UnexpectedInfo, 0, ep.fw.uq.len())
+	ep.fw.uq.forEach(func(e *uqEntry) {
 		out = append(out, UnexpectedInfo{Src: e.msg.Src, Tag: e.msg.Tag, Len: e.msg.Len})
-	}
+	})
 	return out
 }
 
@@ -566,10 +555,10 @@ func (ep *Endpoint) UnexpectedSnapshot() []UnexpectedInfo {
 // pre-posted descriptor list, for the leak auditor's ownership walk. It
 // excludes posts still in mailbox flight and charges no simulated time.
 func (ep *Endpoint) PostedRecvs() []*RecvHandle {
-	out := make([]*RecvHandle, 0, len(ep.fw.preposted))
-	for _, d := range ep.fw.preposted {
+	out := make([]*RecvHandle, 0, ep.fw.posted.len())
+	ep.fw.posted.forEach(func(d *recvDesc) {
 		out = append(out, d.h)
-	}
+	})
 	return out
 }
 
@@ -611,7 +600,7 @@ func (ep *Endpoint) Unpost(p *sim.Proc, h *RecvHandle) bool {
 // descriptors in use, nothing preposted at the NIC, nothing parked in
 // the unexpected queue. The post-drain state the auditor expects.
 func (ep *Endpoint) Quiescent() bool {
-	return ep.descInUse == 0 && len(ep.fw.preposted) == 0 && len(ep.fw.uqEntries) == 0
+	return ep.descInUse == 0 && ep.fw.posted.len() == 0 && ep.fw.uq.len() == 0
 }
 
 // Stats is a snapshot of the endpoint's protocol counters and
@@ -651,7 +640,7 @@ func (ep *Endpoint) Stats() Stats {
 		DescInUse:     int64(ep.descInUse),
 		DescHighWater: int64(ep.descHW),
 		DescDenied:    ep.DescDenied.Value,
-		UQEntries:     int64(len(ep.fw.uqEntries)),
+		UQEntries:     int64(ep.fw.uq.len()),
 		UQBytes:       int64(ep.fw.uqBytes),
 		UQPeakEntries: int64(ep.fw.uqPeakEntries),
 		UQDropped:     ep.fw.uqDropped.Value,
@@ -705,11 +694,11 @@ func (s Stats) String() string {
 // PrepostedDescriptors reports how many receive descriptors are currently
 // posted at the NIC (tag-match walk length); used by tests and the
 // credit-size experiments.
-func (ep *Endpoint) PrepostedDescriptors() int { return len(ep.fw.preposted) }
+func (ep *Endpoint) PrepostedDescriptors() int { return ep.fw.posted.len() }
 
 // UnexpectedQueued reports completed messages waiting in the unexpected
 // queue.
-func (ep *Endpoint) UnexpectedQueued() int { return len(ep.fw.uqEntries) }
+func (ep *Endpoint) UnexpectedQueued() int { return ep.fw.uq.len() }
 
 // UnexpectedBytes reports the payload bytes currently parked in the
 // unexpected queue.

@@ -31,12 +31,18 @@ type unpostOp struct {
 	done      *sim.Cond
 }
 
-// recvDesc is one pre-posted receive descriptor in the NIC's ordered
-// list. Tag matching walks this list linearly; its length is what the
-// paper's delayed-acknowledgment and unexpected-queue optimizations
-// shorten.
+// recvDesc is one pre-posted receive descriptor. The descriptors live
+// in a descTable: a global post-order list (prev/next) — the list the
+// paper's NIC walks linearly, whose length the delayed-acknowledgment
+// and unexpected-queue optimizations shorten — plus a (src, tag)
+// bucket chain (bprev/bnext) that the hashed-cost mode probes instead.
 type recvDesc struct {
 	h *RecvHandle
+
+	tbl          *descTable
+	seq          uint64 // global post-order sequence number
+	prev, next   *recvDesc
+	bprev, bnext *recvDesc // bucket chain, post-ordered
 }
 
 // txRecord is the transmission record the paper's T3 step creates: the
@@ -83,6 +89,9 @@ type reassembly struct {
 
 type uqEntry struct {
 	msg Message
+
+	prev, next   *uqEntry // global FIFO order
+	bprev, bnext *uqEntry // per-tag chain, FIFO-ordered within the tag
 }
 
 const completedRingCap = 4096
@@ -97,7 +106,7 @@ type firmware struct {
 	txWork *sim.FIFO[txOp]
 	rxWork *sim.FIFO[rxOp]
 
-	preposted []*recvDesc
+	posted *descTable
 	// destInflight tracks unacknowledged fragments per destination
 	// across all transmission records: the sender-side window that
 	// keeps a fast sender from swamping the receiver NIC's frame
@@ -108,13 +117,13 @@ type firmware struct {
 	// behind connection health monitoring (a climbing streak means the
 	// peer, or the path to it, is wedged).
 	resendStreak map[ethernet.Addr]int
-	txWindow *sim.Cond
-	uqSlots  int
+	txWindow     *sim.Cond
+	uqSlots      int
 	// uqBytes / uqPeakEntries account the unexpected queue's occupancy
 	// for the byte cap (Config.UnexpectedBytes) and the pool gauges.
 	uqBytes       int
 	uqPeakEntries int
-	uqEntries     []*uqEntry
+	uq            *uqTable
 	reasm         map[reasmKey]*reassembly
 	records       map[uint64]*txRecord
 
@@ -162,6 +171,8 @@ func newFirmware(ep *Endpoint) *firmware {
 		txWork:       sim.NewFIFO[txOp](ep.Eng, ep.NIC.Name+".txwork", 0),
 		rxWork:       sim.NewFIFO[rxOp](ep.Eng, ep.NIC.Name+".rxwork", 0),
 		uqSlots:      ep.Cfg.UnexpectedSlots,
+		posted:       newDescTable(),
+		uq:           newUQTable(),
 		destInflight: make(map[ethernet.Addr]int),
 		resendStreak: make(map[ethernet.Addr]int),
 		reasm:        make(map[reasmKey]*reassembly),
@@ -195,17 +206,17 @@ func (fw *firmware) kill() {
 	fw.records = make(map[uint64]*txRecord)
 	fw.destInflight = make(map[ethernet.Addr]int)
 	fw.txWindow.Broadcast()
-	for _, d := range fw.preposted {
+	fw.posted.forEach(func(d *recvDesc) {
 		d.h.complete(StatusCancelled, Message{})
-	}
-	fw.preposted = nil
+	})
+	fw.posted.reset()
 	for _, r := range fw.reasm {
 		if r.h != nil {
 			r.h.complete(StatusCancelled, Message{})
 		}
 	}
 	fw.reasm = make(map[reasmKey]*reassembly)
-	fw.uqEntries = nil
+	fw.uq.reset()
 	fw.uqBytes = 0
 	if fw.uqNotify != nil {
 		fw.uqNotify.Notify()
@@ -539,22 +550,37 @@ func (fw *firmware) handleData(p *sim.Proc, wf *WireFrame) {
 	}
 }
 
+// matchPreposted is the single descriptor-match routine shared by the
+// receive path and the host-side claim (matchDescriptor). need < 0
+// skips the buffer-capacity check (the NIC-side match truncates on
+// overflow instead of skipping the descriptor); need >= 0 requires the
+// posted buffer to hold need bytes. The matched descriptor is left
+// linked — the caller removes it. The second return is the lookup work
+// for the timed NIC path to charge: descriptors walked (paper-faithful
+// linear mode) or bucket entries probed (hashed mode).
+func (fw *firmware) matchPreposted(src ethernet.Addr, tag Tag, need int) (*recvDesc, int) {
+	if fw.n.Cfg.HashedMatch {
+		return fw.posted.matchHashed(src, tag, need)
+	}
+	return fw.posted.matchLinear(src, tag, need)
+}
+
+// chargeTagMatch charges the NIC cost of one descriptor lookup in the
+// active cost model.
+func (fw *firmware) chargeTagMatch(p *sim.Proc, work int) {
+	if fw.n.Cfg.HashedMatch {
+		fw.n.TagMatchHashed(p, work)
+	} else {
+		fw.n.TagMatch(p, work)
+	}
+}
+
 // startReassembly classifies the first-seen fragment of a message: tag
-// match against the pre-posted descriptor list (charging the walk), the
+// match against the pre-posted descriptors (charging the lookup), the
 // unexpected queue, or a drop.
 func (fw *firmware) startReassembly(p *sim.Proc, wf *WireFrame, key reasmKey) *reassembly {
-	idx := -1
-	for i, d := range fw.preposted {
-		if d.h.tag == wf.Tag && (d.h.src == AnySource || d.h.src == wf.Src) {
-			idx = i
-			break
-		}
-	}
-	walked := len(fw.preposted)
-	if idx >= 0 {
-		walked = idx + 1
-	}
-	fw.n.TagMatch(p, walked)
+	d, work := fw.matchPreposted(wf.Src, wf.Tag, -1)
+	fw.chargeTagMatch(p, work)
 	if sp, ok := wf.Data.(telemetry.Spanned); ok {
 		sp.TelemetrySpan().MarkOnce("match", p.Now())
 	}
@@ -567,10 +593,9 @@ func (fw *firmware) startReassembly(p *sim.Proc, wf *WireFrame, key reasmKey) *r
 		lastNack: -1,
 	}
 	switch {
-	case idx >= 0:
-		fw.eng.Tracef(fw.n.Name, "tag match src=%d tag=%d walked=%d", wf.Src, wf.Tag, walked)
-		d := fw.preposted[idx]
-		fw.preposted = append(fw.preposted[:idx], fw.preposted[idx+1:]...)
+	case d != nil:
+		fw.eng.Tracef(fw.n.Name, "tag match src=%d tag=%d walked=%d", wf.Src, wf.Tag, work)
+		fw.posted.remove(d)
 		r.h = d.h
 		if wf.MsgLen > d.h.maxLen {
 			// Arriving message overflows the posted buffer: consume and
@@ -632,10 +657,10 @@ func (fw *firmware) finish(r *reassembly) {
 		if sp, ok := msg.Data.(telemetry.Spanned); ok {
 			sp.TelemetrySpan().MarkOnce("uq", fw.eng.Now())
 		}
-		fw.uqEntries = append(fw.uqEntries, &uqEntry{msg: msg})
+		fw.uq.push(msg)
 		fw.uqBytes += msg.Len
-		if len(fw.uqEntries) > fw.uqPeakEntries {
-			fw.uqPeakEntries = len(fw.uqEntries)
+		if fw.uq.len() > fw.uqPeakEntries {
+			fw.uqPeakEntries = fw.uq.len()
 		}
 		fw.enforceUQBytes()
 		if fw.uqNotify != nil {
@@ -655,19 +680,14 @@ func (fw *firmware) finish(r *reassembly) {
 func (fw *firmware) enforceUQBytes() {
 	limit := fw.ep.Cfg.UnexpectedBytes
 	for limit > 0 && fw.uqBytes > limit {
-		victim := -1
-		for i, e := range fw.uqEntries {
-			if fw.uqSetup == nil || !fw.uqSetup(e.msg.Tag) {
-				victim = i
-				break
-			}
-		}
-		if victim < 0 {
+		e := fw.uq.oldestWhere(func(e *uqEntry) bool {
+			return fw.uqSetup == nil || !fw.uqSetup(e.msg.Tag)
+		})
+		if e == nil {
 			return
 		}
-		e := fw.uqEntries[victim]
 		fw.eng.Tracef(fw.n.Name, "UQ DROP src=%d tag=%d len=%d (byte cap %d)", e.msg.Src, e.msg.Tag, e.msg.Len, limit)
-		fw.uqEntries = append(fw.uqEntries[:victim], fw.uqEntries[victim+1:]...)
+		fw.uq.remove(e)
 		fw.uqBytes -= e.msg.Len
 		fw.uqSlots++
 		fw.uqDropped.Inc()
@@ -678,15 +698,17 @@ func (fw *firmware) enforceUQBytes() {
 }
 
 // matchDescriptor finds and removes the first posted descriptor matching
-// msg with sufficient buffer space.
+// msg with sufficient buffer space. It runs in untimed firmware context
+// (no NIC walk is charged — the walk was paid when the message arrived
+// and missed), so it shares matchPreposted with the receive path purely
+// for the match semantics.
 func (fw *firmware) matchDescriptor(msg Message) *RecvHandle {
-	for i, d := range fw.preposted {
-		if d.h.tag == msg.Tag && (d.h.src == AnySource || d.h.src == msg.Src) && d.h.maxLen >= msg.Len {
-			fw.preposted = append(fw.preposted[:i], fw.preposted[i+1:]...)
-			return d.h
-		}
+	d, _ := fw.matchPreposted(msg.Src, msg.Tag, msg.Len)
+	if d == nil {
+		return nil
 	}
-	return nil
+	fw.posted.remove(d)
+	return d.h
 }
 
 func (fw *firmware) markCompleted(key reasmKey) {
@@ -711,32 +733,30 @@ func (fw *firmware) handleRecvPost(p *sim.Proc, h *RecvHandle) {
 	}
 	// Safety net: a message may have landed in the unexpected queue
 	// between the host-side check and this post reaching the NIC.
-	for i, e := range fw.uqEntries {
+	if e := fw.uq.find(h.src, h.tag, h.maxLen); e != nil {
 		m := e.msg
-		if h.tag == m.Tag && (h.src == AnySource || h.src == m.Src) && h.maxLen >= m.Len {
-			fw.uqEntries = append(fw.uqEntries[:i], fw.uqEntries[i+1:]...)
-			fw.uqBytes -= m.Len
-			fw.uqSlots++
-			fw.unexpectedHit.Inc()
-			fw.msgsDelivered.Inc()
-			delay := fw.n.Cfg.HostNotify + fw.ep.Host.CopyTime(m.Len)
-			fw.eng.After(delay, func() { h.complete(StatusOK, m) })
-			return
-		}
+		fw.uq.remove(e)
+		fw.uqBytes -= m.Len
+		fw.uqSlots++
+		fw.unexpectedHit.Inc()
+		fw.msgsDelivered.Inc()
+		delay := fw.n.Cfg.HostNotify + fw.ep.Host.CopyTime(m.Len)
+		fw.eng.After(delay, func() { h.complete(StatusOK, m) })
+		return
 	}
 	d := &recvDesc{h: h}
 	h.desc = d
-	fw.preposted = append(fw.preposted, d)
+	fw.posted.add(d)
 }
 
 func (fw *firmware) handleUnpost(p *sim.Proc, op *unpostOp) {
 	p.Sleep(fw.n.Cfg.RxPostHandle)
-	for i, d := range fw.preposted {
-		if d.h == op.h {
-			fw.preposted = append(fw.preposted[:i], fw.preposted[i+1:]...)
-			op.h.complete(StatusCancelled, Message{})
-			break
-		}
+	// h.desc links back to the live table entry; a descriptor already
+	// consumed by a match has been unlinked (tbl cleared) and must not
+	// be cancelled.
+	if d := op.h.desc; d != nil && d.tbl == fw.posted {
+		fw.posted.remove(d)
+		op.h.complete(StatusCancelled, Message{})
 	}
 	op.processed = true
 	op.done.Broadcast()
@@ -746,21 +766,20 @@ func (fw *firmware) handleUnpost(p *sim.Proc, op *unpostOp) {
 // the EMP library checks the host-visible unexpected queue before posting
 // a descriptor. The caller charges copy time.
 func (fw *firmware) claimUnexpected(src ethernet.Addr, tag Tag, maxLen int) (Message, bool) {
-	for i, e := range fw.uqEntries {
-		m := e.msg
-		if tag == m.Tag && (src == AnySource || src == m.Src) && maxLen >= m.Len {
-			fw.uqEntries = append(fw.uqEntries[:i], fw.uqEntries[i+1:]...)
-			fw.uqBytes -= m.Len
-			fw.unexpectedHit.Inc()
-			fw.msgsDelivered.Inc()
-			// Tell the NIC to free the slot (a host doorbell write).
-			fw.n.Ring(func() {
-				fw.rxWork.TryPut(rxOp{uqFree: 1})
-			})
-			return m, true
-		}
+	e := fw.uq.find(src, tag, maxLen)
+	if e == nil {
+		return Message{}, false
 	}
-	return Message{}, false
+	m := e.msg
+	fw.uq.remove(e)
+	fw.uqBytes -= m.Len
+	fw.unexpectedHit.Inc()
+	fw.msgsDelivered.Inc()
+	// Tell the NIC to free the slot (a host doorbell write).
+	fw.n.Ring(func() {
+		fw.rxWork.TryPut(rxOp{uqFree: 1})
+	})
+	return m, true
 }
 
 func (fw *firmware) sendAck(p *sim.Proc, dst ethernet.Addr, msgID uint64, ackSeq int) {

@@ -744,7 +744,7 @@ func (c *Conn) fail(err error) {
 	c.established.Broadcast()
 	c.src.Fire(uint32(sock.PollIn | sock.PollOut | sock.PollErr))
 	if was != stateClosed {
-		delete(c.st.conns, c.key())
+		c.st.conns.remove(c.key())
 	}
 }
 
@@ -755,7 +755,7 @@ func (c *Conn) teardown() {
 	c.delAck.Cancel()
 	if c.state != stateClosed {
 		c.state = stateClosed
-		delete(c.st.conns, c.key())
+		c.st.conns.remove(c.key())
 	}
 }
 

@@ -388,7 +388,7 @@ func TestConnectionTableDrainsAfterChurn(t *testing.T) {
 	if served != rounds {
 		t.Fatalf("served %d/%d", served, rounds)
 	}
-	if n := len(b.stacks[0].conns) + len(b.stacks[1].conns); n != 0 {
+	if n := b.stacks[0].conns.len() + b.stacks[1].conns.len(); n != 0 {
 		t.Fatalf("%d connections leaked in the demux tables", n)
 	}
 }

@@ -61,8 +61,7 @@ func (l *Listener) inputSYN(seg *Segment) {
 		return
 	}
 	c := newConn(l.st, l.port, seg.Src, seg.SrcPort)
-	key := c.key()
-	if existing, exists := l.st.conns[key]; exists {
+	if existing := l.st.conns.get(c.key()); existing != nil {
 		if existing.state == stateSynRcvd {
 			// Retransmitted SYN: our SYN-ACK was lost; resend it.
 			existing.sendSYN(nil, true)
@@ -73,7 +72,7 @@ func (l *Listener) inputSYN(seg *Segment) {
 	c.rcvbuf = stream.NewBuffer(seg.Seq + 1)
 	c.advEdge = c.rcvbuf.End() + int64(c.rcvBufCap)
 	c.rwnd = seg.Wnd
-	l.st.conns[key] = c
+	l.st.conns.insert(c)
 	c.sendSYN(nil, true)
 }
 

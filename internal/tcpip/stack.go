@@ -33,7 +33,11 @@ type Stack struct {
 	addr ethernet.Addr
 	port *ethernet.Port
 
-	conns     map[connKey]*Conn
+	// conns is the established-connection demux: a resizable 4-tuple
+	// hash table (see demux.go). listeners is the per-port listener
+	// index (the inet_hashtables lhash analogue): SYNs that miss the
+	// 4-tuple table resolve here by destination port alone.
+	conns     *connTable
 	listeners map[int]*Listener
 	udps      map[int]*UDPSocket
 	nextPort  int
@@ -96,7 +100,7 @@ func NewStack(e *sim.Engine, host *kernel.Host, sw *ethernet.Switch, cfg StackCo
 		Eng:       e,
 		Host:      host,
 		Cfg:       cfg,
-		conns:     make(map[connKey]*Conn),
+		conns:     newConnTable(),
 		listeners: make(map[int]*Listener),
 		udps:      make(map[int]*UDPSocket),
 		nextPort:  32768,
@@ -198,7 +202,7 @@ func (st *Stack) dispatch(f *ethernet.Frame) {
 func (st *Stack) dispatchTCP(seg *Segment) {
 	st.Eng.Tracef("tcp", "rx %v", seg)
 	key := connKey{lport: seg.DstPort, raddr: seg.Src, rport: seg.SrcPort}
-	if c, ok := st.conns[key]; ok {
+	if c := st.conns.lookup(key); c != nil {
 		c.input(seg)
 		return
 	}
@@ -228,7 +232,9 @@ func (st *Stack) Kill() {
 	st.dead = true
 	st.rxIntr.Cancel()
 	st.rxRing = nil
-	for _, c := range st.conns {
+	var failing []*Conn
+	st.conns.forEach(func(c *Conn) { failing = append(failing, c) })
+	for _, c := range failing {
 		c.fail(sock.ErrReset)
 	}
 	for port, l := range st.listeners {
@@ -291,7 +297,7 @@ func (st *Stack) Dial(p *sim.Proc, addr ethernet.Addr, port int) (sock.Conn, err
 		deadline = p.Now().Add(st.Cfg.DialTimeout)
 	}
 	c := newConn(st, st.ephemeralPort(), addr, port)
-	st.conns[c.key()] = c
+	st.conns.insert(c)
 	c.state = stateSynSent
 	c.sendSYN(p, false)
 	// Block until established or refused, retrying the SYN. SYN
@@ -305,7 +311,7 @@ func (st *Stack) Dial(p *sim.Proc, addr ethernet.Addr, port int) (sock.Conn, err
 		if deadline != 0 {
 			remain := deadline.Sub(p.Now())
 			if remain <= 0 {
-				delete(st.conns, c.key())
+				st.conns.remove(c.key())
 				return nil, sock.ErrTimeout
 			}
 			if remain < wait {
@@ -314,14 +320,14 @@ func (st *Stack) Dial(p *sim.Proc, addr ethernet.Addr, port int) (sock.Conn, err
 		}
 		if !c.established.WaitForTimeout(p, wait, func() bool { return c.state != stateSynSent }) {
 			if _, ok := loop.Next(p.Now()); !ok {
-				delete(st.conns, c.key())
+				st.conns.remove(c.key())
 				return nil, sock.ErrTimeout
 			}
 			c.sendSYN(p, false)
 		}
 	}
 	if c.state != stateEstablished {
-		delete(st.conns, c.key())
+		st.conns.remove(c.key())
 		if c.err != nil {
 			return nil, c.err
 		}
@@ -361,23 +367,11 @@ func (st *Stack) Drain(p *sim.Proc, deadline sim.Time) error {
 	for _, port := range uports {
 		st.udps[port].Close(p)
 	}
-	keys := make([]connKey, 0, len(st.conns))
-	for key := range st.conns {
-		keys = append(keys, key)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.lport != b.lport {
-			return a.lport < b.lport
-		}
-		if a.raddr != b.raddr {
-			return a.raddr < b.raddr
-		}
-		return a.rport < b.rport
-	})
+	keys := st.conns.keys()
+	sortConnKeys(keys)
 	for _, key := range keys {
-		c, ok := st.conns[key]
-		if !ok {
+		c := st.conns.get(key)
+		if c == nil {
 			continue
 		}
 		c.CloseRead(p)
@@ -388,7 +382,7 @@ func (st *Stack) Drain(p *sim.Proc, deadline sim.Time) error {
 			c.Close(p)
 		}
 	}
-	for len(st.conns) > 0 && p.Now() < deadline {
+	for st.conns.len() > 0 && p.Now() < deadline {
 		wait := 200 * sim.Microsecond
 		if remain := deadline.Sub(p.Now()); remain < wait {
 			wait = remain
@@ -397,23 +391,11 @@ func (st *Stack) Drain(p *sim.Proc, deadline sim.Time) error {
 	}
 	// Past the deadline: reset whatever is left (a peer holding its half
 	// open forever must not hold the host's shutdown hostage).
-	if len(st.conns) > 0 {
-		keys = keys[:0]
-		for key := range st.conns {
-			keys = append(keys, key)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			a, b := keys[i], keys[j]
-			if a.lport != b.lport {
-				return a.lport < b.lport
-			}
-			if a.raddr != b.raddr {
-				return a.raddr < b.raddr
-			}
-			return a.rport < b.rport
-		})
+	if st.conns.len() > 0 {
+		keys = st.conns.keys()
+		sortConnKeys(keys)
 		for _, key := range keys {
-			if c, ok := st.conns[key]; ok {
+			if c := st.conns.get(key); c != nil {
 				c.abort(p)
 			}
 		}
@@ -437,12 +419,13 @@ func (st *Stack) Draining() bool { return st.draining }
 // demultiplexing tables are the kernel analogue of the substrate's
 // unposted-descriptor leaks.
 func (st *Stack) AuditResources(add func(kind, detail string)) {
-	for key, c := range st.conns {
+	st.conns.forEach(func(c *Conn) {
 		if c.state == stateClosed {
+			key := c.key()
 			add("closed-conn", fmt.Sprintf("closed connection %d:%d -> %d:%d still in the demux table",
 				st.addr, key.lport, key.raddr, key.rport))
 		}
-	}
+	})
 	for port, l := range st.listeners {
 		if l.closed {
 			add("closed-listener", fmt.Sprintf("closed listener on port %d still in the demux table", port))
@@ -456,6 +439,14 @@ func (st *Stack) AuditResources(add func(kind, detail string)) {
 	}
 }
 
+// DemuxStats reports the established-connection table's demux-path
+// counters: segment lookups performed and hash-chain entries probed.
+// Probes/lookups is the mean demux cost the connscale bench gate
+// asserts stays flat as the registered population grows.
+func (st *Stack) DemuxStats() (lookups, probes int64) {
+	return st.conns.Lookups, st.conns.Probes
+}
+
 func (st *Stack) String() string {
-	return fmt.Sprintf("tcpip.Stack(addr=%d conns=%d)", st.addr, len(st.conns))
+	return fmt.Sprintf("tcpip.Stack(addr=%d conns=%d)", st.addr, st.conns.len())
 }

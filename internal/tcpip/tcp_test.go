@@ -159,8 +159,8 @@ func TestEOFAfterClose(t *testing.T) {
 		t.Fatal("EOF never delivered after close")
 	}
 	// Both connection endpoints should eventually be reaped.
-	if len(b.stacks[0].conns)+len(b.stacks[1].conns) != 0 {
-		t.Fatalf("connections leaked: %d/%d", len(b.stacks[0].conns), len(b.stacks[1].conns))
+	if b.stacks[0].conns.len()+b.stacks[1].conns.len() != 0 {
+		t.Fatalf("connections leaked: %d/%d", b.stacks[0].conns.len(), b.stacks[1].conns.len())
 	}
 }
 
