@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench bench-smoke reproduce ablations chaos chaos-nic overload audit drain metrics examples verify record
+.PHONY: test race bench bench-smoke reproduce ablations chaos chaos-nic chaos-fabric overload audit drain metrics examples verify record
 
 # test is the everyday gate; `make verify` is the full pre-merge chain
 # (build + vet + race tests + the chaos-NIC self-healing smoke).
@@ -42,6 +42,15 @@ chaos:
 chaos-nic:
 	go run ./cmd/reproduce -chaos-nic
 
+# chaos-fabric runs the fabric single-failure survivability matrix:
+# web and kvstore over sessions on a 2-leaf/2-spine fabric while every
+# single trunk link and every single spine is killed in turn — each run
+# must finish with exact output, zero app-visible errors, at least one
+# recorded reroute, and a clean leak audit — plus a no-reroute control
+# that must fail. Any unexpected outcome fails the target.
+chaos-fabric:
+	go run ./cmd/reproduce -chaos-fabric
+
 # overload runs the flood/starvation resilience suite under the race
 # detector: connect floods beyond the backlog, credit/buffer starvation
 # with deadlines, and the bounded-pool edge races.
@@ -78,15 +87,17 @@ examples:
 # verify is the full pre-merge chain: build, vet, the race-enabled test
 # suite, the connscale demux regression gate (1024-conn all-active
 # per-dispatch lookup cost must stay within a pinned multiple of the
-# 8-conn cost in hashed mode), and the chaos-NIC self-healing smoke
-# (the quick matrix: every NIC fault kind on both workloads plus the
-# no-recovery control).
+# 8-conn cost in hashed mode), the chaos-NIC self-healing smoke (the
+# quick matrix: every NIC fault kind on both workloads plus the
+# no-recovery control), and the chaos-fabric smoke (single trunk kill +
+# single spine kill on both workloads plus the no-reroute control).
 verify:
 	go build ./...
 	go vet ./...
 	go test -race ./...
 	go test -run TestConnScaleDispatchGate -count=1 ./internal/bench
 	go run ./cmd/reproduce -chaos-nic -quick
+	go run ./cmd/reproduce -chaos-fabric -quick
 
 # record regenerates the committed experiment record artifacts.
 record:

@@ -27,6 +27,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead")
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos suite instead")
 	chaosNIC := flag.Bool("chaos-nic", false, "run the NIC-fault self-healing matrix instead")
+	chaosFabric := flag.Bool("chaos-fabric", false, "run the fabric single-failure survivability matrix instead")
 	chaosSeeds := flag.Int("chaos-seeds", 5, "randomized fault plans per chaos workload")
 	auditFlag := flag.Bool("audit", false, "run the descriptor-leak audit sweep instead")
 	metrics := flag.Bool("metrics", false, "run the hot-path latency decomposition instead")
@@ -190,6 +191,21 @@ func main() {
 		}
 		runs := bench.ChaosNIC(seeds, *quick)
 		bench.FprintChaosNIC(os.Stdout, runs)
+		for _, r := range runs {
+			if !r.OK {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *chaosFabric {
+		seeds := *chaosSeeds
+		if *quick {
+			seeds = 1
+		}
+		runs := bench.ChaosFabric(seeds, *quick)
+		bench.FprintChaosFabric(os.Stdout, runs)
 		for _, r := range runs {
 			if !r.OK {
 				os.Exit(1)

@@ -8,6 +8,8 @@
 package cluster
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/ethernet"
 	"repro/internal/faults"
@@ -80,6 +82,32 @@ type Config struct {
 	// recovery-friendly values (SyncConnect, a dial deadline, the
 	// credit-reconciliation sweep) unless Substrate overrides them.
 	Failover bool
+	// Topology, when non-nil, replaces the single switch with a
+	// multi-switch spine-leaf fabric. Station addressing is unchanged
+	// (attach order is still node order), so fault-plan node indices
+	// and the even/odd Failover port convention carry over.
+	Topology *Topology
+}
+
+// Topology describes a spine-leaf fabric: Leaves edge switches hosting
+// the stations, Spines core switches, and a trunk from every leaf to
+// every spine (trunk ids run leaf-major: leaf l's trunk to spine s is
+// l*Spines+s). Node i's NIC attaches to leaf i%Leaves; on Failover
+// clusters the node's TCP stack attaches to leaf (i+1)%Leaves, so a
+// node's two transports enter the fabric on different leaves and even a
+// leaf failure leaves the node reachable.
+type Topology struct {
+	Spines int
+	Leaves int
+	// ECMPSeed seeds the fabric's path-selection hash; zero borrows the
+	// cluster Seed so runs stay reproducible by default.
+	ECMPSeed uint64
+	// DetectDelay overrides how long failures blackhole before the
+	// fabric reroutes (zero: ethernet.DefaultDetectDelay).
+	DetectDelay sim.Duration
+	// NoReroute freezes the initial forwarding tables — the chaos
+	// control proving reroute is what makes failures survivable.
+	NoReroute bool
 }
 
 // Node is one machine of the cluster.
@@ -99,10 +127,12 @@ type Node struct {
 	Tel *telemetry.Registry
 }
 
-// Cluster is an assembled testbed.
+// Cluster is an assembled testbed. Exactly one of Switch (single-switch
+// clusters, the default) and Fabric (Topology clusters) is non-nil.
 type Cluster struct {
 	Eng    *sim.Engine
 	Switch *ethernet.Switch
+	Fabric *ethernet.Fabric
 	Nodes  []*Node
 	Cfg    Config
 }
@@ -127,8 +157,56 @@ func New(cfg Config) *Cluster {
 	if cfg.Hosts != nil {
 		hostCosts = *cfg.Hosts
 	}
-	sw := ethernet.NewSwitch(eng, swCfg)
-	c := &Cluster{Eng: eng, Switch: sw, Cfg: cfg}
+	var (
+		sw     *ethernet.Switch
+		fb     *ethernet.Fabric
+		leaves []*ethernet.Switch
+	)
+	if cfg.Topology != nil {
+		topo := *cfg.Topology
+		if topo.Leaves < 1 {
+			topo.Leaves = 1
+		}
+		seed := topo.ECMPSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		fb = ethernet.NewFabric(eng, ethernet.FabricConfig{
+			Seed:        seed,
+			DetectDelay: topo.DetectDelay,
+			NoReroute:   topo.NoReroute,
+		})
+		for l := 0; l < topo.Leaves; l++ {
+			leaves = append(leaves, fb.AddSwitch(fmt.Sprintf("leaf%d", l), swCfg))
+		}
+		var spines []*ethernet.Switch
+		for s := 0; s < topo.Spines; s++ {
+			spines = append(spines, fb.AddSwitch(fmt.Sprintf("spine%d", s), swCfg))
+		}
+		for _, lf := range leaves {
+			for _, sp := range spines {
+				fb.Connect(lf, sp)
+			}
+		}
+	} else {
+		sw = ethernet.NewSwitch(eng, swCfg)
+	}
+	// nicAt/tcpAt pick each attachment's edge switch: the single switch,
+	// or on a fabric the node's leaf — with the Failover TCP stack one
+	// leaf over, so a node's transports enter on different leaves.
+	nicAt := func(i int) *ethernet.Switch {
+		if fb == nil {
+			return sw
+		}
+		return leaves[i%len(leaves)]
+	}
+	tcpAt := func(i int) *ethernet.Switch {
+		if fb == nil {
+			return sw
+		}
+		return leaves[(i+1)%len(leaves)]
+	}
+	c := &Cluster{Eng: eng, Switch: sw, Fabric: fb, Cfg: cfg}
 	for i := 0; i < cfg.Nodes; i++ {
 		host := kernel.NewHost(eng, "host", cfg.Cores, hostCosts)
 		n := &Node{Host: host, FS: ramfs.New(host), Tel: telemetry.New()}
@@ -139,7 +217,7 @@ func New(cfg Config) *Cluster {
 				nicCfg = *cfg.NIC
 			}
 			nc := nic.New(eng, "nic", nicCfg)
-			nc.Attach(sw)
+			nc.Attach(nicAt(i))
 			if cfg.Faults != nil {
 				nc.SetFaults(cfg.Faults, i)
 			}
@@ -154,7 +232,7 @@ func New(cfg Config) *Cluster {
 			if cfg.TCP != nil {
 				stCfg = *cfg.TCP
 			}
-			n.Stack = tcpip.NewStack(eng, host, sw, stCfg)
+			n.Stack = tcpip.NewStack(eng, host, tcpAt(i), stCfg)
 			n.Stack.SetTelemetry(n.Tel)
 		case cfg.Transport == TransportSubstrate:
 			nicCfg := nic.DefaultConfig()
@@ -162,7 +240,7 @@ func New(cfg Config) *Cluster {
 				nicCfg = *cfg.NIC
 			}
 			nc := nic.New(eng, "nic", nicCfg)
-			nc.Attach(sw)
+			nc.Attach(nicAt(i))
 			if cfg.Faults != nil {
 				nc.SetFaults(cfg.Faults, i)
 			}
@@ -181,7 +259,7 @@ func New(cfg Config) *Cluster {
 			if cfg.TCP != nil {
 				stCfg = *cfg.TCP
 			}
-			n.Stack = tcpip.NewStack(eng, host, sw, stCfg)
+			n.Stack = tcpip.NewStack(eng, host, nicAt(i), stCfg)
 			n.Stack.SetTelemetry(n.Tel)
 			n.Net = n.Stack
 		}
@@ -189,13 +267,102 @@ func New(cfg Config) *Cluster {
 		c.Nodes = append(c.Nodes, n)
 	}
 	if cfg.Faults != nil {
-		sw.SetFaults(cfg.Faults)
+		if fb != nil {
+			// Frame-level clauses evaluate once per frame at the ingress
+			// leaf; link and switch clauses land on the fabric itself.
+			for _, s := range fb.Switches() {
+				s.SetFaults(cfg.Faults)
+			}
+			fb.ApplyFaults(cfg.Faults)
+		} else {
+			sw.SetFaults(cfg.Faults)
+		}
 		for _, cr := range cfg.Faults.Crashes {
 			cr := cr
 			eng.At(sim.Time(cr.At), func() { c.Kill(cr.Node) })
 		}
 	}
+	if fb != nil {
+		c.watchRoutes()
+	}
 	return c
+}
+
+// watchRoutes turns fabric route events into per-connection
+// flight-recorder entries, so a reset dump shows which path a
+// connection died on or moved to: "link-down"/"switch-down" when the
+// connection's path contained the failed element (or the failure cut
+// its endpoints apart), "reroute" when a detected failure moved it to a
+// surviving path, "path-change" for any other recompute that moved it
+// (e.g. a link coming back). Recording is host bookkeeping — no
+// simulated time — and runs in node then sorted-connection order, so
+// the records are deterministic.
+func (c *Cluster) watchRoutes() {
+	fb := c.Fabric
+	fb.Subscribe(func(ev ethernet.RouteEvent) {
+		now := c.Eng.Now()
+		elem := fmt.Sprintf("trunk %d", ev.Link)
+		if ev.Switch >= 0 {
+			elem = fmt.Sprintf("switch %d", ev.Switch)
+		}
+		for _, n := range c.Nodes {
+			tel := n.Tel
+			visit := func(id string, local, peer ethernet.Addr, flow uint32) {
+				before, okB := fb.PathBefore(local, peer, flow)
+				after, okA := fb.Path(local, peer, flow)
+				changed := okB != okA || !equalPath(before, after)
+				failure := ev.Kind == "link-down" || ev.Kind == "switch-down"
+				onFailed := failure && okB && pathHits(fb, before, ev)
+				switch {
+				case onFailed || (failure && okB && !okA):
+					tel.Flight(id).Recordf(now, ev.Kind, "%s on path %s",
+						elem, ethernet.PathString(before, okB))
+					if ev.Rerouted && changed && okA {
+						tel.Flight(id).Recordf(now, "reroute", "%s -> %s epoch=%d",
+							ethernet.PathString(before, okB), ethernet.PathString(after, okA), ev.Epoch)
+					}
+				case changed:
+					tel.Flight(id).Recordf(now, "path-change", "%s -> %s epoch=%d",
+						ethernet.PathString(before, okB), ethernet.PathString(after, okA), ev.Epoch)
+				}
+			}
+			if n.Sub != nil {
+				n.Sub.VisitConns(visit)
+			}
+			if n.Stack != nil {
+				n.Stack.VisitConns(visit)
+			}
+		}
+	})
+}
+
+func equalPath(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pathHits reports whether the failed element the event announces lies
+// on the given trunk path.
+func pathHits(fb *ethernet.Fabric, path []int, ev ethernet.RouteEvent) bool {
+	for _, id := range path {
+		if ev.Link >= 0 && id == ev.Link {
+			return true
+		}
+		if ev.Switch >= 0 {
+			a, b := fb.Trunks()[id].Ends()
+			if a.ID() == ev.Switch || b.ID() == ev.Switch {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // FailoverOptions is the substrate configuration Failover clusters
@@ -249,16 +416,45 @@ func (c *Cluster) TelemetryAggregate() *telemetry.Registry {
 	agg.RegisterSource("sim", func() []telemetry.Stat {
 		return []telemetry.Stat{{Name: "wakeups", Value: c.Eng.Wakeups()}}
 	})
-	agg.RegisterSource("switch", func() []telemetry.Stat {
-		fs := c.Switch.FaultStats()
-		return []telemetry.Stat{
-			{Name: "fault_drops", Value: fs.Drops},
-			{Name: "fault_partition_drops", Value: fs.PartitionDrops},
-			{Name: "fault_dups", Value: fs.Dups},
-			{Name: "fault_corruptions", Value: fs.Corruptions},
-			{Name: "fault_reorders", Value: fs.Reorders},
-		}
-	})
+	if c.Switch != nil {
+		agg.RegisterSource("switch", func() []telemetry.Stat {
+			fs := c.Switch.FaultStats()
+			return []telemetry.Stat{
+				{Name: "fault_drops", Value: fs.Drops},
+				{Name: "fault_partition_drops", Value: fs.PartitionDrops},
+				{Name: "fault_dups", Value: fs.Dups},
+				{Name: "fault_corruptions", Value: fs.Corruptions},
+				{Name: "fault_reorders", Value: fs.Reorders},
+			}
+		})
+	}
+	if c.Fabric != nil {
+		agg.RegisterSource("fabric", func() []telemetry.Stat {
+			fb := c.Fabric
+			fs := fb.FaultStats()
+			stats := []telemetry.Stat{
+				{Name: "forwards", Value: fb.Forwards()},
+				{Name: "reroutes", Value: fb.Reroutes()},
+				{Name: "link_downs", Value: fb.LinkDowns()},
+				{Name: "switch_deaths", Value: fb.SwitchDeaths()},
+				{Name: "route_drops", Value: fb.RouteDrops()},
+				{Name: "fault_drops", Value: fs.Drops},
+				{Name: "fault_partition_drops", Value: fs.PartitionDrops},
+				{Name: "fault_dups", Value: fs.Dups},
+				{Name: "fault_corruptions", Value: fs.Corruptions},
+				{Name: "fault_reorders", Value: fs.Reorders},
+			}
+			for _, t := range fb.Trunks() {
+				fab, fba := t.Forwards()
+				dab, dba := t.Drops()
+				stats = append(stats,
+					telemetry.Stat{Name: fmt.Sprintf("trunk%d_forwards", t.ID()), Value: fab + fba},
+					telemetry.Stat{Name: fmt.Sprintf("trunk%d_drops", t.ID()), Value: dab + dba},
+				)
+			}
+			return stats
+		})
+	}
 	return agg
 }
 

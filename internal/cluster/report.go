@@ -11,9 +11,13 @@ import (
 func (c *Cluster) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cluster: %d nodes, transport %v\n", len(c.Nodes), c.Cfg.Transport)
-	fmt.Fprintf(&b, "fabric: %d frames forwarded, %d dropped\n", c.Switch.Forwards(), c.Switch.Drops())
-	if fs := c.Switch.FaultStats(); fs.Total() > 0 {
-		fmt.Fprintf(&b, "fabric faults: %v\n", fs)
+	if c.Fabric != nil {
+		c.fabricReport(&b)
+	} else {
+		fmt.Fprintf(&b, "fabric: %d frames forwarded, %d dropped\n", c.Switch.Forwards(), c.Switch.Drops())
+		if fs := c.Switch.FaultStats(); fs.Total() > 0 {
+			fmt.Fprintf(&b, "fabric faults: %v\n", fs)
+		}
 	}
 	for i, n := range c.Nodes {
 		fmt.Fprintf(&b, "node %d:\n", i)
@@ -62,4 +66,46 @@ func (c *Cluster) Report() string {
 		}
 	}
 	return b.String()
+}
+
+// fabricReport renders the multi-switch fabric's per-switch and
+// per-trunk table: forwards, drops (fault-injected, no-route, and
+// trunk blackhole), and the reroute history.
+func (c *Cluster) fabricReport(b *strings.Builder) {
+	fb := c.Fabric
+	var leaves, spines int
+	for _, s := range fb.Switches() {
+		if strings.HasPrefix(s.Name(), "spine") {
+			spines++
+		} else {
+			leaves++
+		}
+	}
+	fmt.Fprintf(b, "fabric: %d leaves + %d spines, %d trunks, %d frames forwarded, %d reroutes\n",
+		leaves, spines, len(fb.Trunks()), fb.Forwards(), fb.Reroutes())
+	for _, s := range fb.Switches() {
+		state := ""
+		if s.Dead() {
+			state = " DEAD"
+		}
+		fmt.Fprintf(b, "  switch %s: %d forwarded, %d dropped, %d no-route%s",
+			s.Name(), s.Forwards(), s.Drops(), s.RouteDrops(), state)
+		if fs := s.FaultStats(); fs.Total() > 0 {
+			fmt.Fprintf(b, ", faults: %v", fs)
+		}
+		fmt.Fprintf(b, "\n")
+	}
+	for _, t := range fb.Trunks() {
+		fab, fba := t.Forwards()
+		dab, dba := t.Drops()
+		state := ""
+		if fb.TrunkDown(t.ID()) {
+			state = " DOWN"
+		}
+		fmt.Fprintf(b, "  %s: %d carried, %d blackholed%s\n", t, fab+fba, dab+dba, state)
+	}
+	if fb.LinkDowns() > 0 || fb.SwitchDeaths() > 0 || fb.RouteDrops() > 0 {
+		fmt.Fprintf(b, "fabric events: %d link downs, %d switch deaths, %d route drops\n",
+			fb.LinkDowns(), fb.SwitchDeaths(), fb.RouteDrops())
+	}
 }

@@ -474,6 +474,17 @@ var _ sock.Network = (*Substrate)(nil)
 // ActiveSockets reports the active-socket table size (Section 5.3).
 func (s *Substrate) ActiveSockets() int { return s.active.size() }
 
+// VisitConns calls fn for every active socket in deterministic (peer,
+// localPort, remotePort) order with its flight-recorder id, fabric
+// endpoints, and ECMP flow label (the outbound data tag EMP stamps on
+// the socket's data frames) — the hook the cluster layer uses to
+// attribute fabric route changes to connections.
+func (s *Substrate) VisitConns(fn func(id string, local, peer ethernet.Addr, flow uint32)) {
+	for _, c := range s.active.snapshotSorted() {
+		fn(c.id(), s.addr, c.peer, uint32(c.dataOutTag))
+	}
+}
+
 // allocTag reserves a dynamic tag unique among this substrate's live
 // allocations (tag matching at the peer is per-source, so uniqueness per
 // allocator suffices).

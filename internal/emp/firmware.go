@@ -342,6 +342,7 @@ func (fw *firmware) sendFrag(p *sim.Proc, rec *txRecord, seq int) {
 		Dst:        rec.dst,
 		PayloadLen: wireBytes(fl),
 		Payload:    wf,
+		Flow:       uint32(rec.tag),
 	}
 	if fw.n.FaultFlipDesc() {
 		// A flipped transmit descriptor corrupts this transmission only:

@@ -53,6 +53,14 @@ type Frame struct {
 	Dst        Addr
 	PayloadLen int
 	Payload    any
+	// Flow is the ECMP flow label: a protocol-layer digest of the
+	// connection 4-tuple (EMP stamps the message tag, TCP/UDP the port
+	// pair) that multi-switch fabrics hash — together with Src, Dst and
+	// the fabric seed — to pick among equal-cost paths, so one
+	// connection's frames stay on one path while different connections
+	// spread. Zero (control traffic without a connection context) is a
+	// valid label. Single-switch fabrics ignore it.
+	Flow uint32
 	// Corrupt marks a frame whose bits were flipped in flight by fault
 	// injection; the receiving MAC's FCS check (FCSOK) detects it and
 	// the frame must be dropped, never delivered to a payload consumer.

@@ -99,6 +99,20 @@ type Switch struct {
 	plan     *faults.Plan
 	stats    FaultStats
 	forwards int64
+
+	// Fabric membership: nil for the classic standalone switch (the
+	// paper's testbed). On a multi-switch fabric the switch carries a
+	// fabric-wide id and name, indexes its locally attached stations by
+	// their global addresses, and hands frames for remote stations to
+	// the fabric's router.
+	fab   *Fabric
+	id    int
+	name  string
+	local map[Addr]*Port
+	dead  bool
+	// routeDrops counts frames dropped because no live route to their
+	// destination existed (a disconnected fabric, or a dead leaf).
+	routeDrops int64
 }
 
 // NewSwitch returns a switch with no ports attached. Fault rates in cfg
@@ -131,8 +145,13 @@ type Port struct {
 
 // Attach connects a station to the next free port and returns the port.
 // The station learns its address via the returned port's Addr method.
+// On a fabric member the address comes from the fabric-wide space, so
+// stations on different switches never collide.
 func (s *Switch) Attach(st Station) *Port {
 	addr := Addr(len(s.ports))
+	if s.fab != nil {
+		addr = s.fab.allocAddr()
+	}
 	p := &Port{
 		sw:      s,
 		addr:    addr,
@@ -141,6 +160,10 @@ func (s *Switch) Attach(st Station) *Port {
 		out:     sim.NewResource(s.eng, fmt.Sprintf("port%d.out", addr)),
 	}
 	s.ports = append(s.ports, p)
+	if s.fab != nil {
+		s.local[addr] = p
+		s.fab.noteStation(addr, s)
+	}
 	return p
 }
 
@@ -161,6 +184,21 @@ func (s *Switch) Forwards() int64 { return s.forwards }
 
 // FaultStats reports the consolidated fault-injection counters.
 func (s *Switch) FaultStats() FaultStats { return s.stats }
+
+// ID reports the switch's fabric id (creation order); zero for a
+// standalone switch.
+func (s *Switch) ID() int { return s.id }
+
+// Name reports the switch's fabric name ("leaf0", "spine1", ...); empty
+// for a standalone switch.
+func (s *Switch) Name() string { return s.name }
+
+// Dead reports whether a fabric fault plan has crashed this switch.
+func (s *Switch) Dead() bool { return s.dead }
+
+// RouteDrops reports frames this switch dropped for want of a live
+// route to their destination (fabric members only).
+func (s *Switch) RouteDrops() int64 { return s.routeDrops }
 
 // Transmit sends a frame from this port's station into the fabric. The
 // frame is serialized on the station's transmitter, propagates to the
@@ -193,8 +231,14 @@ func (p *Port) TxBacklog() sim.Duration {
 	return free.Sub(now)
 }
 
-// forward runs when a frame has been fully received by the switch.
+// forward runs when a frame has been fully received by the switch from
+// one of its attached stations (fabric ingress). Frames arriving over a
+// trunk enter through transit instead, so the fault plan's link clauses
+// are evaluated exactly once per frame, at the ingress switch.
 func (s *Switch) forward(f *Frame) {
+	if s.dead {
+		return
+	}
 	if s.cfg.LossRate > 0 && s.eng.Rand().Bool(s.cfg.LossRate) {
 		s.stats.Drops++
 		s.eng.Tracef("switch", "DROP %d->%d len=%d", f.Src, f.Dst, f.PayloadLen)
@@ -241,11 +285,22 @@ func (s *Switch) forward(f *Frame) {
 		s.eng.Tracef("switch", "REORDER %d->%d len=%d delay=%v", f.Src, f.Dst, f.PayloadLen, delay)
 	}
 	if f.Dst == Broadcast {
+		if s.fab != nil {
+			panic("ethernet: broadcast frames are not supported on a multi-switch fabric")
+		}
 		for _, p := range s.ports {
 			if p.addr != f.Src {
 				s.deliverVia(p, out, delay)
 			}
 		}
+		return
+	}
+	dup := act.Dup || (s.cfg.DupRate > 0 && s.eng.Rand().Bool(s.cfg.DupRate))
+	if dup {
+		s.stats.Dups++
+	}
+	if s.fab != nil {
+		s.egress(out, delay, dup)
 		return
 	}
 	if int(f.Dst) < 0 || int(f.Dst) >= len(s.ports) {
@@ -254,9 +309,43 @@ func (s *Switch) forward(f *Frame) {
 		panic(fmt.Sprintf("ethernet: frame to unknown station %d", f.Dst))
 	}
 	s.deliverVia(s.ports[f.Dst], out, delay)
-	if act.Dup || (s.cfg.DupRate > 0 && s.eng.Rand().Bool(s.cfg.DupRate)) {
-		s.stats.Dups++
+	if dup {
 		s.deliverVia(s.ports[f.Dst], out, 0)
+	}
+}
+
+// transit runs when a frame arrives over a trunk link: store-and-forward
+// routing without re-evaluating the ingress fault plan.
+func (s *Switch) transit(f *Frame) {
+	if s.dead {
+		return
+	}
+	s.egress(f, 0, false)
+}
+
+// egress moves a frame one hop closer to its destination: local delivery
+// if the station is attached here, otherwise the ECMP-selected trunk
+// toward the destination's switch. Frames with no live route are
+// dropped — the upper layers' reliability machinery (EMP
+// retransmission, TCP RTO) carries them across the reroute window.
+func (s *Switch) egress(f *Frame, extraDelay sim.Duration, dup bool) {
+	if p, ok := s.local[f.Dst]; ok {
+		s.deliverVia(p, f, extraDelay)
+		if dup {
+			s.deliverVia(p, f, 0)
+		}
+		return
+	}
+	t := s.fab.nextHop(s, f)
+	if t == nil {
+		s.routeDrops++
+		s.fab.routeDrops++
+		s.eng.Tracef(s.name, "NO-ROUTE %d->%d len=%d", f.Src, f.Dst, f.PayloadLen)
+		return
+	}
+	t.forward(s, f, extraDelay)
+	if dup {
+		t.forward(s, f, 0)
 	}
 }
 

@@ -50,6 +50,50 @@ type Crash struct {
 	At   sim.Duration
 }
 
+// LinkClause applies faults to one fabric trunk link (a switch-to-switch
+// interconnect) during [From, Until). Down takes the link hard down for
+// the window: frames already routed onto it are blackholed until the
+// fabric's failure detector notices and reroutes around it. Loss and
+// Delay degrade a nominally-up link (a dirty optic): matching frames are
+// dropped or delayed per draw without tripping the failure detector.
+// Link is the fabric trunk id (creation order), or Any for every trunk.
+// Trunk links only — host access links are covered by the address-based
+// Clause filters above.
+type LinkClause struct {
+	From, Until sim.Duration
+	Link        int
+	// Down takes the trunk hard down for the whole window.
+	Down bool
+	// Loss is the per-frame drop probability while the clause is active
+	// (degraded link, not a dead one: no reroute is triggered).
+	Loss float64
+	// Delay is extra one-way latency added to every matching frame.
+	Delay sim.Duration
+}
+
+// activeLink reports whether the clause's window covers now.
+func (c *LinkClause) active(now sim.Duration) bool {
+	if now < c.From {
+		return false
+	}
+	return c.Until <= 0 || now < c.Until
+}
+
+// matches reports whether the clause covers the given trunk.
+func (c *LinkClause) matches(link int) bool {
+	return c.Link == Any || c.Link == link
+}
+
+// SwitchCrash kills fabric switch Switch (fabric switch id, creation
+// order) at the given sim time: every frame inside it vanishes, its
+// trunk links go down, and stations attached to it become unreachable
+// until the fabric routes around it (possible only for switches without
+// stations — spines).
+type SwitchCrash struct {
+	Switch int
+	At     sim.Duration
+}
+
 // NICClause applies faults inside one host's NIC/firmware domain during
 // [From, Until) — the failure modes that wound a host without touching
 // the switch: dropped doorbells (the host's mailbox write is lost and
@@ -103,6 +147,12 @@ type Plan struct {
 	Clauses []Clause
 	NIC     []NICClause
 	Crashes []Crash
+	// Links and SwitchCrashes wound the fabric itself (trunk links and
+	// switches); they apply only on multi-switch fabrics, where the
+	// ethernet.Fabric schedules the Down windows and crashes and
+	// evaluates the degrade rates per trunk crossing.
+	Links         []LinkClause
+	SwitchCrashes []SwitchCrash
 }
 
 // Action is the outcome of evaluating a plan against one frame.
@@ -281,6 +331,63 @@ func (pl *Plan) NICWedgeRemaining(now sim.Duration, node int) sim.Duration {
 // reports to decide whether to print NIC fault counters).
 func (pl *Plan) HasNIC() bool { return pl != nil && len(pl.NIC) > 0 }
 
+// --- Fabric-domain evaluation ----------------------------------------------
+
+// LinkAction is the degrade outcome of evaluating the plan's link
+// clauses against one frame crossing a trunk.
+type LinkAction struct {
+	Drop  bool
+	Delay sim.Duration
+}
+
+// EvalLink combines the degrade rates (Loss, Delay) of every non-Down
+// clause matching the trunk at time now. Down windows are not evaluated
+// here — the fabric schedules those as hard link-state transitions. As
+// with Eval, randomness is drawn only for positive rates of matching,
+// active clauses.
+func (pl *Plan) EvalLink(r *sim.Rand, now sim.Duration, link int) LinkAction {
+	var act LinkAction
+	if pl == nil {
+		return act
+	}
+	for i := range pl.Links {
+		c := &pl.Links[i]
+		if c.Down || !c.active(now) || !c.matches(link) {
+			continue
+		}
+		if c.Loss > 0 && r.Bool(c.Loss) {
+			act.Drop = true
+			return act
+		}
+		if c.Delay > act.Delay {
+			act.Delay = c.Delay
+		}
+	}
+	return act
+}
+
+// DownWindows returns the hard-down windows of the given trunk, in plan
+// order: the fabric turns each into a pair of link-state transitions.
+func (pl *Plan) DownWindows(link int) []LinkClause {
+	if pl == nil {
+		return nil
+	}
+	var out []LinkClause
+	for i := range pl.Links {
+		c := pl.Links[i]
+		if c.Down && c.matches(link) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// HasFabric reports whether the plan wounds the fabric itself (trunk
+// links or switches).
+func (pl *Plan) HasFabric() bool {
+	return pl != nil && (len(pl.Links) > 0 || len(pl.SwitchCrashes) > 0)
+}
+
 // Validate reports the first malformed rate or window in the plan:
 // NaN, negative or >1 probabilities, and inverted time windows.
 func (pl *Plan) Validate() error {
@@ -324,6 +431,26 @@ func (pl *Plan) Validate() error {
 			return fmt.Errorf("faults: crash %d has negative node %d", i, cr.Node)
 		}
 	}
+	for i := range pl.Links {
+		c := &pl.Links[i]
+		if c.Link < 0 && c.Link != Any {
+			return fmt.Errorf("faults: link clause %d has invalid link %d", i, c.Link)
+		}
+		if math.IsNaN(c.Loss) || c.Loss < 0 || c.Loss > 1 {
+			return fmt.Errorf("faults: link clause %d has invalid Loss rate %v", i, c.Loss)
+		}
+		if c.Until > 0 && c.Until < c.From {
+			return fmt.Errorf("faults: link clause %d window inverted (%v .. %v)", i, c.From, c.Until)
+		}
+		if c.Down && c.Link == Any {
+			return fmt.Errorf("faults: link clause %d downs every trunk at once — partition the whole fabric with Clauses instead", i)
+		}
+	}
+	for i, cr := range pl.SwitchCrashes {
+		if cr.Switch < 0 {
+			return fmt.Errorf("faults: switch crash %d has negative switch %d", i, cr.Switch)
+		}
+	}
 	return nil
 }
 
@@ -335,9 +462,11 @@ func (pl *Plan) Normalized() *Plan {
 		return nil
 	}
 	out := &Plan{
-		Clauses: append([]Clause(nil), pl.Clauses...),
-		NIC:     append([]NICClause(nil), pl.NIC...),
-		Crashes: append([]Crash(nil), pl.Crashes...),
+		Clauses:       append([]Clause(nil), pl.Clauses...),
+		NIC:           append([]NICClause(nil), pl.NIC...),
+		Crashes:       append([]Crash(nil), pl.Crashes...),
+		Links:         append([]LinkClause(nil), pl.Links...),
+		SwitchCrashes: append([]SwitchCrash(nil), pl.SwitchCrashes...),
 	}
 	for i := range out.Clauses {
 		c := &out.Clauses[i]
@@ -355,6 +484,13 @@ func (pl *Plan) Normalized() *Plan {
 		c.DMAStall = ClampRate(c.DMAStall)
 		c.FlipDesc = ClampRate(c.FlipDesc)
 		c.LoseUnexpected = ClampRate(c.LoseUnexpected)
+		if c.Until > 0 && c.Until < c.From {
+			c.Until = c.From
+		}
+	}
+	for i := range out.Links {
+		c := &out.Links[i]
+		c.Loss = ClampRate(c.Loss)
 		if c.Until > 0 && c.Until < c.From {
 			c.Until = c.From
 		}
@@ -428,6 +564,34 @@ func FlapPhased(seed uint64, node int, from, period, downFor sim.Duration, count
 
 // CrashAt schedules a node crash.
 func CrashAt(node int, at sim.Duration) Crash { return Crash{Node: node, At: at} }
+
+// --- Fabric-domain constructors ---------------------------------------------
+
+// LinkDown takes trunk link down during [from, until); until <= 0 means
+// the link never comes back.
+func LinkDown(link int, from, until sim.Duration) LinkClause {
+	return LinkClause{From: from, Until: until, Link: link, Down: true}
+}
+
+// LinkFlap takes a trunk down for downFor once per period, count times,
+// starting at from.
+func LinkFlap(link int, from, period, downFor sim.Duration, count int) []LinkClause {
+	var cs []LinkClause
+	for i := 0; i < count; i++ {
+		start := from + sim.Duration(i)*period
+		cs = append(cs, LinkDown(link, start, start+downFor))
+	}
+	return cs
+}
+
+// LinkDegrade makes a trunk lossy and slow during [from, until) without
+// tripping the fabric's failure detector.
+func LinkDegrade(link int, from, until sim.Duration, loss float64, delay sim.Duration) LinkClause {
+	return LinkClause{From: from, Until: until, Link: link, Loss: loss, Delay: delay}
+}
+
+// SwitchDown schedules a fabric switch crash.
+func SwitchDown(sw int, at sim.Duration) SwitchCrash { return SwitchCrash{Switch: sw, At: at} }
 
 // --- NIC-domain constructors ----------------------------------------------
 

@@ -259,6 +259,7 @@ func (st *Stack) transmitAt(t sim.Time, seg *Segment) {
 		Dst:        seg.Dst,
 		PayloadLen: seg.wireLen(),
 		Payload:    seg,
+		Flow:       flowLabel(seg.SrcPort, seg.DstPort),
 	}
 	if t <= st.Eng.Now() {
 		st.port.Transmit(fr)
@@ -436,6 +437,39 @@ func (st *Stack) AuditResources(add func(kind, detail string)) {
 			add("rx-ring", fmt.Sprintf("dead stack still holds %d frames in its receive ring", len(st.rxRing)))
 		}
 		return
+	}
+}
+
+// flowLabel digests a TCP/UDP port pair into the ECMP flow label
+// stamped on outgoing frames: multi-switch fabrics hash it (with the
+// addresses) to keep one connection's segments on one path while
+// different connections spread across equal-cost paths.
+func flowLabel(sport, dport int) uint32 {
+	return uint32(sport)<<16 | uint32(dport)&0xffff
+}
+
+// VisitConns calls fn for every established connection in deterministic
+// (lport, raddr, rport) order with its flight-recorder id, fabric
+// endpoints, and ECMP flow label — the hook the cluster layer uses to
+// attribute fabric route changes to connections.
+func (st *Stack) VisitConns(fn func(id string, local, peer ethernet.Addr, flow uint32)) {
+	keys := st.conns.keys()
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.lport != b.lport {
+			return a.lport < b.lport
+		}
+		if a.raddr != b.raddr {
+			return a.raddr < b.raddr
+		}
+		return a.rport < b.rport
+	})
+	for _, k := range keys {
+		c := st.conns.get(k)
+		if c == nil {
+			continue
+		}
+		fn(c.id(), st.addr, k.raddr, flowLabel(k.lport, k.rport))
 	}
 }
 

@@ -123,6 +123,7 @@ func (u *UDPSocket) SendTo(p *sim.Proc, dst ethernet.Addr, port, n int, obj any)
 		}
 		u.st.port.Transmit(&ethernet.Frame{
 			Src: u.st.addr, Dst: dst, PayloadLen: d.wireLen(), Payload: d,
+			Flow: flowLabel(u.port, port),
 		})
 	}
 	return nil
