@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench bench-smoke reproduce ablations chaos chaos-nic chaos-fabric overload audit drain metrics examples verify record
+.PHONY: test race bench bench-smoke reproduce ablations chaos chaos-nic chaos-fabric chaos-restart overload audit drain metrics examples verify record
 
 # test is the everyday gate; `make verify` is the full pre-merge chain
 # (build + vet + race tests + the chaos-NIC self-healing smoke).
@@ -51,6 +51,16 @@ chaos-nic:
 chaos-fabric:
 	go run ./cmd/reproduce -chaos-fabric
 
+# chaos-restart runs the crash-restart recovery matrix: web and
+# replicated kvstore over sessions while every host — server, backup,
+# and each client — is crash-restarted in turn with seed-phased kill
+# instants. Every run must finish with exact output, zero app-visible
+# errors, at least one session resumed against the reborn incarnation
+# when a server-side host is the target, and a clean leak audit — plus
+# a sessions-disabled control that must fail with a connection reset.
+chaos-restart:
+	go run ./cmd/reproduce -chaos-restart
+
 # overload runs the flood/starvation resilience suite under the race
 # detector: connect floods beyond the backlog, credit/buffer starvation
 # with deadlines, and the bounded-pool edge races.
@@ -89,8 +99,10 @@ examples:
 # per-dispatch lookup cost must stay within a pinned multiple of the
 # 8-conn cost in hashed mode), the chaos-NIC self-healing smoke (the
 # quick matrix: every NIC fault kind on both workloads plus the
-# no-recovery control), and the chaos-fabric smoke (single trunk kill +
-# single spine kill on both workloads plus the no-reroute control).
+# no-recovery control), the chaos-fabric smoke (single trunk kill +
+# single spine kill on both workloads plus the no-reroute control), and
+# the chaos-restart smoke (server and one client of each workload
+# crash-restarted plus the sessions-disabled control).
 verify:
 	go build ./...
 	go vet ./...
@@ -98,6 +110,7 @@ verify:
 	go test -run TestConnScaleDispatchGate -count=1 ./internal/bench
 	go run ./cmd/reproduce -chaos-nic -quick
 	go run ./cmd/reproduce -chaos-fabric -quick
+	go run ./cmd/reproduce -chaos-restart -quick
 
 # record regenerates the committed experiment record artifacts.
 record:

@@ -28,6 +28,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos suite instead")
 	chaosNIC := flag.Bool("chaos-nic", false, "run the NIC-fault self-healing matrix instead")
 	chaosFabric := flag.Bool("chaos-fabric", false, "run the fabric single-failure survivability matrix instead")
+	chaosRestart := flag.Bool("chaos-restart", false, "run the crash-restart recovery matrix instead")
 	chaosSeeds := flag.Int("chaos-seeds", 5, "randomized fault plans per chaos workload")
 	auditFlag := flag.Bool("audit", false, "run the descriptor-leak audit sweep instead")
 	metrics := flag.Bool("metrics", false, "run the hot-path latency decomposition instead")
@@ -206,6 +207,21 @@ func main() {
 		}
 		runs := bench.ChaosFabric(seeds, *quick)
 		bench.FprintChaosFabric(os.Stdout, runs)
+		for _, r := range runs {
+			if !r.OK {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *chaosRestart {
+		seeds := *chaosSeeds
+		if *quick {
+			seeds = 1
+		}
+		runs := bench.ChaosRestart(seeds, *quick)
+		bench.FprintChaosRestart(os.Stdout, runs)
 		for _, r := range runs {
 			if !r.OK {
 				os.Exit(1)

@@ -25,6 +25,14 @@ const kvHeaderBytes = 16
 const (
 	kvGet = iota
 	kvSet
+	// kvSyncReq asks a replica for its whole table: the response is a
+	// bare summary header whose ValLen carries the entry count, followed
+	// by that many kvSyncEnt-framed entries. A reborn primary issues it
+	// before accepting its first client.
+	kvSyncReq
+	// kvSyncEnt frames one table entry inside a sync stream (same wire
+	// shape as a SET request).
+	kvSyncEnt
 )
 
 // kvRequest is the request payload object riding on the framed bytes.
@@ -77,6 +85,17 @@ type KVConfig struct {
 	// unchanged; the chaos suite uses it to stretch the run across its
 	// scheduled fault windows.
 	Think sim.Duration
+	// Replicate runs a backup replica on the cluster's last node: every
+	// SET is synchronously applied there before the primary acknowledges
+	// it, and a rebooted primary recovers its whole table from the
+	// backup before accepting clients — no acknowledged write is lost
+	// across a primary crash–restart. Requires Sessions.
+	Replicate bool
+	// ReadYourWrites makes each client finish with one extra GET of the
+	// last key it SET, verifying the acknowledged value survived the
+	// run's scheduled restarts. The extra GET is not counted in the
+	// latency histogram, so the exact-operation-count check still holds.
+	ReadYourWrites bool
 }
 
 // DefaultKVConfig returns a read-heavy data-center mix.
@@ -364,14 +383,58 @@ func kvClient(p *sim.Proc, cfg KVConfig, dial dialFn, id int, lat *telemetry.His
 			p.Sleep(cfg.Think)
 		}
 	}
+	if cfg.ReadYourWrites {
+		return kvReadYourWrites(p, cfg, c, id)
+	}
+	return nil
+}
+
+// kvReadYourWrites re-reads the last key the client wrote: the
+// acknowledged value must have survived whatever crash–restart the run
+// scheduled. The probe rides the same connection after the measured
+// mix, outside the latency histogram.
+func kvReadYourWrites(p *sim.Proc, cfg KVConfig, c sock.Conn, id int) error {
+	last := 0
+	for i := 0; i < cfg.OpsPerClient; i++ {
+		if i < 1 || (cfg.SetEveryN > 0 && i%cfg.SetEveryN == 0) {
+			last = i
+		}
+	}
+	key := fmt.Sprintf("key-%d", (id*31+last)%cfg.Keys)
+	if err := kvSendRequest(p, c, &kvRequest{Op: kvGet, Key: key}); err != nil {
+		return err
+	}
+	_, objs, err := sock.ReadFull(p, c, kvHeaderBytes)
+	if err != nil {
+		return fmt.Errorf("kv: read-your-writes header: %w", err)
+	}
+	resp := findKVResponse(objs)
+	if resp == nil {
+		return fmt.Errorf("kv: malformed read-your-writes response")
+	}
+	if resp.ValLen > 0 {
+		if _, _, err := sock.ReadFull(p, c, resp.ValLen); err != nil {
+			return err
+		}
+	}
+	if !resp.OK || resp.ValLen != cfg.ValueBytes {
+		return fmt.Errorf("kv: lost acknowledged write %q across restart", key)
+	}
 	return nil
 }
 
 // RunKVStore runs the workload on a cluster of at least cfg.Clients+1
 // nodes (node 0 serves).
 func RunKVStore(c *cluster.Cluster, cfg KVConfig) KVResult {
-	if len(c.Nodes) < cfg.Clients+1 {
-		return KVResult{Err: fmt.Errorf("kv: need %d nodes, have %d", cfg.Clients+1, len(c.Nodes))}
+	needNodes := cfg.Clients + 1
+	if cfg.Replicate {
+		needNodes++ // the backup replica takes the last node
+	}
+	if len(c.Nodes) < needNodes {
+		return KVResult{Err: fmt.Errorf("kv: need %d nodes, have %d", needNodes, len(c.Nodes))}
+	}
+	if cfg.Replicate && !cfg.Sessions {
+		return KVResult{Err: fmt.Errorf("kv: Replicate requires Sessions")}
 	}
 	// Bounded histogram, not sim.Sample: the run can absorb an
 	// arbitrary number of operations without retaining one value each.
@@ -387,9 +450,28 @@ func RunKVStore(c *cluster.Cluster, cfg KVConfig) KVResult {
 	var srvErr error
 	cliErrs := make([]error, cfg.Clients)
 	var start, end sim.Time
-	c.Eng.Spawn("kv-server", func(p *sim.Proc) {
-		srvErr = kvServer(p, c.Nodes[0], cfg, cfg.Clients, listen)
-	})
+	if cfg.Sessions && (cfg.Replicate || restartPlanned(c)) {
+		// Crash-surviving harness: bootstraps registered with SetBoot so
+		// a restarted host re-runs them, server completion measured by
+		// the clients' exact operation count.
+		if cfg.Replicate {
+			backupIdx := len(c.Nodes) - 1
+			bak := kvBackupBoot(c, cfg, backupIdx, &srvErr)
+			c.SetBoot(backupIdx, bak)
+			c.Eng.Spawn("kv-backup", bak)
+			boot := kvPrimaryBoot(c, cfg, backupIdx, &srvErr)
+			c.SetBoot(0, boot)
+			c.Eng.Spawn("kv-server", boot)
+		} else {
+			boot := kvPrimaryBoot(c, cfg, -1, &srvErr)
+			c.SetBoot(0, boot)
+			c.Eng.Spawn("kv-server", boot)
+		}
+	} else {
+		c.Eng.Spawn("kv-server", func(p *sim.Proc) {
+			srvErr = kvServer(p, c.Nodes[0], cfg, cfg.Clients, listen)
+		})
+	}
 	done := sim.NewWaitGroup(c.Eng, "kv.clients")
 	done.Add(cfg.Clients)
 	for i := 0; i < cfg.Clients; i++ {

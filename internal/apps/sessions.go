@@ -56,6 +56,12 @@ func sessionListen(cl *cluster.Cluster, serverIdx int, name string) listenFn {
 			Eng:  cl.Eng,
 			Name: name,
 			Tel:  n.Tel,
+			// The node's durable resume ledger and boot count: a listener
+			// reborn after a crash–restart resumes committed streams the
+			// dead incarnation owned and announces the new incarnation in
+			// every welcome.
+			Store:       n.Resume,
+			Incarnation: uint64(n.Incarnation),
 		}, inner...), nil
 	}
 }
@@ -65,11 +71,19 @@ func sessionListen(cl *cluster.Cluster, serverIdx int, name string) listenFn {
 // first, TCP when the node has both).
 func sessionDial(cl *cluster.Cluster, clientIdx, serverIdx, port int, name string) dialFn {
 	return func(p *sim.Proc) (sock.Conn, error) {
-		return sock.DialSession(p, sock.SessionConfig{
+		cfg := sock.SessionConfig{
 			Eng:     cl.Eng,
 			Name:    name,
 			Targets: cl.Targets(clientIdx, serverIdx, port),
 			Tel:     cl.Nodes[clientIdx].Tel,
-		})
+		}
+		if cl.Cfg.Faults.HasRestarts() {
+			// A whole-host reboot blackholes the peer for its full
+			// downtime, and a restarting *client* host fails local dials
+			// instantly — the default 3 passes burn out in under 30ms.
+			// Give reconnects enough rounds to outlast the outage.
+			cfg.Rounds = 10
+		}
+		return sock.DialSession(p, cfg)
 	}
 }

@@ -310,9 +310,19 @@ func RunWeb(c *cluster.Cluster, cfg WebConfig) WebResult {
 	}
 	var srvErr error
 	cliErrs := make([]error, cfg.Clients)
-	c.Eng.Spawn("web-server", func(p *sim.Proc) {
-		srvErr = webServer(p, c.Nodes[0], cfg, cfg.Clients*connsPerClient, listen)
-	})
+	if cfg.Sessions && !cfg.FileBacked && restartPlanned(c) {
+		// Crash-surviving harness: the bootstrap is registered with
+		// SetBoot so a restarted server host re-listens and resumes
+		// committed sessions; completion is measured by the clients'
+		// exact request count.
+		boot := webBoot(c, cfg, &srvErr)
+		c.SetBoot(0, boot)
+		c.Eng.Spawn("web-server", boot)
+	} else {
+		c.Eng.Spawn("web-server", func(p *sim.Proc) {
+			srvErr = webServer(p, c.Nodes[0], cfg, cfg.Clients*connsPerClient, listen)
+		})
+	}
 	for i := 0; i < cfg.Clients; i++ {
 		i := i
 		dial := netDial(c.Nodes[i+1], c.Addr(0), cfg.Port)

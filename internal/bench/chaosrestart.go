@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/audit"
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/sock"
+	"repro/internal/telemetry"
+)
+
+// ChaosRestart is the crash–restart recovery matrix: workloads run over
+// sessions on a Failover cluster while every host — the server, each
+// client, and the kvstore's backup replica — is crash-restarted in
+// turn, mid-workload. The host comes back at the same address after a
+// fixed downtime with a fresh NIC, transport stacks, and a bumped
+// incarnation; its bootstrap re-listens and the session layer resumes
+// committed streams against the reborn peer. Every run must finish with
+// exact output, zero app-visible errors, the restarted node at
+// incarnation 2, and a clean leak audit; server-side restarts must also
+// record at least one resume against the reborn incarnation. A control
+// run with sessions disabled must fail with a connection reset, proving
+// the reboot is fatal without the recovery machinery.
+
+// ChaosRestartRun is one workload execution under one host restart.
+type ChaosRestartRun struct {
+	Workload string // "web", "kvstore", or "control"
+	Target   string // which host reboots: "server", "client1", "backup", ...
+	Seed     uint64
+	OK       bool
+	Detail   string
+	Elapsed  sim.Duration
+	// Incarnation of the restarted node after the run (2 on success).
+	Incarnation int
+	// Session recovery work.
+	Reconnects, Failovers int64
+	// ResumesReborn counts offset-resume reattaches accepted by a
+	// listener incarnation other than the one that opened the stream.
+	ResumesReborn int64
+	// ResumesStale counts reattaches a reborn listener rejected for
+	// want of committed state (typed error, never a hang).
+	ResumesStale int64
+	// SessionsFailed counts sessions that surfaced an error to the app;
+	// any nonzero value fails a matrix row.
+	SessionsFailed int64
+	// Leaks counts resource-audit findings after the run.
+	Leaks       int
+	FlightDumps []telemetry.Dump
+}
+
+// restartDowntime is how long a rebooting host stays dark. Long enough
+// that keepalives declare every one of its connections dead and blocked
+// peers must ride the reconnect backoff, short enough that reattaches
+// land well inside the server's reattach window.
+const restartDowntime = 30 * sim.Millisecond
+
+// restartPlan schedules one host's crash–restart cycle: the crash
+// instant is seed-phased across one client think cycle, exactly like
+// the other chaos matrices — a fixed instant could always fall in the
+// idle gap between request bursts; the phase slides the outage across
+// the cycle so most seeds catch streams mid-exchange.
+func restartPlan(seed uint64, node int) *faults.Plan {
+	return &faults.Plan{Restarts: []faults.Restart{
+		faults.RestartPhased(seed, node, 10*sim.Millisecond, 8*sim.Millisecond, restartDowntime),
+	}}
+}
+
+// chaosRestartCluster builds the matrix cluster: single switch,
+// Failover (substrate primary + kernel TCP secondary on every node).
+func chaosRestartCluster(nodes int, seed uint64, pl *faults.Plan) *cluster.Cluster {
+	return cluster.New(cluster.Config{
+		Nodes:    nodes,
+		Failover: true,
+		Seed:     seed,
+		Faults:   pl,
+	})
+}
+
+// chaosRestartCounters folds session telemetry, the reborn node's
+// incarnation, and the leak audit into the run row, and applies the
+// matrix's pass criteria.
+func chaosRestartCounters(c *cluster.Cluster, target int, serverSide bool, r *ChaosRestartRun) {
+	for _, n := range c.Nodes {
+		if n.Sub != nil && !n.Sub.Dead() {
+			n.Sub.PurgeStale()
+		}
+		r.Reconnects += n.Tel.Counter("session", "reconnects").Value()
+		r.Failovers += n.Tel.Counter("session", "failovers").Value()
+		r.ResumesReborn += n.Tel.Counter("session", "resumes_reborn").Value()
+		r.ResumesStale += n.Tel.Counter("session", "resumes_stale").Value()
+		r.SessionsFailed += n.Tel.Counter("session", "failed").Value()
+	}
+	r.Incarnation = c.Nodes[target].Incarnation
+	if r.OK && r.Workload != "control" {
+		switch {
+		case r.SessionsFailed > 0:
+			r.OK = false
+			r.Detail = fmt.Sprintf("%d session(s) surfaced an error to the app", r.SessionsFailed)
+		case r.Incarnation != 2:
+			r.OK = false
+			r.Detail = fmt.Sprintf("restarted node at incarnation %d, want 2", r.Incarnation)
+		case serverSide && r.ResumesReborn == 0:
+			r.OK = false
+			r.Detail = "no session resumed against the reborn incarnation"
+		case !serverSide && r.Reconnects == 0:
+			r.OK = false
+			r.Detail = "no session reconnected across the client reboot"
+		}
+	}
+	if rep := audit.Cluster(c); !rep.Clean() {
+		r.Leaks = len(rep.Findings)
+		r.OK = false
+		r.Detail += fmt.Sprintf("; %d audit finding(s): %s", r.Leaks, rep.Findings[0])
+		for _, n := range c.Nodes {
+			n.Tel.DumpAllFlights("audit-leak")
+		}
+	}
+	r.FlightDumps = c.FlightDumps()
+}
+
+// ChaosRestart runs the crash–restart matrix: every host of the web and
+// kvstore clusters rebooted in turn × every seed, plus one
+// sessions-disabled control per seed that must die of the reboot.
+func ChaosRestart(seeds int, quick bool) []ChaosRestartRun {
+	if seeds < 1 {
+		seeds = 1
+	}
+	reqs, ops := 24, 24
+	webTargets := []int{0, 1, 2, 3}   // server + all three clients
+	kvTargets := []int{0, 1, 2, 3, 4} // primary, clients, backup
+	if quick {
+		reqs, ops = 16, 16
+		webTargets = []int{0, 1}
+		kvTargets = []int{0, 4}
+	}
+	var runs []ChaosRestartRun
+	for _, t := range webTargets {
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			runs = append(runs, chaosRestartWeb(t, seed, reqs))
+		}
+	}
+	for _, t := range kvTargets {
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			runs = append(runs, chaosRestartKV(t, seed, ops))
+		}
+	}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		runs = append(runs, chaosRestartControl(seed, reqs))
+	}
+	return runs
+}
+
+// webTargetName names the rebooted host in a 1-server web cluster.
+func webTargetName(node int) string {
+	if node == 0 {
+		return "server"
+	}
+	return fmt.Sprintf("client%d", node)
+}
+
+// kvTargetName names the rebooted host in a replicated kv cluster.
+func kvTargetName(node, backupIdx int) string {
+	switch node {
+	case 0:
+		return "primary"
+	case backupIdx:
+		return "backup"
+	}
+	return fmt.Sprintf("client%d", node)
+}
+
+func chaosRestartWeb(target int, seed uint64, reqs int) ChaosRestartRun {
+	r := ChaosRestartRun{Workload: "web", Target: webTargetName(target), Seed: seed}
+	c := chaosRestartCluster(4, seed, restartPlan(seed, target))
+	cfg := apps.DefaultWebConfig(1024, 8)
+	cfg.RequestsPerClient = reqs
+	cfg.Sessions = true
+	cfg.Think = 8 * sim.Millisecond
+	res := apps.RunWeb(c, cfg)
+	want := cfg.Clients * reqs
+	switch {
+	case res.Err != nil:
+		r.Detail = res.Err.Error()
+	case res.Requests != want:
+		r.Detail = fmt.Sprintf("%d of %d requests", res.Requests, want)
+	default:
+		r.OK = true
+		r.Detail = fmt.Sprintf("%d requests served", res.Requests)
+	}
+	chaosRestartCounters(c, target, target == 0, &r)
+	return r
+}
+
+func chaosRestartKV(target int, seed uint64, ops int) ChaosRestartRun {
+	backupIdx := 4
+	r := ChaosRestartRun{Workload: "kvstore", Target: kvTargetName(target, backupIdx), Seed: seed}
+	c := chaosRestartCluster(5, seed, restartPlan(seed, target))
+	cfg := apps.DefaultKVConfig(1024)
+	cfg.OpsPerClient = ops
+	cfg.Sessions = true
+	cfg.Think = 8 * sim.Millisecond
+	cfg.Replicate = true
+	cfg.ReadYourWrites = true
+	res := apps.RunKVStore(c, cfg)
+	r.Elapsed = res.Elapsed
+	want := cfg.Clients * ops
+	switch {
+	case res.Err != nil:
+		r.Detail = res.Err.Error()
+	case res.Ops != want:
+		r.Detail = fmt.Sprintf("%d of %d ops", res.Ops, want)
+	default:
+		r.OK = true
+		r.Detail = fmt.Sprintf("%d ops completed, reads-your-writes held", res.Ops)
+	}
+	serverSide := target == 0 || target == backupIdx
+	chaosRestartCounters(c, target, serverSide, &r)
+	return r
+}
+
+// chaosRestartControl reruns a client reboot with sessions disabled:
+// the raw transport connection dies with the host and stays dead, so
+// the workload must fail with a connection reset — proving the matrix
+// rows above pass because of session resume, not because the reboot is
+// toothless. OK here means the workload did NOT complete and surfaced
+// the reset.
+func chaosRestartControl(seed uint64, reqs int) ChaosRestartRun {
+	r := ChaosRestartRun{Workload: "control", Target: "client1", Seed: seed}
+	c := chaosRestartCluster(4, seed, restartPlan(seed, 1))
+	cfg := apps.DefaultWebConfig(1024, 8)
+	cfg.RequestsPerClient = reqs
+	cfg.Think = 8 * sim.Millisecond
+	res := apps.RunWeb(c, cfg)
+	switch {
+	case res.Err == nil:
+		r.Detail = "completed without sessions — the reboot no longer bites"
+	case errors.Is(res.Err, sock.ErrReset):
+		r.OK = true
+		r.Detail = fmt.Sprintf("failed as it must without sessions: %v", res.Err)
+	default:
+		r.Detail = fmt.Sprintf("failed with %v, want %v", res.Err, sock.ErrReset)
+	}
+	chaosRestartCounters(c, 1, false, &r)
+	return r
+}
+
+// FprintChaosRestart renders the chaos-restart report.
+func FprintChaosRestart(w io.Writer, runs []ChaosRestartRun) {
+	fmt.Fprintln(w, "=== chaos-restart: crash-restart recovery with listener resurrection ===")
+	fmt.Fprintf(w, "%-8s  %-7s  %4s  %-4s  %4s  %9s  %7s  %7s  %5s  %s\n",
+		"workload", "target", "seed", "ok", "inc", "reconnect", "reborn", "stale", "leaks", "detail")
+	ok := 0
+	for _, r := range runs {
+		status := "FAIL"
+		if r.OK {
+			status = "ok"
+			ok++
+		}
+		fmt.Fprintf(w, "%-8s  %-7s  %4d  %-4s  %4d  %9d  %7d  %7d  %5d  %s\n",
+			r.Workload, r.Target, r.Seed, status, r.Incarnation,
+			r.Reconnects, r.ResumesReborn, r.ResumesStale, r.Leaks, r.Detail)
+		if !r.OK {
+			for _, d := range r.FlightDumps {
+				telemetry.FprintDump(w, d)
+			}
+		}
+	}
+	fmt.Fprintf(w, "runs: %d/%d as expected\n\n", ok, len(runs))
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// TestChaosRestartQuick runs the crash-restart matrix at its smoke
+// setting: the server and one client of each workload rebooted plus
+// the sessions-disabled control. This is the chaos-restart leg of
+// `make verify`.
+func TestChaosRestartQuick(t *testing.T) {
+	runs := ChaosRestart(1, true)
+	bad := 0
+	for _, r := range runs {
+		if !r.OK {
+			bad++
+			t.Errorf("%s/%s seed %d: %s", r.Workload, r.Target, r.Seed, r.Detail)
+		}
+	}
+	var w io.Writer = io.Discard
+	if testing.Verbose() || bad > 0 {
+		w = os.Stdout
+	}
+	FprintChaosRestart(w, runs)
+}
+
+// restartRunReport runs the web workload over sessions on a fresh
+// Failover cluster under the given fault plan and returns the
+// cluster's full run report. Every call builds its own engine and
+// cluster, so two calls with the same seed share no state.
+func restartRunReport(t *testing.T, seed uint64, pl *faults.Plan) string {
+	t.Helper()
+	c := chaosRestartCluster(4, seed, pl)
+	cfg := apps.DefaultWebConfig(1024, 8)
+	cfg.RequestsPerClient = 12
+	cfg.Sessions = true
+	cfg.Think = 8 * sim.Millisecond
+	res := apps.RunWeb(c, cfg)
+	if res.Err != nil {
+		t.Fatalf("seed %d: web workload failed: %v", seed, res.Err)
+	}
+	if want := cfg.Clients * cfg.RequestsPerClient; res.Requests != want {
+		t.Fatalf("seed %d: %d of %d requests", seed, res.Requests, want)
+	}
+	return c.Report()
+}
+
+// TestRestartReportDeterministic pins end-to-end determinism across a
+// mid-run server reboot: crash detection, the reconnect storm during
+// the downtime window, listener resurrection, offset resume against
+// the reborn incarnation, and replay must all replay exactly, down to
+// a byte-identical run report, across two fully independent runs.
+func TestRestartReportDeterministic(t *testing.T) {
+	for _, seed := range []uint64{1, 4} {
+		pl := restartPlan(seed, 0)
+		a := restartRunReport(t, seed, pl)
+		b := restartRunReport(t, seed, pl)
+		if a != b {
+			t.Errorf("seed %d: reports differ across identical restart runs\n--- first ---\n%s\n--- second ---\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestRestartFreePlanReportUnchanged is the zero-cost-off guarantee: a
+// fault plan with no Restart clause must produce a run byte-identical
+// to one with no plan at all — no boot-epoch skew in message IDs, no
+// restart bookkeeping in the report, nothing.
+func TestRestartFreePlanReportUnchanged(t *testing.T) {
+	seed := uint64(2)
+	a := restartRunReport(t, seed, nil)
+	b := restartRunReport(t, seed, &faults.Plan{})
+	if a != b {
+		t.Errorf("empty fault plan changed the report\n--- nil plan ---\n%s\n--- empty plan ---\n%s", a, b)
+	}
+}

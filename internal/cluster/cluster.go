@@ -123,8 +123,38 @@ type Node struct {
 	Stack *tcpip.Stack
 
 	// Tel is this node's telemetry registry: every layer on the node
-	// (substrate or TCP stack, EMP, pollers) feeds it.
+	// (substrate or TCP stack, EMP, pollers) feeds it. It survives
+	// crash–restart cycles — counters and flight rings accumulate
+	// across incarnations, while pull-through sources are replaced by
+	// the reborn layers.
 	Tel *telemetry.Registry
+
+	// Resume is the node's durable session-resume store: replica state
+	// the session layer consults when a reborn listener is asked to
+	// resume a stream the dead incarnation owned. It survives restarts
+	// (modeling synchronously replicated session metadata).
+	Resume *sock.SessionStore
+
+	// Incarnation counts the node's boots, starting at 1. A
+	// crash–restart bumps it; the session handshake carries it so peers
+	// can tell a reboot from a transient fault.
+	Incarnation int
+
+	// boot is the node's registered app bootstrap, re-spawned after
+	// every rebirth so listeners resurrect.
+	boot func(p *sim.Proc)
+}
+
+// Down reports whether the node is currently dead (crashed and not yet
+// reborn).
+func (n *Node) Down() bool {
+	if n.Sub != nil {
+		return n.Sub.Dead()
+	}
+	if n.Stack != nil {
+		return n.Stack.Dead()
+	}
+	return false
 }
 
 // Cluster is an assembled testbed. Exactly one of Switch (single-switch
@@ -209,57 +239,31 @@ func New(cfg Config) *Cluster {
 	c := &Cluster{Eng: eng, Switch: sw, Fabric: fb, Cfg: cfg}
 	for i := 0; i < cfg.Nodes; i++ {
 		host := kernel.NewHost(eng, "host", cfg.Cores, hostCosts)
-		n := &Node{Host: host, FS: ramfs.New(host), Tel: telemetry.New()}
+		n := &Node{Host: host, FS: ramfs.New(host), Tel: telemetry.New(),
+			Resume: sock.NewSessionStore(), Incarnation: 1}
 		switch {
 		case cfg.Failover:
-			nicCfg := nic.DefaultConfig()
-			if cfg.NIC != nil {
-				nicCfg = *cfg.NIC
-			}
-			nc := nic.New(eng, "nic", nicCfg)
+			nc := nic.New(eng, "nic", c.nicConfig())
 			nc.Attach(nicAt(i))
 			if cfg.Faults != nil {
 				nc.SetFaults(cfg.Faults, i)
 			}
-			opts := FailoverOptions()
-			if cfg.Substrate != nil {
-				opts = *cfg.Substrate
-			}
-			n.Sub = core.New(eng, host, nc, opts)
+			n.Sub = core.New(eng, host, nc, c.subOptions())
 			n.Sub.SetTelemetry(n.Tel)
 			n.Net = n.Sub
-			stCfg := tcpip.DefaultStackConfig()
-			if cfg.TCP != nil {
-				stCfg = *cfg.TCP
-			}
-			n.Stack = tcpip.NewStack(eng, host, tcpAt(i), stCfg)
+			n.Stack = tcpip.NewStack(eng, host, tcpAt(i), c.stackConfig())
 			n.Stack.SetTelemetry(n.Tel)
 		case cfg.Transport == TransportSubstrate:
-			nicCfg := nic.DefaultConfig()
-			if cfg.NIC != nil {
-				nicCfg = *cfg.NIC
-			}
-			nc := nic.New(eng, "nic", nicCfg)
+			nc := nic.New(eng, "nic", c.nicConfig())
 			nc.Attach(nicAt(i))
 			if cfg.Faults != nil {
 				nc.SetFaults(cfg.Faults, i)
 			}
-			opts := core.DefaultOptions()
-			if cfg.Substrate != nil {
-				opts = *cfg.Substrate
-			}
-			n.Sub = core.New(eng, host, nc, opts)
+			n.Sub = core.New(eng, host, nc, c.subOptions())
 			n.Sub.SetTelemetry(n.Tel)
 			n.Net = n.Sub
 		default:
-			stCfg := tcpip.DefaultStackConfig()
-			if cfg.Transport == TransportTCPBig {
-				stCfg = tcpip.BigBufferConfig()
-			}
-			if cfg.TCP != nil {
-				stCfg = *cfg.TCP
-			}
-			n.Stack = tcpip.NewStack(eng, host, nicAt(i), stCfg)
+			n.Stack = tcpip.NewStack(eng, host, nicAt(i), c.stackConfig())
 			n.Stack.SetTelemetry(n.Tel)
 			n.Net = n.Stack
 		}
@@ -280,6 +284,17 @@ func New(cfg Config) *Cluster {
 		for _, cr := range cfg.Faults.Crashes {
 			cr := cr
 			eng.At(sim.Time(cr.At), func() { c.Kill(cr.Node) })
+		}
+		for _, rs := range cfg.Faults.Restarts {
+			rs := rs
+			var refs []flightRef
+			eng.At(sim.Time(rs.At), func() {
+				refs = c.hostDown(rs.Node)
+				c.Kill(rs.Node)
+			})
+			eng.At(sim.Time(rs.At+rs.Downtime), func() {
+				c.restartNode(rs.Node, refs)
+			})
 		}
 	}
 	if fb != nil {
@@ -381,18 +396,200 @@ func FailoverOptions() core.Options {
 	return o
 }
 
+// nicConfig resolves the NIC cost table a (re)built node uses.
+func (c *Cluster) nicConfig() nic.Config {
+	if c.Cfg.NIC != nil {
+		return *c.Cfg.NIC
+	}
+	return nic.DefaultConfig()
+}
+
+// subOptions resolves the substrate options a (re)built node uses.
+func (c *Cluster) subOptions() core.Options {
+	if c.Cfg.Substrate != nil {
+		return *c.Cfg.Substrate
+	}
+	if c.Cfg.Failover {
+		return FailoverOptions()
+	}
+	return core.DefaultOptions()
+}
+
+// stackConfig resolves the TCP stack config a (re)built node uses.
+func (c *Cluster) stackConfig() tcpip.StackConfig {
+	if c.Cfg.TCP != nil {
+		return *c.Cfg.TCP
+	}
+	if !c.Cfg.Failover && c.Cfg.Transport == TransportTCPBig {
+		return tcpip.BigBufferConfig()
+	}
+	return tcpip.DefaultStackConfig()
+}
+
+// SetBoot registers node i's app bootstrap: the function a restart
+// re-spawns after rebuilding the node's transports, so listeners
+// resurrect. The driver spawns the first incarnation itself; every
+// rebirth spawns fn again as a fresh process.
+func (c *Cluster) SetBoot(i int, fn func(p *sim.Proc)) {
+	if i < 0 || i >= len(c.Nodes) {
+		return
+	}
+	c.Nodes[i].boot = fn
+}
+
+// Rebirth rebuilds crashed node i from scratch at the same fabric
+// address under a bumped incarnation number: a fresh NIC takes over the
+// dead incarnation's switch port, fresh EMP endpoint, substrate and TCP
+// stack are built on it, telemetry sources re-register on the node's
+// surviving registry (replacing the dead ledger), the descriptor space
+// is rebuilt, and the registered app bootstrap is re-spawned. The
+// host's RAM disk and telemetry history survive, as disk and a
+// monitoring plane would.
+func (c *Cluster) Rebirth(i int) {
+	if i < 0 || i >= len(c.Nodes) {
+		return
+	}
+	n := c.Nodes[i]
+	n.Incarnation++
+	if n.Sub != nil {
+		port := n.Sub.EP.NIC.Port()
+		nc := nic.New(c.Eng, "nic", c.nicConfig())
+		nc.AttachPort(port)
+		if c.Cfg.Faults != nil {
+			nc.SetFaults(c.Cfg.Faults, i)
+		}
+		so := c.subOptions()
+		// Message IDs must not repeat across incarnations: peers
+		// deduplicate by (src, msgID), and their completed-message state
+		// survives this node's death. Epoch 0 is the first boot, so
+		// restart-free runs keep the historical ID sequence exactly.
+		so.BootEpoch = uint64(n.Incarnation - 1)
+		n.Sub = core.New(c.Eng, n.Host, nc, so)
+		n.Sub.SetTelemetry(n.Tel)
+	}
+	if n.Stack != nil {
+		n.Stack = tcpip.NewStackOnPort(c.Eng, n.Host, n.Stack.Port(), c.stackConfig())
+		n.Stack.SetTelemetry(n.Tel)
+	}
+	if n.Sub != nil {
+		n.Net = n.Sub
+	} else {
+		n.Net = n.Stack
+	}
+	n.FD = fdtable.New(n.Net, n.FS)
+	n.Tel.Gauge("node", "incarnation").Set(int64(n.Incarnation))
+	if n.boot != nil {
+		boot := n.boot
+		c.Eng.Spawn(fmt.Sprintf("boot%d", i), boot)
+	}
+}
+
+// flightRef names one flight-recorder ring (registry + connection id)
+// affected by a host going down, so the restart half of the cycle can
+// record its recovery into the same rings.
+type flightRef struct {
+	tel *telemetry.Registry
+	id  string
+}
+
+// hostDown records "host-down" into the flight ring of every connection
+// touching node i — the node's own connections and every remote
+// connection whose peer address belongs to it — plus the node's own
+// host-level ring, returning the affected refs for the restart event.
+// Recording is host bookkeeping (no simulated time) and runs in node
+// then sorted-connection order, so the records are deterministic.
+func (c *Cluster) hostDown(i int) []flightRef {
+	if i < 0 || i >= len(c.Nodes) {
+		return nil
+	}
+	now := c.Eng.Now()
+	n := c.Nodes[i]
+	dead := make(map[ethernet.Addr]bool, 2)
+	if n.Sub != nil {
+		dead[n.Sub.Addr()] = true
+	}
+	if n.Stack != nil {
+		dead[n.Stack.Addr()] = true
+	}
+	refs := []flightRef{{n.Tel, fmt.Sprintf("node%d/host", i)}}
+	for j, m := range c.Nodes {
+		tel := m.Tel
+		visit := func(id string, local, peer ethernet.Addr, flow uint32) {
+			if j != i && !dead[peer] {
+				return
+			}
+			refs = append(refs, flightRef{tel, id})
+		}
+		if m.Sub != nil {
+			m.Sub.VisitConns(visit)
+		}
+		if m.Stack != nil {
+			m.Stack.VisitConns(visit)
+		}
+	}
+	for _, ref := range refs {
+		ref.tel.Flight(ref.id).Recordf(now, "host-down",
+			"node %d crashed (incarnation %d dying)", i, n.Incarnation)
+	}
+	return refs
+}
+
+// restartNode completes a crash–restart cycle: rebuild the node and
+// record "host-restart" into every ring the crash touched.
+func (c *Cluster) restartNode(i int, refs []flightRef) {
+	c.Rebirth(i)
+	now := c.Eng.Now()
+	n := c.Nodes[i]
+	for _, ref := range refs {
+		ref.tel.Flight(ref.id).Recordf(now, "host-restart",
+			"node %d back (incarnation %d)", i, n.Incarnation)
+	}
+}
+
+// nodeNet is a live view of one node's transport, implementing
+// sock.Network by resolving the node's current substrate or stack at
+// every call. Session targets hold these instead of raw transport
+// pointers, so a target stays valid when a crash–restart replaces the
+// node's transports with a reborn incarnation.
+type nodeNet struct {
+	c   *Cluster
+	idx int
+	tcp bool
+}
+
+func (v nodeNet) net() sock.Network {
+	n := v.c.Nodes[v.idx]
+	if v.tcp {
+		return n.Stack
+	}
+	return n.Sub
+}
+
+func (v nodeNet) Listen(p *sim.Proc, port, backlog int) (sock.Listener, error) {
+	return v.net().Listen(p, port, backlog)
+}
+
+func (v nodeNet) Dial(p *sim.Proc, addr sock.Addr, port int) (sock.Conn, error) {
+	return v.net().Dial(p, addr, port)
+}
+
+func (v nodeNet) Addr() sock.Addr { return v.net().Addr() }
+
 // Targets builds the failover dial list for a session from node client
 // to node server: the substrate first, kernel TCP second. Both nodes
 // must come from a Failover cluster. The two targets carry different
-// fabric addresses because each transport has its own attachment.
+// fabric addresses because each transport has its own attachment; both
+// are live views that track the nodes across crash–restart cycles.
 func (c *Cluster) Targets(client, server, port int) []sock.Target {
 	cn, sn := c.Nodes[client], c.Nodes[server]
 	var out []sock.Target
 	if cn.Sub != nil && sn.Sub != nil {
-		out = append(out, sock.Target{Name: "substrate", Net: cn.Sub, Addr: sn.Sub.Addr(), Port: port})
+		out = append(out, sock.Target{Name: "substrate",
+			Net: nodeNet{c, client, false}, Addr: sn.Sub.Addr(), Port: port})
 	}
 	if cn.Stack != nil && sn.Stack != nil {
-		out = append(out, sock.Target{Name: "tcp", Net: cn.Stack, Addr: sn.Stack.Addr(), Port: port})
+		out = append(out, sock.Target{Name: "tcp",
+			Net: nodeNet{c, client, true}, Addr: sn.Stack.Addr(), Port: port})
 	}
 	return out
 }

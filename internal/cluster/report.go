@@ -21,6 +21,9 @@ func (c *Cluster) Report() string {
 	}
 	for i, n := range c.Nodes {
 		fmt.Fprintf(&b, "node %d:\n", i)
+		if n.Incarnation > 1 {
+			fmt.Fprintf(&b, "  incarnation: %d\n", n.Incarnation)
+		}
 		fmt.Fprintf(&b, "  host: %d syscalls, %d interrupts, %d ctx switches, %d bytes copied\n",
 			n.Host.Syscalls.Value, n.Host.Interrupts.Value,
 			n.Host.CtxSwitches.Value, n.Host.CopiedBytes.Value)

@@ -128,6 +128,12 @@ type Options struct {
 	// synchronize. Zero (the default) keeps the legacy deterministic
 	// backoff bit-identical.
 	DialJitter float64
+	// BootEpoch is forwarded to the EMP endpoint's message-ID salt
+	// (emp.Config.BootEpoch): a substrate rebuilt after a host crash
+	// must run under a bumped epoch so peers' duplicate-suppression
+	// state from the dead incarnation cannot swallow its messages.
+	// Zero — the first boot — matches the historical ID sequence.
+	BootEpoch uint64
 	// CreditSyncAfter, when positive, runs the credit-reconciliation
 	// sweep: a writer stalled on credits for this long sends a
 	// kindCreditSync probe, and the peer answers with its cumulative

@@ -119,6 +119,7 @@ func New(e *sim.Engine, host *kernel.Host, n *nic.NIC, opts Options) *Substrate 
 	epCfg := emp.DefaultEndpointConfig()
 	epCfg.UnexpectedSlots = 4*opts.Credits + 64
 	epCfg.UnexpectedBytes = opts.UQBytes
+	epCfg.BootEpoch = opts.BootEpoch
 	if opts.DescriptorBudget > 0 {
 		epCfg.MaxDescriptors = opts.DescriptorBudget
 	}
@@ -271,7 +272,12 @@ func (s *Substrate) SetTelemetry(tel *telemetry.Registry) {
 	if tel == nil {
 		return
 	}
-	tel.RegisterSource("core", func() []telemetry.Stat {
+	// ReplaceSource rather than RegisterSource: when a crashed host is
+	// rebuilt, the reborn substrate re-registers on the node registry
+	// that survived the crash, and its fresh ledger must replace — not
+	// add to — the dead incarnation's (no gauge bleed across
+	// incarnations). First registration behaves identically.
+	tel.ReplaceSource("core", func() []telemetry.Stat {
 		return []telemetry.Stat{
 			{Name: "connects_sent", Value: s.ConnectsSent.Value},
 			{Name: "conns_accepted", Value: s.ConnsAccepted.Value},
@@ -294,7 +300,7 @@ func (s *Substrate) SetTelemetry(tel *telemetry.Registry) {
 			{Name: "eager_high_water", Value: int64(s.eagerHW)},
 		}
 	})
-	tel.RegisterSource("emp", s.EP.TelemetryStats)
+	tel.ReplaceSource("emp", s.EP.TelemetryStats)
 	s.EP.SetUnexpectedEvictNotify(func(src ethernet.Addr, tag emp.Tag, length int) {
 		if c, ok := s.chans[chanKey{src, tag}]; ok {
 			c.flight().Recordf(s.Eng.Now(), "uq-evict", "tag=%d len=%d", tag, length)

@@ -51,6 +51,14 @@ type Config struct {
 	// grow NIC-resident state without limit. Zero means unlimited.
 	// PostSend/PostRecv over budget fail fast with StatusNoDescriptors.
 	MaxDescriptors int
+	// BootEpoch salts the message-ID counter: IDs start at
+	// BootEpoch<<32. Receivers deduplicate arrivals by (src, msgID), and
+	// that state outlives a crashed peer — a reborn endpoint reusing its
+	// predecessor's IDs would have its first messages silently re-acked
+	// as late duplicates and never delivered. Bumping the epoch per
+	// incarnation keeps the ID spaces disjoint, the same job a boot
+	// counter or randomized initial ID does in real transports.
+	BootEpoch uint64
 }
 
 // DefaultEndpointConfig returns the standard calibration.
@@ -142,12 +150,13 @@ func (ep *Endpoint) DescriptorHighWater() int { return ep.descHW }
 // already be attached to a switch.
 func NewEndpoint(e *sim.Engine, host *kernel.Host, n *nic.NIC, cfg Config) *Endpoint {
 	ep := &Endpoint{
-		Eng:    e,
-		Host:   host,
-		NIC:    n,
-		Cfg:    cfg,
-		addr:   n.Addr(),
-		tcache: make(map[BufKey]struct{}),
+		Eng:       e,
+		Host:      host,
+		NIC:       n,
+		Cfg:       cfg,
+		addr:      n.Addr(),
+		nextMsgID: cfg.BootEpoch << 32,
+		tcache:    make(map[BufKey]struct{}),
 	}
 	ep.fw = newFirmware(ep)
 	return ep

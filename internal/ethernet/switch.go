@@ -170,6 +170,14 @@ func (s *Switch) Attach(st Station) *Port {
 // Addr reports the station address assigned to this port.
 func (p *Port) Addr() Addr { return p.addr }
 
+// Rebind swaps the station attached to this port, keeping the address,
+// transmit resources and counters. This is the crash–restart hook: a
+// reborn host's fresh NIC takes over the dead incarnation's switch
+// port, so the node comes back at the same fabric address. Frames
+// arriving during the downtime window were delivered to the dead
+// station (which drops them) — the blackhole a power cycle leaves.
+func (p *Port) Rebind(st Station) { p.station = st }
+
 // Ports reports the number of attached stations.
 func (s *Switch) Ports() int { return len(s.ports) }
 

@@ -50,6 +50,20 @@ type Crash struct {
 	At   sim.Duration
 }
 
+// Restart crashes a node at At exactly as Crash does — descriptors,
+// credits, firmware procs and demux tables destroyed, in-flight frames
+// blackholed — then after Downtime rebuilds the node from scratch at
+// the same fabric address under a bumped incarnation number: fresh NIC
+// on the same switch port, fresh EMP endpoint, substrate and TCP
+// stack, and the node's registered app bootstrap re-run so listeners
+// resurrect. The schedule is pure data; the cluster performs the
+// teardown and rebirth.
+type Restart struct {
+	Node     int
+	At       sim.Duration
+	Downtime sim.Duration
+}
+
 // LinkClause applies faults to one fabric trunk link (a switch-to-switch
 // interconnect) during [From, Until). Down takes the link hard down for
 // the window: frames already routed onto it are blackholed until the
@@ -153,7 +167,16 @@ type Plan struct {
 	// evaluates the degrade rates per trunk crossing.
 	Links         []LinkClause
 	SwitchCrashes []SwitchCrash
+	// Restarts schedules whole-host crash–restart cycles: each entry
+	// kills its node like a Crash and rebuilds it after the downtime
+	// window. Purely schedule-driven — no randomness — so a plan with
+	// no Restarts leaves every run byte-identical.
+	Restarts []Restart
 }
+
+// HasRestarts reports whether the plan schedules any crash–restart
+// cycles (used by drivers to pick the rebooting server harness).
+func (pl *Plan) HasRestarts() bool { return pl != nil && len(pl.Restarts) > 0 }
 
 // Action is the outcome of evaluating a plan against one frame.
 type Action struct {
@@ -451,6 +474,17 @@ func (pl *Plan) Validate() error {
 			return fmt.Errorf("faults: switch crash %d has negative switch %d", i, cr.Switch)
 		}
 	}
+	for i, rs := range pl.Restarts {
+		if rs.Node < 0 {
+			return fmt.Errorf("faults: restart %d has negative node %d", i, rs.Node)
+		}
+		if rs.At < 0 {
+			return fmt.Errorf("faults: restart %d has negative time %v", i, rs.At)
+		}
+		if rs.Downtime <= 0 {
+			return fmt.Errorf("faults: restart %d has non-positive downtime %v", i, rs.Downtime)
+		}
+	}
 	return nil
 }
 
@@ -467,6 +501,7 @@ func (pl *Plan) Normalized() *Plan {
 		Crashes:       append([]Crash(nil), pl.Crashes...),
 		Links:         append([]LinkClause(nil), pl.Links...),
 		SwitchCrashes: append([]SwitchCrash(nil), pl.SwitchCrashes...),
+		Restarts:      append([]Restart(nil), pl.Restarts...),
 	}
 	for i := range out.Clauses {
 		c := &out.Clauses[i]
@@ -564,6 +599,22 @@ func FlapPhased(seed uint64, node int, from, period, downFor sim.Duration, count
 
 // CrashAt schedules a node crash.
 func CrashAt(node int, at sim.Duration) Crash { return Crash{Node: node, At: at} }
+
+// RestartAt schedules a whole-host crash–restart: the node dies at at
+// and is rebuilt (same address, bumped incarnation) downtime later.
+func RestartAt(node int, at, downtime sim.Duration) Restart {
+	return Restart{Node: node, At: at, Downtime: downtime}
+}
+
+// RestartPhased is RestartAt with a seed-stable kill phase: the crash
+// lands at from plus a deterministic offset in [0, span) derived from
+// the seed, so chaos runs with different seeds exercise different
+// alignments of the reboot against the workload without losing
+// reproducibility.
+func RestartPhased(seed uint64, node int, from, span, downtime sim.Duration) Restart {
+	phase := sim.NewRand(seed ^ 0xb007b007b007 ^ uint64(node)).Duration(0, span)
+	return Restart{Node: node, At: from + phase, Downtime: downtime}
+}
 
 // --- Fabric-domain constructors ---------------------------------------------
 

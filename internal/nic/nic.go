@@ -187,6 +187,20 @@ func (n *NIC) Attach(sw *ethernet.Switch) ethernet.Addr {
 	return n.port.Addr()
 }
 
+// AttachPort takes over an existing switch port, rebinding its station
+// to this NIC — the crash–restart path: a reborn host's fresh NIC
+// inherits the dead incarnation's port so the node keeps its fabric
+// address.
+func (n *NIC) AttachPort(port *ethernet.Port) ethernet.Addr {
+	port.Rebind(n)
+	n.port = port
+	return n.port.Addr()
+}
+
+// Port reports the switch port the NIC is attached to (nil before
+// Attach), so a restart can hand the port to the next incarnation.
+func (n *NIC) Port() *ethernet.Port { return n.port }
+
 // Addr reports the NIC's station address. It panics before Attach.
 func (n *NIC) Addr() ethernet.Addr { return n.port.Addr() }
 

@@ -56,10 +56,15 @@ type sessionHello struct {
 	RecvOff int64
 }
 
+// sessionWelcome carries the server's incarnation number alongside the
+// resume offsets (the fixed welcome frame has spare bytes for it): a
+// client reattaching after a host reboot learns it reached a reborn
+// peer, not merely a re-dialed one.
 type sessionWelcome struct {
 	ID      uint64
 	RecvOff int64
 	OK      bool
+	Inc     uint64
 }
 
 // Target is one way to reach the peer: a transport network plus the
@@ -110,6 +115,16 @@ type SessionConfig struct {
 	Tel *telemetry.Registry
 	// Rand supplies retry jitter; nil uses Eng.Rand().
 	Rand *sim.Rand
+	// Store, on the server side, is the node's durable session-resume
+	// ledger: ids are allocated from it and Cork/Uncork commits resume
+	// state into it, so a listener reborn after a crash–restart (handed
+	// the same store) can resume committed streams and reject stale
+	// ones. Nil keeps the in-memory-only behavior.
+	Store *SessionStore
+	// Incarnation is the hosting node's boot count, carried in every
+	// welcome so clients can tell a reborn peer from a re-dialed one.
+	// Zero reads as "incarnation not tracked".
+	Incarnation uint64
 }
 
 func (c SessionConfig) normalize() SessionConfig {
@@ -232,7 +247,10 @@ type Session struct {
 	failed   bool
 	detached bool // server gave up waiting for a reattach
 	sawEOF   bool
+	corked   bool // writes buffer without flushing until Uncork
 	err      error
+
+	peerInc uint64 // server incarnation seen in the last welcome
 
 	logicalEnd int64 // bytes accepted from the application
 	flushed    int64 // bytes handed to the current transport
@@ -413,6 +431,9 @@ func (s *Session) shake(p *sim.Proc, c Conn, idx int) error {
 		return ErrReset
 	}
 	if !w.OK {
+		s.cfg.Tel.Counter("session", "resumes_stale").Inc()
+		s.flight().Recordf(p.Now(), "resume-rejected-stale",
+			"peer refused resume at recvoff=%d", s.recvOff)
 		return ErrSessionResume
 	}
 	if s.id == 0 {
@@ -426,6 +447,12 @@ func (s *Session) shake(p *sim.Proc, c Conn, idx int) error {
 	if hasDL {
 		d.SetDeadline(0)
 	}
+	if w.Inc != 0 && s.peerInc != 0 && w.Inc != s.peerInc {
+		s.cfg.Tel.Counter("session", "resumes_reborn").Inc()
+		s.flight().Recordf(p.Now(), "resume-reborn",
+			"peer incarnation %d -> %d", s.peerInc, w.Inc)
+	}
+	s.peerInc = w.Inc
 	s.install(c, idx, w.RecvOff)
 	return nil
 }
@@ -529,6 +556,7 @@ func (s *Session) fail(err error) {
 	if s.lis != nil {
 		delete(s.lis.sessions, s.id)
 	}
+	s.dropRecord()
 	s.cond.Broadcast()
 }
 
@@ -542,7 +570,18 @@ func (s *Session) setDetached() {
 	if s.lis != nil {
 		delete(s.lis.sessions, s.id)
 	}
+	s.dropRecord()
 	s.cond.Broadcast()
+}
+
+// dropRecord erases the session's committed resume state, if this
+// side's listener incarnation still owns it. Ownership matters: a
+// session detaching under a dead listener must not erase the record a
+// reborn listener has already adopted for the resumed stream.
+func (s *Session) dropRecord() {
+	if s.lis != nil {
+		s.cfg.Store.Delete(s.id, s.lis)
+	}
 }
 
 // Read delivers the next bytes of the logical stream, repairing the
@@ -600,7 +639,10 @@ func (s *Session) Write(p *sim.Proc, n int, obj any) (int, error) {
 	s.writing = true
 	s.replay.push(n, obj)
 	s.logicalEnd += int64(n)
-	err := s.flush(p)
+	var err error
+	if !s.corked {
+		err = s.flush(p)
+	}
 	s.writing = false
 	s.cond.Broadcast()
 	if err != nil {
@@ -608,6 +650,61 @@ func (s *Session) Write(p *sim.Proc, n int, obj any) (int, error) {
 	}
 	return n, nil
 }
+
+// Cork suspends transport flushing: subsequent Writes append to the
+// replay buffer and logical stream without reaching the wire until
+// Uncork. Servers bracket each response in Cork/Uncork to get
+// write-ahead commit ordering — resume state is committed to the
+// durable store before any response byte the client could acknowledge
+// is sent — so a crash can never strand a client beyond the committed
+// window.
+func (s *Session) Cork() { s.corked = true }
+
+// Uncork commits the session's resume state to the configured store
+// (server side) and then flushes everything written while corked.
+// No-op if the session is not corked.
+func (s *Session) Uncork(p *sim.Proc) error {
+	if !s.corked {
+		return nil
+	}
+	s.corked = false
+	s.commitRecord()
+	s.cond.WaitFor(p, func() bool {
+		return !s.writing || s.closed || s.failed || s.detached
+	})
+	switch {
+	case s.closed, s.detached:
+		return ErrClosed
+	case s.failed:
+		return s.err
+	}
+	s.writing = true
+	err := s.flush(p)
+	s.writing = false
+	s.cond.Broadcast()
+	return err
+}
+
+// commitRecord snapshots the receive watermark and the retained
+// response window into the durable store. Host bookkeeping only — no
+// simulated time — modeling a synchronous commit to replicated session
+// metadata.
+func (s *Session) commitRecord() {
+	if s.cfg.Store == nil || s.lis == nil {
+		return
+	}
+	s.cfg.Store.Put(&SessionRecord{
+		ID:      s.id,
+		RecvOff: s.recvOff,
+		SendLow: s.replay.low,
+		SendEnd: s.replay.end,
+		Spans:   append([]replaySpan(nil), s.replay.spans...),
+	}, s.lis)
+}
+
+// Detached reports whether this server-side session gave up waiting
+// for its client to reattach (reads return EOF, writes ErrClosed).
+func (s *Session) Detached() bool { return s.detached }
 
 // flush pushes [flushed, logicalEnd) to the live transport, one replay
 // span (or span remainder) at a time. A recoverable transport error
@@ -655,7 +752,7 @@ func (s *Session) flush(p *sim.Proc) error {
 // writer holds the flush (it will replay itself) or there is nothing
 // to push.
 func (s *Session) flushPending(p *sim.Proc) {
-	if s.writing || s.inner == nil || s.flushed >= s.logicalEnd ||
+	if s.writing || s.corked || s.inner == nil || s.flushed >= s.logicalEnd ||
 		s.closed || s.failed || s.detached {
 		return
 	}
@@ -676,6 +773,7 @@ func (s *Session) Close(p *sim.Proc) error {
 	if s.lis != nil {
 		delete(s.lis.sessions, s.id)
 	}
+	s.dropRecord()
 	s.cond.Broadcast()
 	if c := s.inner; c != nil {
 		s.inner = nil
@@ -833,13 +931,26 @@ func (l *SessionListener) greet(p *sim.Proc, c Conn) {
 		return
 	}
 	s := l.sessions[h.ID]
+	if s == nil {
+		// Unknown in memory: this listener may be a reborn incarnation
+		// that inherited the stream's committed state. Resurrect it if
+		// the client's offset lies inside the committed window.
+		if rec := l.cfg.Store.Get(h.ID); rec != nil &&
+			h.RecvOff >= rec.SendLow && h.RecvOff <= rec.SendEnd {
+			s = l.resurrect(p, rec)
+		}
+	}
 	if s == nil || s.closed || s.failed || s.detached ||
 		h.RecvOff < s.replay.low || h.RecvOff > s.logicalEnd {
-		WriteFull(p, c, welcomeBytes, &sessionWelcome{ID: h.ID, OK: false})
+		l.cfg.Tel.Counter("session", "resumes_stale").Inc()
+		l.cfg.Tel.Flight(fmt.Sprintf("%s/%d", l.cfg.Name, h.ID)).Recordf(p.Now(),
+			"resume-rejected-stale", "recvoff=%d no committed state", h.RecvOff)
+		WriteFull(p, c, welcomeBytes, &sessionWelcome{ID: h.ID, OK: false, Inc: l.cfg.Incarnation})
 		abortClose(p, c)
 		return
 	}
-	if err := WriteFull(p, c, welcomeBytes, &sessionWelcome{ID: s.id, RecvOff: s.recvOff, OK: true}); err != nil {
+	if err := WriteFull(p, c, welcomeBytes, &sessionWelcome{
+		ID: s.id, RecvOff: s.recvOff, OK: true, Inc: l.cfg.Incarnation}); err != nil {
 		abortClose(p, c)
 		return
 	}
@@ -857,15 +968,50 @@ func (l *SessionListener) greet(p *sim.Proc, c Conn) {
 	s.flushPending(p)
 }
 
+// resurrect rebuilds a server-side Session from its committed resume
+// record: a reborn listener adopting a stream the dead incarnation
+// owned. The fresh session surfaces via Accept so the (re-run) app
+// bootstrap serves its remaining requests; the caller completes the
+// reattach handshake as for any known session.
+func (l *SessionListener) resurrect(p *sim.Proc, rec *SessionRecord) *Session {
+	s := newSession(l.cfg, false, l)
+	s.id = rec.ID
+	s.recvOff = rec.RecvOff
+	s.logicalEnd = rec.SendEnd
+	s.flushed = rec.SendEnd // install rewinds to the client's offset
+	s.replay.low = rec.SendLow
+	s.replay.end = rec.SendEnd
+	s.replay.spans = append([]replaySpan(nil), rec.Spans...)
+	l.cfg.Store.Put(rec, l) // adopt: the dead incarnation can no longer erase it
+	l.sessions[s.id] = s
+	l.backlog = append(l.backlog, s)
+	l.ready.Broadcast()
+	s.startWatchdog()
+	l.cfg.Tel.Counter("session", "resumes_reborn").Inc()
+	s.flight().Recordf(p.Now(), "resume-reborn",
+		"incarnation %d adopted recvoff=%d send=[%d,%d)",
+		l.cfg.Incarnation, rec.RecvOff, rec.SendLow, rec.SendEnd)
+	return s
+}
+
 func (l *SessionListener) greetNew(p *sim.Proc, c Conn) {
 	if l.closed {
 		abortClose(p, c)
 		return
 	}
 	s := newSession(l.cfg, false, l)
-	s.id = l.nextID
-	l.nextID++
-	if err := WriteFull(p, c, welcomeBytes, &sessionWelcome{ID: s.id, OK: true}); err != nil {
+	if l.cfg.Store != nil {
+		// Durable allocation: ids never repeat across the node's
+		// incarnations, and the empty committed record marks the stream
+		// resumable from offset zero should the host reboot at once.
+		s.id = l.cfg.Store.AllocID()
+		s.commitRecord()
+	} else {
+		s.id = l.nextID
+		l.nextID++
+	}
+	if err := WriteFull(p, c, welcomeBytes, &sessionWelcome{
+		ID: s.id, OK: true, Inc: l.cfg.Incarnation}); err != nil {
 		abortClose(p, c)
 		return
 	}

@@ -78,7 +78,9 @@ func (st *Stack) SetTelemetry(tel *telemetry.Registry) {
 	if tel == nil {
 		return
 	}
-	tel.RegisterSource("tcp", func() []telemetry.Stat {
+	// ReplaceSource: a reborn incarnation's stack re-registers on the
+	// surviving node registry, replacing the dead incarnation's ledger.
+	tel.ReplaceSource("tcp", func() []telemetry.Stat {
 		return []telemetry.Stat{
 			{Name: "segs_in", Value: st.SegsIn.Value},
 			{Name: "segs_out", Value: st.SegsOut.Value},
@@ -110,6 +112,31 @@ func NewStack(e *sim.Engine, host *kernel.Host, sw *ethernet.Switch, cfg StackCo
 	st.addr = st.port.Addr()
 	return st
 }
+
+// NewStackOnPort builds a stack on an existing switch port, rebinding
+// the port's station — the crash–restart path: a rebooted host's fresh
+// stack inherits the dead incarnation's attachment so it comes back at
+// the same address.
+func NewStackOnPort(e *sim.Engine, host *kernel.Host, port *ethernet.Port, cfg StackConfig) *Stack {
+	st := &Stack{
+		Eng:       e,
+		Host:      host,
+		Cfg:       cfg,
+		conns:     newConnTable(),
+		listeners: make(map[int]*Listener),
+		udps:      make(map[int]*UDPSocket),
+		nextPort:  32768,
+		nextISS:   1 << 20,
+	}
+	port.Rebind(st)
+	st.port = port
+	st.addr = port.Addr()
+	return st
+}
+
+// Port reports the switch port the stack is attached to, so a restart
+// can hand the attachment to the next incarnation.
+func (st *Stack) Port() *ethernet.Port { return st.port }
 
 // Addr reports the host's address.
 func (st *Stack) Addr() ethernet.Addr { return st.addr }
@@ -289,6 +316,12 @@ func (st *Stack) Listen(p *sim.Proc, port, backlog int) (sock.Listener, error) {
 // handshake (the connection cost the paper measures at 200-250 us).
 func (st *Stack) Dial(p *sim.Proc, addr ethernet.Addr, port int) (sock.Conn, error) {
 	st.Host.Syscall(p) // socket()+connect()
+	if st.dead {
+		// The host died under this stack: fail at once rather than
+		// retrying SYNs into the void from a corpse — callers (session
+		// reconnect loops) must move on within their deadline budget.
+		return nil, sock.ErrClosed
+	}
 	if st.draining {
 		return nil, sock.ErrRefused
 	}

@@ -182,6 +182,25 @@ func (r *Registry) RegisterSource(layer string, fn func() []Stat) {
 	r.sources = append(r.sources, source{layer: layer, fn: fn})
 }
 
+// ReplaceSource registers fn under the given layer name, first removing
+// any source already registered under that layer. Per-node layers use
+// this when a host is rebuilt after a crash–restart: the reborn
+// incarnation's stats replace the dead incarnation's, so gauges do not
+// bleed across incarnations. Aggregation paths (Merge) keep using the
+// additive append semantics. No-op on a nil registry.
+func (r *Registry) ReplaceSource(layer string, fn func() []Stat) {
+	if r == nil {
+		return
+	}
+	kept := r.sources[:0]
+	for _, src := range r.sources {
+		if src.layer != layer {
+			kept = append(kept, src)
+		}
+	}
+	r.sources = append(kept, source{layer: layer, fn: fn})
+}
+
 // MetricSnap is one counter or gauge in a snapshot.
 type MetricSnap struct {
 	Layer  string `json:"layer"`
