@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race bench bench-smoke reproduce ablations chaos chaos-nic chaos-fabric chaos-restart overload audit drain metrics examples verify record
+.PHONY: test race bench bench-smoke reproduce ablations chaos chaos-nic chaos-fabric chaos-restart overload audit drain metrics corescale examples verify record
 
 # test is the everyday gate; `make verify` is the full pre-merge chain
 # (build + vet + race tests + the chaos-NIC self-healing smoke).
@@ -80,6 +80,13 @@ audit:
 metrics:
 	go run ./cmd/reproduce -metrics
 
+# corescale runs the SMP core-scaling study: web and kvstore worker
+# pools swept over 1/2/4/8 workers on 1/2/4/8-core hosts, both
+# transports, writing BENCH_corescale.json; the monotonicity and
+# 4-core/4-worker >= 2x web gates fail the target.
+corescale:
+	go run ./cmd/reproduce -corescale
+
 # drain runs the graceful-teardown suite under the race detector:
 # half-close, lingering close, dial deadlines, double-close, and the
 # host-wide quiesce scenarios.
@@ -100,14 +107,17 @@ examples:
 # 8-conn cost in hashed mode), the chaos-NIC self-healing smoke (the
 # quick matrix: every NIC fault kind on both workloads plus the
 # no-recovery control), the chaos-fabric smoke (single trunk kill +
-# single spine kill on both workloads plus the no-reroute control), and
+# single spine kill on both workloads plus the no-reroute control),
 # the chaos-restart smoke (server and one client of each workload
-# crash-restarted plus the sessions-disabled control).
+# crash-restarted plus the sessions-disabled control), and the quick
+# core-scaling gate (worker monotonicity plus the 4-core/4-worker
+# >= 2x web bar on both transports).
 verify:
 	go build ./...
 	go vet ./...
 	go test -race ./...
 	go test -run TestConnScaleDispatchGate -count=1 ./internal/bench
+	go test -run TestCoreScaleGate -count=1 ./internal/bench
 	go run ./cmd/reproduce -chaos-nic -quick
 	go run ./cmd/reproduce -chaos-fabric -quick
 	go run ./cmd/reproduce -chaos-restart -quick

@@ -35,6 +35,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "BENCH_metrics.json", "machine-readable output for -metrics")
 	connscale := flag.Bool("connscale", false, "run the connection-scaling poller study instead")
 	connscaleOut := flag.String("connscale-out", "BENCH_connscale.json", "machine-readable output for -connscale")
+	corescale := flag.Bool("corescale", false, "run the SMP core-scaling worker-pool study instead")
+	corescaleOut := flag.String("corescale-out", "BENCH_corescale.json", "machine-readable output for -corescale")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
 	plot := flag.Bool("plot", false, "also render each figure as an ASCII chart")
@@ -152,6 +154,42 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", *connscaleOut)
+		return
+	}
+
+	if *corescale {
+		cores := bench.DefaultCoreScaleCores()
+		workers := bench.DefaultCoreScaleWorkers()
+		if *quick {
+			cores = []int{1, 4}
+			workers = []int{1, 2, 4}
+		}
+		pts := bench.CoreScaleSweep(cores, workers)
+		fmt.Printf("%5s  %12s  %6s  %8s  %9s  %10s  %10s\n",
+			"app", "transport", "cores", "workers", "requests", "req/s", "sim-ms")
+		for _, pt := range pts {
+			if pt.Err != "" {
+				fmt.Fprintf(os.Stderr, "reproduce: corescale %s/%s c%d w%d: %s\n",
+					pt.App, pt.Transport, pt.Cores, pt.Workers, pt.Err)
+				os.Exit(1)
+			}
+			fmt.Printf("%5s  %12s  %6d  %8d  %9d  %10.0f  %10.3f\n",
+				pt.App, pt.Transport, pt.Cores, pt.Workers, pt.Requests,
+				pt.ReqPerSec, pt.Elapsed.Seconds()*1e3)
+		}
+		if err := bench.VerifyCoreScale(pts); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		blob, err := json.MarshalIndent(pts, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*corescaleOut, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *corescaleOut)
 		return
 	}
 

@@ -96,6 +96,16 @@ type KVConfig struct {
 	// run's scheduled restarts. The extra GET is not counted in the
 	// latency histogram, so the exact-operation-count check still holds.
 	ReadYourWrites bool
+	// Workers > 0 serves with a pool of that many event-loop worker
+	// processes sharing one poller (exclusive per-event delivery),
+	// worker i pinned to host core i%Cores. Zero keeps the legacy
+	// single-process servers byte-for-byte unchanged. Incompatible with
+	// Sessions, like EventLoop.
+	Workers int
+	// ServiceTime is per-operation compute charged through the host's
+	// core scheduler by the worker pool (hashing, serialization). Zero
+	// adds no compute. Only the Workers>0 server honors it.
+	ServiceTime sim.Duration
 }
 
 // DefaultKVConfig returns a read-heavy data-center mix.
@@ -131,9 +141,12 @@ func (r KVResult) OpsPerSec() float64 {
 // its own process, until every client disconnects.
 func kvServer(p *sim.Proc, node *cluster.Node, cfg KVConfig, totalConns int, listen listenFn) error {
 	var err error
-	if cfg.EventLoop {
+	switch {
+	case cfg.Workers > 0:
+		err = kvServerWorkers(p, node, cfg, totalConns)
+	case cfg.EventLoop:
 		err = kvServerEvented(p, node, cfg, totalConns)
-	} else {
+	default:
 		err = kvServerForked(p, node, cfg, totalConns, listen)
 	}
 	if err == nil && cfg.Drain {
@@ -440,8 +453,8 @@ func RunKVStore(c *cluster.Cluster, cfg KVConfig) KVResult {
 	// arbitrary number of operations without retaining one value each.
 	// Registered so the cluster telemetry snapshot carries it too.
 	lat := c.Nodes[0].Tel.Histogram("apps", "kv_latency_ns", telemetry.LatencyBounds())
-	if cfg.Sessions && cfg.EventLoop {
-		return KVResult{Err: fmt.Errorf("kv: Sessions and EventLoop are incompatible")}
+	if cfg.Sessions && (cfg.EventLoop || cfg.Workers > 0) {
+		return KVResult{Err: fmt.Errorf("kv: Sessions and EventLoop/Workers are incompatible")}
 	}
 	listen := netListen(c.Nodes[0])
 	if cfg.Sessions {

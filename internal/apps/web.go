@@ -63,6 +63,17 @@ type WebConfig struct {
 	// unchanged; the chaos suite uses it to stretch the run across its
 	// scheduled fault windows.
 	Think sim.Duration
+	// Workers > 0 serves with a pool of that many event-loop worker
+	// processes sharing one poller (exclusive per-event delivery),
+	// worker i pinned to host core i%Cores. Zero keeps the legacy
+	// single-process servers byte-for-byte unchanged. Incompatible with
+	// Sessions, like EventLoop.
+	Workers int
+	// ServiceTime is per-request compute charged through the host's
+	// core scheduler by the worker pool (request parsing, page
+	// rendering). Zero adds no compute. Only the Workers>0 server
+	// honors it.
+	ServiceTime sim.Duration
 }
 
 // DefaultWebConfig returns the paper's setup for a given response size.
@@ -83,7 +94,18 @@ type WebResult struct {
 	P50Response sim.Duration
 	P99Response sim.Duration
 	MaxResponse sim.Duration
-	Err         error
+	// Elapsed spans the first client's start to the last client's
+	// finish (the core-scaling sweep's throughput denominator).
+	Elapsed sim.Duration
+	Err     error
+}
+
+// ReqPerSec reports the aggregate served-request throughput.
+func (r WebResult) ReqPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
 }
 
 // webServer accepts exactly totalConns connections, handling each in its
@@ -95,9 +117,12 @@ func webServer(p *sim.Proc, node *cluster.Node, cfg WebConfig, totalConns int, l
 		node.FS.Create("index.html", cfg.ResponseBytes, "document")
 	}
 	var err error
-	if cfg.EventLoop {
+	switch {
+	case cfg.Workers > 0:
+		err = webServerWorkers(p, node, cfg, totalConns)
+	case cfg.EventLoop:
 		err = webServerEvented(p, node, cfg, totalConns)
-	} else {
+	default:
 		err = webServerForked(p, node, cfg, totalConns, listen)
 	}
 	if err == nil && cfg.Drain {
@@ -296,8 +321,8 @@ func RunWeb(c *cluster.Cluster, cfg WebConfig) WebResult {
 	if len(c.Nodes) < cfg.Clients+1 {
 		return WebResult{Err: fmt.Errorf("web: need %d nodes, have %d", cfg.Clients+1, len(c.Nodes))}
 	}
-	if cfg.Sessions && cfg.EventLoop {
-		return WebResult{Err: fmt.Errorf("web: Sessions and EventLoop are incompatible")}
+	if cfg.Sessions && (cfg.EventLoop || cfg.Workers > 0) {
+		return WebResult{Err: fmt.Errorf("web: Sessions and EventLoop/Workers are incompatible")}
 	}
 	total := cfg.Clients * cfg.RequestsPerClient
 	connsPerClient := (cfg.RequestsPerClient + cfg.RequestsPerConn - 1) / cfg.RequestsPerConn
@@ -323,6 +348,7 @@ func RunWeb(c *cluster.Cluster, cfg WebConfig) WebResult {
 			srvErr = webServer(p, c.Nodes[0], cfg, cfg.Clients*connsPerClient, listen)
 		})
 	}
+	var start, end sim.Time
 	for i := 0; i < cfg.Clients; i++ {
 		i := i
 		dial := netDial(c.Nodes[i+1], c.Addr(0), cfg.Port)
@@ -331,7 +357,11 @@ func RunWeb(c *cluster.Cluster, cfg WebConfig) WebResult {
 		}
 		c.Eng.Spawn("web-client", func(p *sim.Proc) {
 			p.Sleep(sim.Duration(20+10*i) * sim.Microsecond)
+			if start == 0 {
+				start = p.Now()
+			}
 			cliErrs[i] = webClient(p, cfg, dial, lat)
+			end = p.Now()
 		})
 	}
 	c.Run(600 * sim.Second)
@@ -341,6 +371,7 @@ func RunWeb(c *cluster.Cluster, cfg WebConfig) WebResult {
 		P50Response: sim.Duration(lat.Percentile(50)),
 		P99Response: sim.Duration(lat.Percentile(99)),
 		MaxResponse: sim.Duration(lat.Max()),
+		Elapsed:     end.Sub(start),
 		Err:         srvErr,
 	}
 	for _, e := range cliErrs {

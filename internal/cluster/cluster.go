@@ -241,6 +241,11 @@ func New(cfg Config) *Cluster {
 		host := kernel.NewHost(eng, "host", cfg.Cores, hostCosts)
 		n := &Node{Host: host, FS: ramfs.New(host), Tel: telemetry.New(),
 			Resume: sock.NewSessionStore(), Incarnation: 1}
+		// Host objects survive Rebirth, so one registration covers the
+		// node's whole lifetime. The source stays silent until the core
+		// scheduler is actually exercised, keeping compute-free runs'
+		// snapshots unchanged.
+		n.Tel.RegisterSource("cpu", cpuTelemetry(host))
 		switch {
 		case cfg.Failover:
 			nc := nic.New(eng, "nic", c.nicConfig())
@@ -481,6 +486,29 @@ func (c *Cluster) Rebirth(i int) {
 	if n.boot != nil {
 		boot := n.boot
 		c.Eng.Spawn(fmt.Sprintf("boot%d", i), boot)
+	}
+}
+
+// cpuTelemetry reports the host's per-core scheduler stats: cumulative
+// busy nanoseconds, completed compute charges, and utilization in basis
+// points per core. It emits nothing until the core scheduler has served
+// at least one charge, so workloads that never opt into core-scheduled
+// compute keep their telemetry snapshots byte-identical.
+func cpuTelemetry(h *kernel.Host) func() []telemetry.Stat {
+	return func() []telemetry.Stat {
+		cpu := h.CPU()
+		if !cpu.Used() {
+			return nil
+		}
+		out := make([]telemetry.Stat, 0, 3*cpu.N())
+		for i := 0; i < cpu.N(); i++ {
+			out = append(out,
+				telemetry.Stat{Name: fmt.Sprintf("core%d_busy_ns", i), Value: int64(cpu.BusyTime(i))},
+				telemetry.Stat{Name: fmt.Sprintf("core%d_runs", i), Value: cpu.Runs(i)},
+				telemetry.Stat{Name: fmt.Sprintf("core%d_util_bp", i), Value: int64(cpu.Utilization(i) * 10000)},
+			)
+		}
+		return out
 	}
 }
 

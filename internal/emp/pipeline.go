@@ -1,0 +1,351 @@
+// Pipelined firmware (nic.Config.FirmwareUnits >= 2).
+//
+// The serial firmware runs each half of the protocol to completion per
+// work item on one processor: a send post occupies the send CPU from
+// descriptor fetch through the last fragment's MAC handoff, and a
+// received frame occupies the receive CPU from classification through
+// DMA and delivery. With more processing units the same per-frame costs
+// can overlap across consecutive frames instead: the data path is cut
+// FlexTOE-style into fixed stages connected by bounded queues, one
+// firmware process per stage.
+//
+//	transmit: fetch -> frag/window -> DMA -> MAC
+//	receive:  fetch -> tag match   -> DMA -> deliver
+//
+// Stage-local state keeps the split safe without locks (the simulation
+// is cooperatively scheduled, but stages interleave at every blocking
+// point):
+//
+//   - Acks and nacks are terminal at the receive fetch stage; they touch
+//     only sender-side record state and must not queue behind data
+//     frames they would unblock (the window-wait deadlock).
+//   - Receive posts, unposts, and unexpected-queue frees ride the fetch
+//     stage's queue to the match stage and are terminal there: the match
+//     stage owns the descriptor table, and forwarding them preserves
+//     their arrival order relative to the data frames they race.
+//   - The DMA stage runs ahead of the delivery stage, so each reassembly
+//     carries a dmaNext counter mirroring the delivery stage's expected
+//     frontier; both stages observe the same fragment sequence in the
+//     same order, so the counters advance in lockstep.
+//   - Every stage queue is closed by its single producer after that
+//     producer's loop exits, so Close on the input queues cascades down
+//     the pipeline and no stage ever Puts into a closed queue.
+//
+// Retransmissions stay on the serial path (their own processes, as in
+// the serial firmware): go-back-N is a recovery mode, not the data path.
+package emp
+
+import (
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// pipeDepth bounds each stage queue: deep enough to keep stages busy,
+// shallow enough that backpressure reaches the doorbell quickly.
+const pipeDepth = 8
+
+// txFragWork is one fragment's trip down the transmit pipeline. The
+// fetch stage emits one per fragment; the last carries the completion.
+type txFragWork struct {
+	rec  *txRecord
+	h    *SendHandle
+	seq  int
+	last bool
+	fl   int // fragment payload length, set at the frag stage
+}
+
+// rxStageWork is one item moving down the receive pipeline: either a
+// forwarded host doorbell op (wf nil) or a data frame, joined by its
+// reassembly at the match stage.
+type rxStageWork struct {
+	op rxOp
+	wf *WireFrame
+	r  *reassembly
+}
+
+// startPipeline builds the stage queues and spawns the eight stage
+// processes. txWork and rxWork keep their roles as the doorbell-visible
+// input queues.
+func (fw *firmware) startPipeline() {
+	name := fw.n.Name
+	fw.pipelined = true
+	fw.txFragQ = sim.NewFIFO[*txFragWork](fw.eng, name+".fw.txfrag", pipeDepth)
+	fw.txDMAQ = sim.NewFIFO[*txFragWork](fw.eng, name+".fw.txdma", pipeDepth)
+	fw.txMACQ = sim.NewFIFO[*txFragWork](fw.eng, name+".fw.txmac", pipeDepth)
+	fw.rxMatchQ = sim.NewFIFO[rxStageWork](fw.eng, name+".fw.rxmatch", pipeDepth)
+	fw.rxDMAQ = sim.NewFIFO[rxStageWork](fw.eng, name+".fw.rxdma", pipeDepth)
+	fw.rxDelivQ = sim.NewFIFO[rxStageWork](fw.eng, name+".fw.rxdeliver", pipeDepth)
+	fw.sendProc = fw.eng.Spawn(name+".fw.txfetch", fw.txFetchLoop)
+	fw.eng.Spawn(name+".fw.txfrag", fw.txFragLoop)
+	fw.eng.Spawn(name+".fw.txdma", fw.txDMALoop)
+	fw.eng.Spawn(name+".fw.txmac", fw.txMACLoop)
+	fw.recvProc = fw.eng.Spawn(name+".fw.rxfetch", fw.rxFetchLoop)
+	fw.eng.Spawn(name+".fw.rxmatch", fw.rxMatchLoop)
+	fw.eng.Spawn(name+".fw.rxdma", fw.rxDMALoop)
+	fw.eng.Spawn(name+".fw.rxdeliver", fw.rxDeliverLoop)
+}
+
+// setTelemetry attaches per-stage occupancy histograms, observed at
+// every enqueue. Serial mode registers nothing: no new snapshot keys
+// appear unless the pipeline is actually on.
+func (fw *firmware) setTelemetry(tel *telemetry.Registry) {
+	if tel == nil || !fw.pipelined {
+		return
+	}
+	bounds := make([]float64, pipeDepth)
+	for i := range bounds {
+		bounds[i] = float64(i)
+	}
+	fw.stageHist = make(map[string]*telemetry.Histogram)
+	for _, stage := range []string{"txfrag", "txdma", "txmac", "rxmatch", "rxdma", "rxdeliver"} {
+		fw.stageHist[stage] = tel.Histogram("emp", "fw_stage_"+stage+"_depth", bounds)
+	}
+}
+
+// observeStage records a stage queue's occupancy (after the Put that
+// just happened) into its histogram.
+func (fw *firmware) observeStage(stage string, depth int) {
+	if h := fw.stageHist[stage]; h != nil {
+		h.Observe(float64(depth))
+	}
+}
+
+// --- Transmit stages ----------------------------------------------------
+
+// txFetchLoop is stage T1: doorbell pickup and descriptor fetch. It
+// creates the transmission record and emits one work item per fragment;
+// the bounded frag queue backpressures it when the pipeline is full.
+func (fw *firmware) txFetchLoop(p *sim.Proc) {
+	defer fw.txFragQ.Close()
+	for {
+		op, ok := fw.txWork.Get(p)
+		if !ok {
+			return
+		}
+		fw.n.StallIfWedged(p)
+		if op.post == nil {
+			continue
+		}
+		p.Sleep(fw.n.Cfg.TxPostHandle)
+		h := op.post.h
+		if fw.ep.dead {
+			fw.ep.descRelease() // no record will be created
+			h.complete(StatusFailed)
+			continue
+		}
+		rec := fw.newTxRecord(p, h, op.post.data)
+		for seq := 0; seq < rec.nfrag; seq++ {
+			fw.txFragQ.Put(p, &txFragWork{rec: rec, h: h, seq: seq, last: seq == rec.nfrag-1})
+			fw.observeStage("txfrag", fw.txFragQ.Len())
+		}
+	}
+}
+
+// txFragLoop is stage T2: the destination window and per-frame framing
+// cost. It is the stage that blocks when the receiver NIC is behind, so
+// the window stall (and its go-back-N recovery) lives here.
+func (fw *firmware) txFragLoop(p *sim.Proc) {
+	defer fw.txDMAQ.Close()
+	window := fw.ep.Cfg.Rel.SendWindow
+	for {
+		w, ok := fw.txFragQ.Get(p)
+		if !ok {
+			return
+		}
+		fw.n.StallIfWedged(p)
+		rec := w.rec
+		for !rec.failed && fw.destInflight[rec.dst] >= window {
+			ok := fw.txWindow.WaitForTimeout(p, rec.rto, func() bool {
+				return fw.destInflight[rec.dst] < window || rec.failed
+			})
+			if !ok && !rec.failed && rec.sent > rec.acked {
+				// Window stalled a full RTO with our own fragments
+				// unacknowledged: go-back-N resend, as in the serial
+				// send loop.
+				fw.resend(p, rec)
+			}
+		}
+		if !rec.failed {
+			p.Sleep(fw.n.Cfg.TxPerFrame)
+			w.fl = fragLen(rec.length, w.seq, fw.maxFrag())
+			rec.sent++
+			fw.destInflight[rec.dst]++
+		}
+		// Failed records skip the wire but still flow down: the MAC
+		// stage owns the handle completion.
+		fw.txDMAQ.Put(p, w)
+		fw.observeStage("txdma", fw.txDMAQ.Len())
+	}
+}
+
+// txDMALoop is stage T3: host memory -> NIC payload DMA.
+func (fw *firmware) txDMALoop(p *sim.Proc) {
+	defer fw.txMACQ.Close()
+	for {
+		w, ok := fw.txDMAQ.Get(p)
+		if !ok {
+			return
+		}
+		fw.n.StallIfWedged(p)
+		if !w.rec.failed {
+			fw.n.DMA(p, w.fl)
+		}
+		fw.txMACQ.Put(p, w)
+		fw.observeStage("txmac", fw.txMACQ.Len())
+	}
+}
+
+// txMACLoop is stage T4: MAC handoff. On the last fragment it fires the
+// host completion and hands the record to the reliability layer (retire
+// if already fully acked, else arm the retransmission timer) — the tail
+// of the serial handleSendPost.
+func (fw *firmware) txMACLoop(p *sim.Proc) {
+	for {
+		w, ok := fw.txMACQ.Get(p)
+		if !ok {
+			return
+		}
+		fw.n.StallIfWedged(p)
+		rec, h := w.rec, w.h
+		if !rec.failed {
+			fw.n.WaitTxRoom(p)
+			fw.transmitFrag(p, rec, w.seq, w.fl)
+		}
+		if !w.last {
+			continue
+		}
+		if rec.failed {
+			h.complete(StatusFailed)
+			continue
+		}
+		// Local completion: all fragments handed to the MAC.
+		fw.eng.After(fw.n.Cfg.HostNotify, func() { h.complete(StatusOK) })
+		if rec.acked >= rec.nfrag {
+			fw.retire(rec)
+		} else if _, live := fw.records[rec.msgID]; live {
+			// An ack that arrived while the tail was in flight may have
+			// already retired the record; arming its timer again would
+			// only schedule a no-op resend, so skip it.
+			fw.armTimer(rec)
+		}
+	}
+}
+
+// --- Receive stages -----------------------------------------------------
+
+// rxFetchLoop is stage R1: frame classification and the per-frame
+// receive-CPU charge. Acks and nacks are handled here, terminally —
+// they release the transmit window and must never queue behind the data
+// frames waiting on that window. Host doorbell ops are forwarded so the
+// match stage sees them in arrival order.
+func (fw *firmware) rxFetchLoop(p *sim.Proc) {
+	defer fw.rxMatchQ.Close()
+	for {
+		op, ok := fw.rxWork.Get(p)
+		if !ok {
+			return
+		}
+		fw.n.StallIfWedged(p)
+		if op.frame == nil {
+			fw.rxMatchQ.Put(p, rxStageWork{op: op})
+			fw.observeStage("rxmatch", fw.rxMatchQ.Len())
+			continue
+		}
+		wf, ok := op.frame.Payload.(*WireFrame)
+		if !ok {
+			fw.framesDropped.Inc()
+			continue
+		}
+		switch wf.Kind {
+		case AckFrame:
+			fw.handleAck(p, wf)
+		case NackFrame:
+			fw.handleNack(p, wf)
+		case DataFrame:
+			p.Sleep(fw.n.Cfg.EffectiveRxPerFrame())
+			fw.rxMatchQ.Put(p, rxStageWork{wf: wf})
+			fw.observeStage("rxmatch", fw.rxMatchQ.Len())
+		}
+	}
+}
+
+// rxMatchLoop is stage R2: descriptor-table ownership. Posts, unposts,
+// and unexpected-queue frees are terminal here; data frames are joined
+// to their reassembly (tag match on first sight, completed-set re-ack
+// for late duplicates) and forwarded.
+func (fw *firmware) rxMatchLoop(p *sim.Proc) {
+	defer fw.rxDMAQ.Close()
+	for {
+		w, ok := fw.rxMatchQ.Get(p)
+		if !ok {
+			return
+		}
+		fw.n.StallIfWedged(p)
+		if w.wf == nil {
+			switch {
+			case w.op.post != nil:
+				fw.handleRecvPost(p, w.op.post)
+			case w.op.unpost != nil:
+				fw.handleUnpost(p, w.op.unpost)
+			case w.op.uqFree > 0:
+				fw.uqSlots += w.op.uqFree
+			}
+			continue
+		}
+		wf := w.wf
+		key := reasmKey{wf.Src, wf.MsgID}
+		if fw.completed[key] {
+			// Late duplicate of a fully received message: re-ack to
+			// silence the sender.
+			fw.sendAck(p, wf.Src, wf.MsgID, wf.NFrag)
+			continue
+		}
+		r := fw.reasm[key]
+		if r == nil {
+			r = fw.startReassembly(p, wf, key)
+			if r == nil {
+				fw.framesDropped.Inc()
+				continue
+			}
+		}
+		w.r = r
+		fw.rxDMAQ.Put(p, w)
+		fw.observeStage("rxdma", fw.rxDMAQ.Len())
+	}
+}
+
+// rxDMALoop is stage R3: NIC -> host payload DMA for in-order
+// fragments, gated by the reassembly's dmaNext frontier (see the
+// package comment for why this mirrors — and provably equals — the
+// delivery stage's expected counter).
+func (fw *firmware) rxDMALoop(p *sim.Proc) {
+	defer fw.rxDelivQ.Close()
+	for {
+		w, ok := fw.rxDMAQ.Get(p)
+		if !ok {
+			return
+		}
+		fw.n.StallIfWedged(p)
+		if w.wf.Seq == w.r.dmaNext {
+			if !w.r.sink {
+				fw.n.DMA(p, w.wf.FragLen)
+			}
+			w.r.dmaNext++
+		}
+		fw.rxDelivQ.Put(p, w)
+		fw.observeStage("rxdeliver", fw.rxDelivQ.Len())
+	}
+}
+
+// rxDeliverLoop is stage R4: the sequencing machine and host delivery
+// (the DMA charge already paid upstream).
+func (fw *firmware) rxDeliverLoop(p *sim.Proc) {
+	for {
+		w, ok := fw.rxDelivQ.Get(p)
+		if !ok {
+			return
+		}
+		fw.n.StallIfWedged(p)
+		fw.deliverFrag(p, w.wf, w.r, false)
+	}
+}

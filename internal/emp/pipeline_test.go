@@ -1,0 +1,207 @@
+package emp
+
+import (
+	"testing"
+
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func pipeNIC(units int) nic.Config {
+	cfg := nic.DefaultConfig()
+	cfg.FirmwareUnits = units
+	return cfg
+}
+
+func TestPipelinedSingleMessage(t *testing.T) {
+	// A multi-fragment message arrives intact through the staged path.
+	b := newBed(withNIC(pipeNIC(4)))
+	const size = 100 << 10
+	var got Message
+	var st Status
+	b.eng.Spawn("recv", func(p *sim.Proc) {
+		h := b.eps[1].PostRecv(p, b.eps[0].Addr(), 3, size, 100)
+		got, st = b.eps[1].WaitRecv(p, h)
+	})
+	b.eng.Spawn("send", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Microsecond)
+		b.eps[0].Send(p, b.eps[1].Addr(), 3, size, "big", 200)
+	})
+	b.eng.RunUntil(sim.Time(sim.Second))
+	if st != StatusOK || got.Len != size || got.Data != "big" {
+		t.Fatalf("status %v len %d data %v", st, got.Len, got.Data)
+	}
+	if b.eps[1].Stats().MsgsDelivered != 1 {
+		t.Fatalf("delivered %d", b.eps[1].Stats().MsgsDelivered)
+	}
+}
+
+// TestPipelinedStreamBeatsSerial is the point of the pipeline: at
+// standard MTU the serial receive processor (per-frame charge plus DMA
+// on one CPU) runs slower than the wire, so overlapping those costs
+// across stages must raise streaming bandwidth.
+func TestPipelinedStreamBeatsSerial(t *testing.T) {
+	serial := streamOnce(newBed(), 64, 64<<10)
+	pipe := streamOnce(newBed(withNIC(pipeNIC(4))), 64, 64<<10)
+	if pipe <= serial {
+		t.Fatalf("pipelined firmware %.0f Mbps should beat serial %.0f", pipe, serial)
+	}
+}
+
+func TestPipelinedLossRecovery(t *testing.T) {
+	// Nack-driven go-back-N recovery still works when the data path is
+	// staged: gaps are detected at the delivery stage and the resend
+	// path stays serial.
+	b := newBed(withNIC(pipeNIC(4)), withLoss(0.08))
+	b.eng.Seed(31)
+	var st Status
+	b.eng.Spawn("recv", func(p *sim.Proc) {
+		h := b.eps[1].PostRecv(p, AnySource, 3, 64<<10, 100)
+		_, st = b.eps[1].WaitRecv(p, h)
+	})
+	b.eng.Spawn("send", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Microsecond)
+		b.eps[0].Send(p, b.eps[1].Addr(), 3, 64<<10, nil, 10)
+	})
+	b.eng.RunUntil(sim.Time(10 * sim.Second))
+	if st != StatusOK {
+		t.Fatalf("message not delivered under loss: %v", st)
+	}
+	if b.eps[1].Stats().NacksSent == 0 {
+		t.Fatal("expected NACKs at 8% loss on a 45-fragment message")
+	}
+}
+
+func TestPipelinedBidirectionalUnderLoss(t *testing.T) {
+	b := newBed(withNIC(pipeNIC(4)), withLoss(0.03))
+	b.eng.Seed(17)
+	finished := 0
+	for i := 0; i < 2; i++ {
+		me, peer := i, 1-i
+		b.eng.Spawn("node", func(p *sim.Proc) {
+			const msgs = 10
+			handles := make([]*RecvHandle, 0, msgs)
+			for j := 0; j < msgs; j++ {
+				handles = append(handles, b.eps[me].PostRecv(p, b.eps[peer].Addr(), Tag(40+peer), 16<<10, BufKey(me+1)))
+			}
+			for j := 0; j < msgs; j++ {
+				b.eps[me].Send(p, b.eps[peer].Addr(), Tag(40+me), 16<<10, nil, BufKey(me+11))
+			}
+			for _, h := range handles {
+				if _, st := b.eps[me].WaitRecv(p, h); st != StatusOK {
+					t.Errorf("node %d recv %v", me, st)
+				}
+			}
+			finished++
+		})
+	}
+	b.eng.RunUntil(sim.Time(60 * sim.Second))
+	if finished != 2 {
+		t.Fatalf("%d/2 nodes finished under bidirectional loss", finished)
+	}
+}
+
+func TestPipelinedUnexpectedQueueClaim(t *testing.T) {
+	// The unexpected-queue slot-free doorbell rides the fetch stage's
+	// queue to the match stage; a claimed slot must become reusable.
+	b := newBed(withNIC(pipeNIC(4)), withUQ(1))
+	var got Message
+	var ok bool
+	b.eng.Spawn("send", func(p *sim.Proc) {
+		b.eps[0].Send(p, b.eps[1].Addr(), 9, 32, "parked", 1)
+	})
+	b.eng.Spawn("claim", func(p *sim.Proc) {
+		p.Sleep(500 * sim.Microsecond)
+		got, ok = b.eps[1].PollUnexpected(p, b.eps[0].Addr(), 9, 64)
+		// With one slot, the next unexpected message needs the freed slot.
+		b.eps[0].Send(p, b.eps[1].Addr(), 12, 32, "second", 2)
+	})
+	b.eng.RunUntil(sim.Time(sim.Second))
+	if !ok || got.Data != "parked" {
+		t.Fatalf("claim = %v, %v", got.Data, ok)
+	}
+	if !b.eps[1].PeekUnexpected(b.eps[0].Addr(), 12) {
+		t.Fatal("slot freed by claim was not reusable under the pipeline")
+	}
+}
+
+func TestPipelinedSendFailureReleasesWindow(t *testing.T) {
+	rel := DefaultReliability()
+	rel.MaxRetries = 2
+	rel.RTO = 100 * sim.Microsecond
+	b := newBed(withNIC(pipeNIC(4)), withRel(rel))
+	var st Status
+	b.eng.Spawn("send", func(p *sim.Proc) {
+		h := b.eps[0].PostSend(p, b.eps[1].Addr(), 3, 1024, nil, 10)
+		st = b.eps[0].WaitSend(p, h) // local completion still succeeds
+	})
+	b.eng.RunUntil(sim.Time(sim.Second))
+	if st != StatusOK {
+		t.Fatalf("local send completion should be OK, got %v", st)
+	}
+	if b.eps[0].Stats().SendsFailed != 1 {
+		t.Fatalf("sendsFailed = %d, want 1", b.eps[0].Stats().SendsFailed)
+	}
+	if len(b.eps[0].fw.destInflight) != 0 {
+		t.Fatalf("failed send leaked window slots: %v", b.eps[0].fw.destInflight)
+	}
+}
+
+func TestPipelinedShutdownStopsStages(t *testing.T) {
+	b := newBed(withNIC(pipeNIC(4)))
+	b.eng.Spawn("driver", func(p *sim.Proc) {
+		b.eps[0].Send(p, b.eps[1].Addr(), 1, 0, nil, KeyNone)
+		p.Sleep(100 * sim.Microsecond)
+		b.eps[0].Shutdown()
+		b.eps[1].Shutdown()
+	})
+	b.eng.RunUntil(sim.Time(sim.Second))
+	if live := b.eng.LiveProcs(); live != 0 {
+		t.Fatalf("%d firmware stage processes still live after shutdown: %v", live, b.eng.BlockedProcs())
+	}
+}
+
+func TestPipelinedDeterministic(t *testing.T) {
+	run := func() (float64, Stats) {
+		b := newBed(withNIC(pipeNIC(4)))
+		mbps := streamOnce(b, 32, 16<<10)
+		return mbps, b.eps[1].Stats()
+	}
+	m1, s1 := run()
+	m2, s2 := run()
+	if m1 != m2 || s1 != s2 {
+		t.Fatalf("pipelined runs diverged: %.6f vs %.6f, %+v vs %+v", m1, m2, s1, s2)
+	}
+	if m1 == 0 {
+		t.Fatal("stream did not complete")
+	}
+}
+
+func TestPipelinedStageTelemetry(t *testing.T) {
+	// Pipelined endpoints register per-stage occupancy histograms;
+	// serial endpoints must register none (snapshot keys are part of
+	// the golden surface).
+	b := newBed(withNIC(pipeNIC(4)))
+	tel := telemetry.New()
+	b.eps[1].SetTelemetry(tel)
+	streamOnce(b, 16, 16<<10)
+	snap := tel.Snapshot()
+	seen := map[string]int64{}
+	for _, h := range snap.Hists {
+		seen[h.Layer+"/"+h.Metric] = h.Count
+	}
+	for _, stage := range []string{"rxmatch", "rxdma", "rxdeliver"} {
+		if seen["emp/fw_stage_"+stage+"_depth"] == 0 {
+			t.Fatalf("stage %s histogram missing or empty: %v", stage, seen)
+		}
+	}
+
+	serial := newBed()
+	stel := telemetry.New()
+	serial.eps[1].SetTelemetry(stel)
+	streamOnce(serial, 4, 4096)
+	if n := len(stel.Snapshot().Hists); n != 0 {
+		t.Fatalf("serial firmware registered %d histograms, want 0", n)
+	}
+}

@@ -71,14 +71,19 @@ func DefaultCosts() Costs {
 
 // Host models one machine: a CPU cost-charging facility plus interrupt
 // delivery. The paper's hosts are quad-processor machines; Cores sets how
-// many independent CPU contexts exist. Application processes charge their
-// costs to a core by running on it.
+// many independent CPU contexts exist, backed by a sim.CPU whose per-core
+// run queues serialize compute charged through ChargeCompute/CPU(). The
+// fixed-cost charge methods (Syscall, Copy, MMIO, ...) model kernel-path
+// latencies and deliberately bypass the run queues — they stay
+// schedule-identical regardless of core count, so workloads that never
+// opt into core-scheduled compute reproduce single-threaded-era runs
+// byte for byte.
 type Host struct {
 	Eng   *sim.Engine
 	Costs Costs
 	Name  string
 
-	cores []*sim.Resource
+	cpu *sim.CPU
 	// intr serializes interrupt handling (one interrupt at a time per
 	// host; IRQs are routed to CPU0 on the era's kernels).
 	intrBusy *sim.Resource
@@ -96,15 +101,29 @@ func NewHost(e *sim.Engine, name string, cores int, costs Costs) *Host {
 		cores = 1
 	}
 	h := &Host{Eng: e, Costs: costs, Name: name}
-	for i := 0; i < cores; i++ {
-		h.cores = append(h.cores, sim.NewResource(e, name+".cpu"))
-	}
+	h.cpu = sim.NewCPU(e, name+".cpu", cores)
 	h.intrBusy = sim.NewResource(e, name+".irq")
 	return h
 }
 
 // Cores reports the number of CPU contexts.
-func (h *Host) Cores() int { return len(h.cores) }
+func (h *Host) Cores() int { return h.cpu.N() }
+
+// CPU returns the host's core scheduler, for callers that pin work or
+// charge core-scheduled compute directly.
+func (h *Host) CPU() *sim.CPU { return h.cpu }
+
+// ChargeCompute charges p with d of core-scheduled compute on the
+// deterministically least-loaded core: concurrent charges serialize once
+// all cores are busy, and overlap otherwise.
+func (h *Host) ChargeCompute(p *sim.Proc, d sim.Duration) {
+	h.cpu.Compute(p, d)
+}
+
+// ChargeComputeOn is ChargeCompute pinned to a core (modulo Cores()).
+func (h *Host) ChargeComputeOn(p *sim.Proc, core int, d sim.Duration) {
+	h.cpu.ComputeOn(p, core, d)
+}
 
 // Syscall charges p with one trivial system call.
 func (h *Host) Syscall(p *sim.Proc) {
@@ -179,10 +198,12 @@ func (h *Host) MMIO(p *sim.Proc) {
 }
 
 // Compute charges p with a floating-point workload of the given
-// operation count at the host's sustained rate.
+// operation count at the host's sustained rate, on the least-loaded
+// core: concurrent compute phases on one host serialize once all cores
+// are busy.
 func (h *Host) Compute(p *sim.Proc, flops int64) {
 	if flops <= 0 || h.Costs.FlopsRate <= 0 {
 		return
 	}
-	p.Sleep(sim.Duration(flops * int64(sim.Second) / h.Costs.FlopsRate))
+	h.cpu.Compute(p, sim.Duration(flops*int64(sim.Second)/h.Costs.FlopsRate))
 }

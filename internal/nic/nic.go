@@ -80,6 +80,17 @@ type Config struct {
 	// waits before re-ringing a mailbox write the NIC never observed
 	// (fault injection only: healthy rings are never dropped).
 	DoorbellRetry sim.Duration
+	// FirmwareUnits selects how the firmware's data path is scheduled
+	// across the NIC's processing units. 0 or 1 keeps the measured
+	// Tigon2 arrangement: one send processor and one receive processor,
+	// each running its half of the protocol to completion per work item.
+	// 2 or more pipelines each half FlexTOE-style into fixed stages
+	// (doorbell fetch -> fragment/window -> DMA -> MAC on transmit, and
+	// the receive mirror fetch -> tag match -> DMA -> deliver) run by
+	// separate firmware processes connected by bounded stage queues, so
+	// the per-frame costs of consecutive frames overlap instead of
+	// serializing.
+	FirmwareUnits int
 }
 
 // DefaultConfig returns the Tigon2 calibration.

@@ -21,6 +21,7 @@ type NoteSink struct {
 	wq     *WaitQueue
 	ready  []uint64
 	queued map[uint64]struct{}
+	onPost func()
 }
 
 // NewNoteSink returns an empty sink. The label names it in deadlock
@@ -40,7 +41,17 @@ func (s *NoteSink) Post(token uint64) {
 	s.queued[token] = struct{}{}
 	s.ready = append(s.ready, token)
 	s.wq.WakeOne()
+	if s.onPost != nil {
+		s.onPost()
+	}
 }
+
+// SetNotify installs fn to run after every effective (non-coalesced)
+// Post, in addition to waking a WaitAny consumer. Multi-consumer
+// wrappers (sock.Poller's waiter pool) use it to route each event's
+// wakeup to their own wait queue so exactly one consumer wakes per
+// event.
+func (s *NoteSink) SetNotify(fn func()) { s.onPost = fn }
 
 // Pending reports how many distinct tokens are queued.
 func (s *NoteSink) Pending() int { return len(s.ready) }
